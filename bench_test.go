@@ -1,0 +1,295 @@
+package mayacache
+
+// One benchmark per table and figure of the paper's evaluation, each
+// regenerating a reduced-scale version of the experiment and logging the
+// headline rows. The cmd tools (mayasim, securitysim, attacksim,
+// overheads) run the full-scale versions with flags.
+//
+// Run with: go test -bench=. -benchtime=1x
+
+import (
+	"fmt"
+	"testing"
+
+	"mayacache/internal/analytic"
+	"mayacache/internal/attack"
+	"mayacache/internal/baseline"
+	"mayacache/internal/buckets"
+	"mayacache/internal/cachemodel"
+	maya "mayacache/internal/core"
+	"mayacache/internal/experiments"
+	"mayacache/internal/power"
+	"mayacache/internal/trace"
+)
+
+// benchScale keeps each benchmark iteration around a second.
+func benchScale() experiments.Scale {
+	return experiments.Scale{WarmupInstr: 400_000, ROIInstr: 200_000, Seed: 1, Parallel: true}
+}
+
+// benchSubset is a representative slice of the benchmark registry: one
+// Maya gainer, one streaming loser, one capacity-wedge loser, one
+// latency-neutral, one GAP loser, and the conflict-pathological pr.
+var benchSubset = []string{"mcf", "lbm", "cactuBSSN", "xz", "cc", "pr"}
+
+func Benchmark_Fig1_DeadBlocks(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig1(sc)
+		ab, am := experiments.Fig1Average(rows)
+		b.ReportMetric(ab, "dead%baseline")
+		b.ReportMetric(am, "dead%mirage")
+		if i == 0 {
+			b.Logf("Fig 1 averages: baseline %.1f%%, Mirage %.1f%% dead (paper: >80%%)", ab, am)
+		}
+	}
+}
+
+func Benchmark_Fig4_ReuseWaySweep(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		// Reduced sweep: reuse ways {1, 3} on the subset.
+		for _, ways := range []int{1, 3} {
+			var sum, n float64
+			for _, bench := range benchSubset[:3] {
+				mix := homog(bench, 8)
+				base := experiments.RunMixDesign(bench, mix, experiments.DesignBaseline, sc)
+				llc := experiments.NewLLC(experiments.DesignMaya, experiments.LLCOptions{
+					Cores: 8, Seed: sc.Seed, FastHash: true, ReuseWays: ways,
+				})
+				res := experiments.RunMixLLC(bench, mix, experiments.DesignMaya, llc, sc)
+				sum += res.WS / base.WS
+				n++
+			}
+			if i == 0 {
+				b.Logf("Fig 4: %d reuse ways/skew -> normalized WS %.3f", ways, sum/n)
+			}
+		}
+	}
+}
+
+func Benchmark_Fig6_BucketSpills(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, capacity := range []int{9, 10, 11, 12} {
+			cfg := buckets.MayaDefault(4096, 1)
+			cfg.Capacity = capacity
+			m := buckets.New(cfg)
+			m.Run(500_000)
+			if i == 0 {
+				rate := "none"
+				if m.Spills() > 0 {
+					rate = fmt.Sprintf("1 per %.2g iters", float64(m.Iterations())/float64(m.Spills()))
+				}
+				b.Logf("Fig 6: capacity %d -> spills %s", capacity, rate)
+			}
+		}
+	}
+}
+
+func Benchmark_Fig7_Occupancy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := buckets.New(buckets.MayaDefault(4096, 1))
+		for s := 0; s < 50; s++ {
+			m.Run(20_000)
+			m.SampleHistogram()
+		}
+		d, err := analytic.Solve(9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			h := m.Histogram()
+			for _, n := range []int{8, 9, 10, 11} {
+				b.Logf("Fig 7: Pr(n=%d) simulated %.4f analytical %.4f", n, h[n], d.Pr(n))
+			}
+		}
+	}
+}
+
+func Benchmark_Fig8_OccupancyAttack(b *testing.B) {
+	const sets = 64
+	for i := 0; i < b.N; i++ {
+		designs := []struct {
+			name      string
+			mk        func(seed uint64) cachemodel.LLC
+			occupancy int
+		}{
+			{"16-way", func(seed uint64) cachemodel.LLC {
+				return baseline.New(baseline.Config{Sets: sets, Ways: 16, Replacement: baseline.LRU, Seed: seed, MatchSDID: true})
+			}, sets * 16},
+			{"Maya", func(seed uint64) cachemodel.LLC {
+				return maya.New(maya.Config{SetsPerSkew: sets, Skews: 2, BaseWays: 6, ReuseWays: 3, InvalidWays: 6, Seed: seed,
+					Hasher: cachemodel.NewXorHasher(2, 6, seed)})
+			}, 2 * sets * 12},
+			{"FA", func(seed uint64) cachemodel.LLC {
+				return baseline.NewFullyAssociative(sets*16, seed, true)
+			}, 2 * sets * 16},
+		}
+		for _, d := range designs {
+			med := attack.MedianDistinguish(d.mk, func(c cachemodel.LLC) (attack.Victim, attack.Victim) {
+				va := attack.NewModExpVictim(1, 64, 1<<21, attack.CacheToucher(c, 2))
+				vb := attack.NewModExpVictim(4, 64, 1<<21, attack.CacheToucher(c, 3))
+				return va, vb
+			}, d.occupancy, 16, 1, 4000, 4.5, 1)
+			if i == 0 {
+				b.Logf("Fig 8 (modexp): %s needs %.0f encryptions to distinguish keys", d.name, med)
+			}
+		}
+	}
+}
+
+func homog(bench string, n int) []string {
+	mix := make([]string, n)
+	for i := range mix {
+		mix[i] = bench
+	}
+	return mix
+}
+
+func Benchmark_Fig9_Homogeneous(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		for _, bench := range benchSubset {
+			mix := homog(bench, 8)
+			base := experiments.RunMixDesign(bench, mix, experiments.DesignBaseline, sc)
+			mir := experiments.RunMixDesign(bench, mix, experiments.DesignMirage, sc)
+			may := experiments.RunMixDesign(bench, mix, experiments.DesignMaya, sc)
+			if i == 0 {
+				b.Logf("Fig 9: %-10s Mirage %.3f Maya %.3f (baseline MPKI %.1f)",
+					bench, mir.WS/base.WS, may.WS/base.WS, base.MPKI)
+			}
+		}
+	}
+}
+
+func Benchmark_Fig10_Heterogeneous(b *testing.B) {
+	sc := benchScale()
+	mixes := trace.HeteroMixes()[:4] // M1-M4 at bench scale
+	for i := 0; i < b.N; i++ {
+		for _, m := range mixes {
+			base := experiments.RunMixDesign(m.Name, m.Benchmarks, experiments.DesignBaseline, sc)
+			mir := experiments.RunMixDesign(m.Name, m.Benchmarks, experiments.DesignMirage, sc)
+			may := experiments.RunMixDesign(m.Name, m.Benchmarks, experiments.DesignMaya, sc)
+			if i == 0 {
+				b.Logf("Fig 10: %-4s (%s) Mirage %.3f Maya %.3f",
+					m.Name, m.Bin, mir.WS/base.WS, may.WS/base.WS)
+			}
+		}
+	}
+}
+
+func Benchmark_Table1_ReuseWays(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, reuse := range []int{1, 3, 5, 7} {
+			for _, inv := range []int{5, 6} {
+				p := analytic.DesignPoint{BaseWays: 6, ReuseWays: reuse, InvalidWays: inv}
+				v, err := p.InstallsPerSAE()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.Logf("Table I: reuse=%d invalid=%d -> %s", reuse, inv, analytic.FormatInstalls(v))
+				}
+			}
+		}
+	}
+}
+
+func Benchmark_Table4_Associativity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, pt := range []analytic.DesignPoint{
+			{BaseWays: 3, ReuseWays: 1, InvalidWays: 6},
+			{BaseWays: 6, ReuseWays: 3, InvalidWays: 6},
+			{BaseWays: 12, ReuseWays: 6, InvalidWays: 6},
+		} {
+			v, err := pt.InstallsPerSAE()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.Logf("Table IV: %d-way base (%d+%d) -> %s",
+					2*(pt.BaseWays+pt.ReuseWays), pt.BaseWays, pt.ReuseWays, analytic.FormatInstalls(v))
+			}
+		}
+	}
+}
+
+func Benchmark_Table7_MPKI(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		var base, mir, may float64
+		for _, bench := range benchSubset {
+			mix := homog(bench, 8)
+			base += experiments.RunMixDesign(bench, mix, experiments.DesignBaseline, sc).MPKI
+			mir += experiments.RunMixDesign(bench, mix, experiments.DesignMirage, sc).MPKI
+			may += experiments.RunMixDesign(bench, mix, experiments.DesignMaya, sc).MPKI
+		}
+		n := float64(len(benchSubset))
+		b.ReportMetric(base/n, "mpki-base")
+		b.ReportMetric(may/n, "mpki-maya")
+		if i == 0 {
+			b.Logf("Table VII: avg MPKI baseline %.1f Mirage %.1f Maya %.1f", base/n, mir/n, may/n)
+		}
+	}
+}
+
+func Benchmark_Table8_Storage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, d := range []power.Design{power.Baseline, power.Mirage, power.Maya} {
+			s := power.Account(d)
+			if i == 0 {
+				b.Logf("Table VIII: %-8s total %.0f KB (%+.1f%%)", d, s.TotalKB, s.OverheadVsBaseline()*100)
+			}
+		}
+	}
+}
+
+func Benchmark_Table9_Energy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, d := range []power.Design{power.Baseline, power.Mirage, power.Maya, power.MayaISO} {
+			c := power.Estimate(d)
+			if i == 0 {
+				b.Logf("Table IX: %-8s read %.3f nJ write %.3f nJ static %.0f mW area %.3f mm2",
+					d, c.ReadEnergyNJ, c.WriteEnergyNJ, c.StaticPowerMW, c.AreaMM2)
+			}
+		}
+	}
+}
+
+func Benchmark_Table10_Summary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := []struct {
+			d        power.Design
+			T        float64
+			ways     int
+		}{
+			{power.Maya, 9, 15},
+			{power.Mirage, 8, 14},
+			{power.MirageLite, 8, 13},
+			{power.MayaISO, 12, 18},
+		}
+		for _, r := range rows {
+			dist, err := analytic.Solve(r.T)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st := power.Account(r.d)
+			if i == 0 {
+				b.Logf("Table X: %-11s security %s storage %+.1f%%",
+					r.d, analytic.FormatInstalls(dist.InstallsPerSAE(r.ways)), st.OverheadVsBaseline()*100)
+			}
+		}
+	}
+}
+
+func Benchmark_Table11_Partitioning(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table11(sc)
+		for _, r := range rows {
+			if i == 0 {
+				b.Logf("Table XI: %-13s performance %+.1f%% storage +%.1f%%", r.Technique, r.PerfDelta, r.StorageOver)
+			}
+		}
+	}
+}

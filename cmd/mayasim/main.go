@@ -1,0 +1,173 @@
+// Command mayasim runs the paper's performance experiments (Figures 1, 4,
+// 9, 10; Tables VII and XI; the Section V-B sensitivity studies) on the
+// synthetic-trace multi-core simulator.
+//
+// Usage:
+//
+//	mayasim -experiment fig9 [-warmup 2000000] [-roi 1000000] [-seed 1] [-csv]
+//
+// Experiments: fig1, fig4, fig9, fig10, table7, table11, fitting, cores, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mayacache/internal/experiments"
+	"mayacache/internal/report"
+)
+
+func main() {
+	var (
+		exp    = flag.String("experiment", "all", "experiment to run: fig1|fig4|fig9|fig10|table7|table11|fitting|cores|llcsize|all")
+		warmup = flag.Uint64("warmup", 2_000_000, "warmup instructions per core")
+		roi    = flag.Uint64("roi", 1_000_000, "measured instructions per core")
+		seed   = flag.Uint64("seed", 1, "experiment seed")
+		csv    = flag.Bool("csv", false, "emit CSV instead of tables")
+		serial = flag.Bool("serial", false, "disable parallel configuration runs")
+	)
+	flag.Parse()
+
+	sc := experiments.Scale{WarmupInstr: *warmup, ROIInstr: *roi, Seed: *seed, Parallel: !*serial}
+	out := os.Stdout
+
+	emit := func(t *report.Table) {
+		if *csv {
+			t.CSV(out)
+		} else {
+			t.Render(out)
+		}
+		fmt.Fprintln(out)
+	}
+
+	var fig9Rows []experiments.Fig9Row
+	var fig10Rows []experiments.Fig10Row
+
+	runFig1 := func() {
+		rows := experiments.Fig1(sc)
+		t := report.NewTable("Fig 1: % dead blocks inserted into a 2MB single-core LLC",
+			"benchmark", "suite", "baseline dead%", "mirage dead%")
+		for _, r := range rows {
+			t.AddRow(r.Bench, r.Suite, r.DeadBaseline, r.DeadMirage)
+		}
+		ab, am := experiments.Fig1Average(rows)
+		t.AddRow("AVERAGE", "", ab, am)
+		emit(t)
+	}
+	runFig4 := func() {
+		rows := experiments.Fig4(sc)
+		t := report.NewTable("Fig 4: Maya performance vs reuse ways per skew (SPEC homogeneous, normalized WS)",
+			"reuse ways/skew", "normalized WS")
+		for _, r := range rows {
+			t.AddRow(r.ReuseWays, r.NormWS)
+		}
+		emit(t)
+	}
+	runFig9 := func() {
+		fig9Rows = experiments.Fig9(sc)
+		experiments.SortFig9(fig9Rows)
+		t := report.NewTable("Fig 9: 8-core homogeneous mixes (weighted speedup normalized to baseline)",
+			"benchmark", "suite", "Mirage", "Maya", "base MPKI", "mirage MPKI", "maya MPKI")
+		for _, r := range fig9Rows {
+			t.AddRow(r.Bench, r.Suite, r.NormMirage, r.NormMaya, r.MPKIBase, r.MPKIMirage, r.MPKIMaya)
+		}
+		for _, s := range experiments.SummarizeFig9(fig9Rows) {
+			t.AddRow("GMEAN-"+s.Suite, "", s.NormMirage, s.NormMaya, "", "", "")
+		}
+		emit(t)
+	}
+	runFig10 := func() {
+		fig10Rows = experiments.Fig10(sc)
+		t := report.NewTable("Fig 10: 8-core heterogeneous mixes (weighted speedup normalized to baseline)",
+			"mix", "bin", "Mirage", "Maya")
+		for _, r := range fig10Rows {
+			t.AddRow(r.Mix, string(r.Bin), r.NormMirage, r.NormMaya)
+		}
+		emit(t)
+	}
+	runTable7 := func() {
+		if fig9Rows == nil {
+			fig9Rows = experiments.Fig9(sc)
+		}
+		if fig10Rows == nil {
+			fig10Rows = experiments.Fig10(sc)
+		}
+		t := report.NewTable("Table VII: average LLC MPKI", "workloads", "Baseline", "Mirage", "Maya")
+		for _, r := range experiments.Table7(fig9Rows, fig10Rows) {
+			t.AddRow(r.Class, r.Baseline, r.Mirage, r.Maya)
+		}
+		emit(t)
+	}
+	runTable11 := func() {
+		t := report.NewTable("Table XI: secure partitioning techniques (8-core, SPEC homogeneous)",
+			"technique", "performance %", "storage %")
+		for _, r := range experiments.Table11(sc) {
+			t.AddRow(r.Technique, r.PerfDelta, r.StorageOver)
+		}
+		emit(t)
+	}
+	runFitting := func() {
+		t := report.NewTable("Section V-B: LLC-fitting benchmarks under Maya (normalized WS)",
+			"benchmark", "Maya/baseline")
+		rows := experiments.LLCFittingSensitivity(sc)
+		sum := 0.0
+		for _, r := range rows {
+			t.AddRow(r.Label, r.NormMaya)
+			sum += r.NormMaya
+		}
+		t.AddRow("AVERAGE", sum/float64(len(rows)))
+		emit(t)
+	}
+	runCores := func() {
+		t := report.NewTable("Section V-B: core-count sensitivity (normalized WS)",
+			"system", "Maya/baseline")
+		for _, r := range experiments.CoreCountSensitivity(sc, nil) {
+			t.AddRow(r.Label, r.NormMaya)
+		}
+		emit(t)
+	}
+	runLLCSize := func() {
+		t := report.NewTable("Section V-B: LLC-size sensitivity (Maya data store, normalized WS)",
+			"configuration", "Maya/baseline")
+		for _, r := range experiments.LLCSizeSensitivity(sc, nil) {
+			t.AddRow(r.Label, r.NormMaya)
+		}
+		emit(t)
+	}
+
+	switch *exp {
+	case "fig1":
+		runFig1()
+	case "fig4":
+		runFig4()
+	case "fig9":
+		runFig9()
+	case "fig10":
+		runFig10()
+	case "table7":
+		runTable7()
+	case "table11":
+		runTable11()
+	case "fitting":
+		runFitting()
+	case "cores":
+		runCores()
+	case "llcsize":
+		runLLCSize()
+	case "all":
+		runFig1()
+		runFig9()
+		runFig10()
+		runTable7()
+		runFig4()
+		runTable11()
+		runFitting()
+		runCores()
+		runLLCSize()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

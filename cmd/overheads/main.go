@@ -1,0 +1,160 @@
+// Command overheads prints the paper's cost tables: the exact storage
+// accounting of Table VIII, the P-CACTI-substitute energy/power/area
+// estimates of Table IX, and the Table X summary combining security
+// (analytical model), storage, and optionally simulated performance.
+//
+// Usage:
+//
+//	overheads -table storage|energy|summary|all [-perf]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mayacache/internal/analytic"
+	"mayacache/internal/experiments"
+	"mayacache/internal/metrics"
+	"mayacache/internal/power"
+	"mayacache/internal/report"
+	"mayacache/internal/trace"
+)
+
+func main() {
+	var (
+		table  = flag.String("table", "all", "storage|energy|summary|all")
+		perf   = flag.Bool("perf", false, "simulate SPEC homogeneous performance for Table X (slow)")
+		warmup = flag.Uint64("warmup", 2_000_000, "warmup instructions per core for -perf")
+		roi    = flag.Uint64("roi", 800_000, "ROI instructions per core for -perf")
+		csv    = flag.Bool("csv", false, "emit CSV")
+	)
+	flag.Parse()
+
+	emit := func(t *report.Table) {
+		if *csv {
+			t.CSV(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+		fmt.Println()
+	}
+
+	switch *table {
+	case "storage":
+		storageTable(emit)
+	case "energy":
+		energyTable(emit)
+	case "summary":
+		summaryTable(emit, *perf, *warmup, *roi)
+	case "all":
+		storageTable(emit)
+		energyTable(emit)
+		summaryTable(emit, *perf, *warmup, *roi)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
+		os.Exit(2)
+	}
+}
+
+func storageTable(emit func(*report.Table)) {
+	t := report.NewTable("Table VIII: storage overheads",
+		"configuration", "Baseline", "Mirage", "Maya")
+	rows := []struct {
+		label string
+		get   func(power.Storage) string
+	}{
+		{"Tag bits", func(s power.Storage) string { return fmt.Sprintf("%d", s.TagBits) }},
+		{"Coherence bits", func(s power.Storage) string { return fmt.Sprintf("%d", s.CoherenceBits) }},
+		{"Priority bits", func(s power.Storage) string { return fmt.Sprintf("%d", s.PriorityBits) }},
+		{"FPTR bits", func(s power.Storage) string { return fmt.Sprintf("%d", s.FPTRBits) }},
+		{"SDID bits", func(s power.Storage) string { return fmt.Sprintf("%d", s.SDIDBits) }},
+		{"Tag entry bits", func(s power.Storage) string { return fmt.Sprintf("%d", s.TagEntryBits) }},
+		{"Tag entries", func(s power.Storage) string { return fmt.Sprintf("%d", s.TagEntries) }},
+		{"Tag store KB", func(s power.Storage) string { return fmt.Sprintf("%.0f", s.TagStoreKB) }},
+		{"Data entry bits", func(s power.Storage) string { return fmt.Sprintf("%d", s.DataEntryBits) }},
+		{"Data entries", func(s power.Storage) string { return fmt.Sprintf("%d", s.DataEntries) }},
+		{"Data store KB", func(s power.Storage) string { return fmt.Sprintf("%.0f", s.DataStoreKB) }},
+		{"Total KB", func(s power.Storage) string { return fmt.Sprintf("%.0f", s.TotalKB) }},
+		{"Overhead vs baseline", func(s power.Storage) string { return fmt.Sprintf("%+.1f%%", s.OverheadVsBaseline()*100) }},
+	}
+	base, mir, maya := power.Account(power.Baseline), power.Account(power.Mirage), power.Account(power.Maya)
+	for _, r := range rows {
+		t.AddRow(r.label, r.get(base), r.get(mir), r.get(maya))
+	}
+	emit(t)
+}
+
+func energyTable(emit func(*report.Table)) {
+	t := report.NewTable("Table IX: energy, power, and area (P-CACTI-substitute model, 7nm)",
+		"design", "read energy/access (nJ)", "write energy/access (nJ)", "static power (mW)", "area (mm^2)")
+	for _, d := range []power.Design{power.Baseline, power.Mirage, power.Maya, power.MayaISO} {
+		c := power.Estimate(d)
+		t.AddRow(string(d), c.ReadEnergyNJ, c.WriteEnergyNJ, c.StaticPowerMW, c.AreaMM2)
+	}
+	emit(t)
+}
+
+// securityFor returns the analytical installs-per-SAE for each Table X
+// design.
+func securityFor(d power.Design) string {
+	var T float64
+	var ways int
+	switch d {
+	case power.Maya:
+		T, ways = 9, 15
+	case power.Mirage:
+		T, ways = 8, 14
+	case power.MirageLite:
+		T, ways = 8, 13
+	case power.MayaISO:
+		T, ways = 12, 18
+	default:
+		return "none (conventional)"
+	}
+	dist, err := analytic.Solve(T)
+	if err != nil {
+		return "error"
+	}
+	return analytic.FormatInstalls(dist.InstallsPerSAE(ways))
+}
+
+func summaryTable(emit func(*report.Table), perf bool, warmup, roi uint64) {
+	t := report.NewTable("Table X: security, storage, performance summary",
+		"design", "security (installs/SAE)", "storage", "performance")
+	designs := []struct {
+		p power.Design
+		e experiments.Design
+	}{
+		{power.Maya, experiments.DesignMaya},
+		{power.Mirage, experiments.DesignMirage},
+		{power.MirageLite, experiments.DesignMirageLite},
+		{power.MayaISO, experiments.DesignMayaISO},
+	}
+	perfCol := map[power.Design]string{}
+	if perf {
+		sc := experiments.Scale{WarmupInstr: warmup, ROIInstr: roi, Seed: 1, Parallel: true}
+		benches := trace.SpecMemIntensive()
+		for _, d := range designs {
+			var norms []float64
+			for _, b := range benches {
+				mix := []string{b, b, b, b, b, b, b, b}
+				base := experiments.RunMixDesign(b, mix, experiments.DesignBaseline, sc)
+				res := experiments.RunMixDesign(b, mix, d.e, sc)
+				norms = append(norms, res.WS/base.WS)
+			}
+			gm, _ := metrics.GeoMean(norms)
+			perfCol[d.p] = fmt.Sprintf("%+.2f%%", (gm-1)*100)
+		}
+	}
+	for _, d := range designs {
+		st := power.Account(d.p)
+		perfStr, ok := perfCol[d.p]
+		if !ok {
+			perfStr = "(run with -perf)"
+		}
+		t.AddRow(string(d.p), securityFor(d.p),
+			fmt.Sprintf("%+.1f%%", st.OverheadVsBaseline()*100), perfStr)
+	}
+	emit(t)
+}

@@ -1,0 +1,190 @@
+// Command securitysim runs the paper's security experiments: the
+// bucket-and-balls Monte-Carlo model and the analytical Birth-Death model
+// (Figures 6 and 7, Tables I and IV, and the Section VI non-decoupled
+// strawman).
+//
+// Usage:
+//
+//	securitysim -experiment fig7 [-buckets 16384] [-iters 100000000]
+//
+// Experiments: fig6, fig7, table1, table4, nondecoupled, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mayacache/internal/analytic"
+	"mayacache/internal/buckets"
+	"mayacache/internal/report"
+)
+
+func main() {
+	var (
+		exp     = flag.String("experiment", "all", "fig6|fig7|table1|table4|nondecoupled|all")
+		nb      = flag.Int("buckets", 16384, "buckets per skew (16384 = paper scale)")
+		iters   = flag.Uint64("iters", 20_000_000, "Monte-Carlo iterations")
+		seed    = flag.Uint64("seed", 1, "seed")
+		csv     = flag.Bool("csv", false, "emit CSV")
+	)
+	flag.Parse()
+
+	out := os.Stdout
+	emit := func(t *report.Table) {
+		if *csv {
+			t.CSV(out)
+		} else {
+			t.Render(out)
+		}
+		fmt.Fprintln(out)
+	}
+
+	switch *exp {
+	case "fig6":
+		fig6(emit, *nb, *iters, *seed)
+	case "fig7":
+		fig7(emit, *nb, *iters, *seed)
+	case "table1":
+		table1(emit)
+	case "table4":
+		table4(emit)
+	case "nondecoupled":
+		nonDecoupled(emit, *nb, *iters, *seed)
+	case "all":
+		fig6(emit, *nb, *iters, *seed)
+		fig7(emit, *nb, *iters, *seed)
+		table1(emit)
+		table4(emit)
+		nonDecoupled(emit, *nb, *iters, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+// fig6 measures iterations per bucket spill as capacity varies from 9 to
+// 13; 14 and 15 come from the analytical model (as in the paper, where
+// even 10^12 iterations see no spill).
+func fig6(emit func(*report.Table), nb int, iters, seed uint64) {
+	t := report.NewTable("Fig 6: iterations per bucket spill vs bucket capacity (Maya model)",
+		"capacity (ways/skew)", "iterations/spill", "source")
+	for _, capacity := range []int{9, 10, 11, 12, 13} {
+		cfg := buckets.MayaDefault(nb, seed)
+		cfg.Capacity = capacity
+		m := buckets.New(cfg)
+		m.Run(iters)
+		if m.Spills() > 0 {
+			t.AddRow(capacity, fmt.Sprintf("%.3g", float64(m.Iterations())/float64(m.Spills())), "simulated")
+		} else {
+			t.AddRow(capacity, fmt.Sprintf("> %d (no spill observed)", iters), "simulated")
+		}
+	}
+	d, err := analytic.Solve(9)
+	if err != nil {
+		panic(err)
+	}
+	for _, capacity := range []int{14, 15} {
+		// Two installs per iteration in the Maya model.
+		t.AddRow(capacity, fmt.Sprintf("%.3g", d.InstallsPerSAE(capacity)/2), "analytical")
+	}
+	emit(t)
+}
+
+// fig7 compares the simulated occupancy distribution with the analytical
+// model.
+func fig7(emit func(*report.Table), nb int, iters, seed uint64) {
+	m := buckets.New(buckets.MayaDefault(nb, seed))
+	const samples = 200
+	chunk := iters / samples
+	if chunk == 0 {
+		chunk = 1
+	}
+	for i := 0; i < samples; i++ {
+		m.Run(chunk)
+		m.SampleHistogram()
+	}
+	sim := m.Histogram()
+	d, err := analytic.Solve(9)
+	if err != nil {
+		panic(err)
+	}
+	t := report.NewTable("Fig 7: Pr(bucket has N balls) — simulated vs analytical",
+		"N", "simulated", "analytical")
+	for n := 0; n <= 16; n++ {
+		simv := "-"
+		if n < len(sim) && sim[n] > 0 {
+			simv = fmt.Sprintf("%.4g", sim[n])
+		}
+		t.AddRow(n, simv, fmt.Sprintf("%.4g", d.Pr(n)))
+	}
+	emit(t)
+}
+
+// table1 computes cache line installs per SAE across reuse/invalid way
+// configurations (analytical model; the paper's own table extrapolates the
+// same way for the large values).
+func table1(emit func(*report.Table)) {
+	t := report.NewTable("Table I: installs per SAE vs reuse ways (analytical model)",
+		"reuse ways/skew", "5 invalid ways/skew", "6 invalid ways/skew")
+	for _, reuse := range []int{1, 3, 5, 7} {
+		row := []any{reuse}
+		for _, inv := range []int{5, 6} {
+			p := analytic.DesignPoint{BaseWays: 6, ReuseWays: reuse, InvalidWays: inv}
+			v, err := p.InstallsPerSAE()
+			if err != nil {
+				panic(err)
+			}
+			row = append(row, analytic.FormatInstalls(v))
+		}
+		t.AddRow(row...)
+	}
+	emit(t)
+}
+
+// table4 sweeps the tag-store base associativity.
+func table4(emit func(*report.Table)) {
+	t := report.NewTable("Table IV: installs per SAE vs tag-store associativity (analytical model)",
+		"invalid ways/skew", "8-ways (3+1)", "18-ways (6+3)", "36-ways (12+6)")
+	points := []analytic.DesignPoint{
+		{BaseWays: 3, ReuseWays: 1},
+		{BaseWays: 6, ReuseWays: 3},
+		{BaseWays: 12, ReuseWays: 6},
+	}
+	for _, inv := range []int{4, 5, 6} {
+		row := []any{inv}
+		for _, base := range points {
+			p := base
+			p.InvalidWays = inv
+			v, err := p.InstallsPerSAE()
+			if err != nil {
+				panic(err)
+			}
+			row = append(row, analytic.FormatInstalls(v))
+		}
+		t.AddRow(row...)
+	}
+	emit(t)
+}
+
+// nonDecoupled evaluates the Section VI strawman: a conventional tag
+// geometry kept at 75% occupancy with load-aware fills and global random
+// eviction.
+func nonDecoupled(emit func(*report.Table), nb int, iters, seed uint64) {
+	t := report.NewTable("Section VI: non-decoupled 75%-threshold design",
+		"model", "installs per SAE")
+	m := buckets.New(buckets.ThresholdDefault(nb, seed))
+	budget := iters
+	n, spilled := m.RunUntilSpill(budget)
+	if spilled {
+		t.AddRow("simulated (first spill)", fmt.Sprintf("%d", n))
+	} else {
+		t.AddRow("simulated (first spill)", fmt.Sprintf("> %d", budget))
+	}
+	d, err := analytic.Solve(12)
+	if err != nil {
+		panic(err)
+	}
+	t.AddRow("analytical", analytic.FormatInstalls(d.InstallsPerSAE(16)))
+	emit(t)
+}

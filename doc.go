@@ -1,0 +1,9 @@
+// Package mayacache is a from-scratch Go reproduction of "The Maya Cache:
+// A Storage-efficient and Secure Fully-associative Last-level Cache"
+// (Bhatla, Navneet & Panda, ISCA 2024).
+//
+// The public API lives in the maya subpackage; the cmd tools drive the
+// paper's experiments; bench_test.go in this directory regenerates every
+// table and figure at reduced scale. See README.md, DESIGN.md, and
+// EXPERIMENTS.md.
+package mayacache

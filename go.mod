@@ -1,0 +1,3 @@
+module mayacache
+
+go 1.22

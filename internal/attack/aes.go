@@ -1,0 +1,159 @@
+// Package attack implements the cacheFX-style attack framework used for
+// the paper's Figure 8 (LLC occupancy attack against AES T-tables and
+// modular exponentiation) and for eviction-set construction demos against
+// the CEASER-family designs.
+package attack
+
+import "encoding/binary"
+
+// AES-128 with 32-bit T-tables, the classic table-driven implementation
+// (as in OpenSSL) whose data-dependent table lookups are the occupancy
+// side channel's source. The implementation is real — tests validate it
+// against crypto/aes — and every table lookup reports the cache line it
+// touches.
+
+// sbox is the AES S-box.
+var sbox = [256]byte{
+	0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+	0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+	0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+	0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+	0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+	0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+	0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+	0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+	0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+	0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+	0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+	0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+	0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+	0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+	0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+	0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+}
+
+// te0..te3 are the round T-tables, generated from the S-box at init.
+var te0, te1, te2, te3 [256]uint32
+
+func init() {
+	xtime := func(b byte) byte {
+		if b&0x80 != 0 {
+			return b<<1 ^ 0x1b
+		}
+		return b << 1
+	}
+	for i := 0; i < 256; i++ {
+		s := sbox[i]
+		s2 := xtime(s)
+		s3 := s2 ^ s
+		te0[i] = uint32(s2)<<24 | uint32(s)<<16 | uint32(s)<<8 | uint32(s3)
+		te1[i] = uint32(s3)<<24 | uint32(s2)<<16 | uint32(s)<<8 | uint32(s)
+		te2[i] = uint32(s)<<24 | uint32(s3)<<16 | uint32(s2)<<8 | uint32(s)
+		te3[i] = uint32(s)<<24 | uint32(s)<<16 | uint32(s3)<<8 | uint32(s2)
+	}
+}
+
+// rcon holds the key-schedule round constants.
+var rcon = [10]uint32{
+	0x01000000, 0x02000000, 0x04000000, 0x08000000, 0x10000000,
+	0x20000000, 0x40000000, 0x80000000, 0x1b000000, 0x36000000,
+}
+
+// AES is a table-driven AES-128 instance that records the T-table cache
+// lines each encryption touches.
+type AES struct {
+	rk [44]uint32
+	// TableBase is the line address of the first T-table; the five
+	// tables (Te0..Te3 plus the S-box for the last round) occupy 16
+	// lines each (1KB per table, 64B lines).
+	TableBase uint64
+	// trace receives the line of every table access during Encrypt.
+	trace func(line uint64)
+}
+
+// NewAES expands the 16-byte key. tableBase positions the tables in the
+// victim's address space; trace (may be nil) observes each table access's
+// cache line.
+func NewAES(key [16]byte, tableBase uint64, trace func(line uint64)) *AES {
+	a := &AES{TableBase: tableBase, trace: trace}
+	for i := 0; i < 4; i++ {
+		a.rk[i] = binary.BigEndian.Uint32(key[4*i:])
+	}
+	for i := 4; i < 44; i++ {
+		t := a.rk[i-1]
+		if i%4 == 0 {
+			t = subWord(t<<8|t>>24) ^ rcon[i/4-1]
+		}
+		a.rk[i] = a.rk[i-4] ^ t
+	}
+	return a
+}
+
+func subWord(w uint32) uint32 {
+	return uint32(sbox[w>>24])<<24 | uint32(sbox[(w>>16)&0xff])<<16 |
+		uint32(sbox[(w>>8)&0xff])<<8 | uint32(sbox[w&0xff])
+}
+
+// touch reports the table access (table 0..3, byte index) to the tracer.
+// Each T-table entry is 4 bytes, so a 64-byte line holds 16 entries.
+func (a *AES) touch(table int, idx byte) {
+	if a.trace != nil {
+		a.trace(a.TableBase + uint64(table)*16 + uint64(idx>>4))
+	}
+}
+
+// touchSbox reports a final-round S-box access; entries are single bytes,
+// so the 256-byte table spans four lines after the four T-tables.
+func (a *AES) touchSbox(idx byte) {
+	if a.trace != nil {
+		a.trace(a.TableBase + 4*16 + uint64(idx>>6))
+	}
+}
+
+// Encrypt enciphers one block, reporting every T-table line touched.
+func (a *AES) Encrypt(pt [16]byte) [16]byte {
+	var s0, s1, s2, s3 uint32
+	s0 = binary.BigEndian.Uint32(pt[0:]) ^ a.rk[0]
+	s1 = binary.BigEndian.Uint32(pt[4:]) ^ a.rk[1]
+	s2 = binary.BigEndian.Uint32(pt[8:]) ^ a.rk[2]
+	s3 = binary.BigEndian.Uint32(pt[12:]) ^ a.rk[3]
+
+	lookup := func(s0, s1, s2, s3 uint32) uint32 {
+		b0, b1, b2, b3 := byte(s0>>24), byte(s1>>16), byte(s2>>8), byte(s3)
+		a.touch(0, b0)
+		a.touch(1, b1)
+		a.touch(2, b2)
+		a.touch(3, b3)
+		return te0[b0] ^ te1[b1] ^ te2[b2] ^ te3[b3]
+	}
+
+	for r := 1; r < 10; r++ {
+		t0 := lookup(s0, s1, s2, s3) ^ a.rk[4*r]
+		t1 := lookup(s1, s2, s3, s0) ^ a.rk[4*r+1]
+		t2 := lookup(s2, s3, s0, s1) ^ a.rk[4*r+2]
+		t3 := lookup(s3, s0, s1, s2) ^ a.rk[4*r+3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+	}
+
+	// Final round: SubBytes + ShiftRows + AddRoundKey via the S-box
+	// table (table index 4 in the line trace).
+	final := func(x0, x1, x2, x3 uint32) uint32 {
+		b0, b1, b2, b3 := byte(x0>>24), byte(x1>>16), byte(x2>>8), byte(x3)
+		a.touchSbox(b0)
+		a.touchSbox(b1)
+		a.touchSbox(b2)
+		a.touchSbox(b3)
+		return uint32(sbox[b0])<<24 | uint32(sbox[b1])<<16 | uint32(sbox[b2])<<8 | uint32(sbox[b3])
+	}
+	t0 := final(s0, s1, s2, s3) ^ a.rk[40]
+	t1 := final(s1, s2, s3, s0) ^ a.rk[41]
+	t2 := final(s2, s3, s0, s1) ^ a.rk[42]
+	t3 := final(s3, s0, s1, s2) ^ a.rk[43]
+
+	var ct [16]byte
+	binary.BigEndian.PutUint32(ct[0:], t0)
+	binary.BigEndian.PutUint32(ct[4:], t1)
+	binary.BigEndian.PutUint32(ct[8:], t2)
+	binary.BigEndian.PutUint32(ct[12:], t3)
+	return ct
+}

@@ -1,0 +1,243 @@
+// Package baseline implements conventional (non-secure) last-level caches:
+// the paper's 16-way set-associative SRRIP baseline, plus LRU/DRRIP/random
+// variants and a true fully-associative cache with random replacement used
+// as the security gold standard in the occupancy-attack experiment (Fig 8).
+package baseline
+
+import (
+	"fmt"
+
+	"mayacache/internal/cachemodel"
+	"mayacache/internal/rng"
+)
+
+// Config parameterizes a set-associative cache.
+type Config struct {
+	// Sets is the number of sets (power of two).
+	Sets int
+	// Ways is the associativity.
+	Ways int
+	// Replacement selects the replacement policy (default SRRIP).
+	Replacement ReplacementKind
+	// Seed seeds the policy's randomness.
+	Seed uint64
+	// Hasher optionally overrides set indexing; nil means physical
+	// modulo indexing (the non-secure baseline).
+	Hasher cachemodel.IndexHasher
+	// ExtraPenalty is added to LookupPenalty (0 for the baseline).
+	ExtraPenalty int
+	// MatchSDID makes tag matching include the security domain ID
+	// (secure designs); the plain baseline matches on line only.
+	MatchSDID bool
+	// NamePrefix overrides the reported name.
+	NamePrefix string
+}
+
+type entry struct {
+	line   uint64
+	sdid   uint8
+	core   uint8
+	valid  bool
+	dirty  bool
+	reused bool
+}
+
+// SetAssoc is a set-associative cache implementing cachemodel.LLC.
+type SetAssoc struct {
+	cfg     Config
+	sets    int
+	ways    int
+	entries []entry // sets*ways
+	pol     policy
+	hasher  cachemodel.IndexHasher
+	stats   cachemodel.Stats
+	wbBuf   []cachemodel.WritebackOut
+}
+
+// New constructs a set-associative cache. Sets must be a power of two.
+func New(cfg Config) *SetAssoc {
+	if cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0 {
+		panic(fmt.Sprintf("baseline: Sets must be a positive power of two, got %d", cfg.Sets))
+	}
+	if cfg.Ways <= 0 {
+		panic("baseline: Ways must be positive")
+	}
+	c := &SetAssoc{
+		cfg:     cfg,
+		sets:    cfg.Sets,
+		ways:    cfg.Ways,
+		entries: make([]entry, cfg.Sets*cfg.Ways),
+		pol:     newPolicy(cfg.Replacement, cfg.Sets, cfg.Ways, rng.New(cfg.Seed^0xba5e)),
+		hasher:  cfg.Hasher,
+	}
+	if c.hasher == nil {
+		c.hasher = cachemodel.NewModuloHasher(log2(cfg.Sets))
+	}
+	return c
+}
+
+func log2(n int) uint {
+	var b uint
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+func (c *SetAssoc) set(idx int) []entry {
+	return c.entries[idx*c.ways : (idx+1)*c.ways]
+}
+
+func (c *SetAssoc) match(e *entry, line uint64, sdid uint8) bool {
+	if !e.valid || e.line != line {
+		return false
+	}
+	return !c.cfg.MatchSDID || e.sdid == sdid
+}
+
+// Access implements cachemodel.LLC.
+func (c *SetAssoc) Access(a cachemodel.Access) cachemodel.Result {
+	c.wbBuf = c.wbBuf[:0]
+	s := &c.stats
+	s.Accesses++
+	if a.Type == cachemodel.Read {
+		s.Reads++
+	} else {
+		s.Writebacks++
+	}
+
+	idx := c.hasher.Index(0, a.Line)
+	set := c.set(idx)
+	for w := range set {
+		if c.match(&set[w], a.Line, a.SDID) {
+			s.TagHits++
+			s.DataHits++
+			if a.Type == cachemodel.Read {
+				// Only demand hits count as reuse; a line's own dirty
+				// writeback returning from the L2 is not utility.
+				if !set[w].reused {
+					s.FirstDemandReuses++
+					set[w].reused = true
+				}
+			} else {
+				set[w].dirty = true
+			}
+			c.pol.hit(idx, w)
+			return cachemodel.Result{TagHit: true, DataHit: true}
+		}
+	}
+
+	// Miss: allocate (demand and writeback both allocate).
+	s.Misses++
+	if a.Type == cachemodel.Read {
+		s.DemandMisses++
+	} else {
+		s.WritebackMisses++
+	}
+	way := -1
+	for w := range set {
+		if !set[w].valid {
+			way = w
+			break
+		}
+	}
+	sae := false
+	if way < 0 {
+		way = c.pol.victim(idx)
+		v := &set[way]
+		sae = true // conventional caches evict within the set by definition
+		s.SAEs++
+		c.accountEviction(v, a.Core)
+		if v.dirty {
+			c.wbBuf = append(c.wbBuf, cachemodel.WritebackOut{Line: v.line, SDID: v.sdid})
+			s.WritebacksToMem++
+		}
+	}
+	set[way] = entry{
+		line:  a.Line,
+		sdid:  a.SDID,
+		core:  a.Core,
+		valid: true,
+		dirty: a.Type == cachemodel.Writeback,
+	}
+	s.Fills++
+	s.DataFills++
+	c.pol.fill(idx, way)
+	return cachemodel.Result{SAE: sae, Writebacks: c.wbBuf}
+}
+
+func (c *SetAssoc) accountEviction(v *entry, evictorCore uint8) {
+	if v.reused {
+		c.stats.ReusedDataEvictions++
+	} else {
+		c.stats.DeadDataEvictions++
+	}
+	if v.core != evictorCore {
+		c.stats.InterCoreEvictions++
+	}
+}
+
+// Flush implements cachemodel.LLC.
+func (c *SetAssoc) Flush(line uint64, sdid uint8) bool {
+	idx := c.hasher.Index(0, line)
+	set := c.set(idx)
+	for w := range set {
+		if c.match(&set[w], line, sdid) {
+			set[w] = entry{}
+			c.stats.Flushes++
+			return true
+		}
+	}
+	return false
+}
+
+// Probe implements cachemodel.LLC.
+func (c *SetAssoc) Probe(line uint64, sdid uint8) (bool, bool) {
+	set := c.set(c.hasher.Index(0, line))
+	for w := range set {
+		if c.match(&set[w], line, sdid) {
+			return true, true
+		}
+	}
+	return false, false
+}
+
+// LookupPenalty implements cachemodel.LLC.
+func (c *SetAssoc) LookupPenalty() int { return c.cfg.ExtraPenalty }
+
+// Stats implements cachemodel.LLC.
+func (c *SetAssoc) Stats() *cachemodel.Stats { return &c.stats }
+
+// ResetStats implements cachemodel.LLC.
+func (c *SetAssoc) ResetStats() { c.stats.Reset() }
+
+// Name implements cachemodel.LLC.
+func (c *SetAssoc) Name() string {
+	if c.cfg.NamePrefix != "" {
+		return c.cfg.NamePrefix
+	}
+	return fmt.Sprintf("Baseline-%dway-%s", c.ways, c.pol.kind())
+}
+
+// Geometry implements cachemodel.LLC.
+func (c *SetAssoc) Geometry() cachemodel.Geometry {
+	return cachemodel.Geometry{
+		Skews:       1,
+		SetsPerSkew: c.sets,
+		WaysPerSkew: c.ways,
+		DataEntries: c.sets * c.ways,
+		TagEntries:  c.sets * c.ways,
+	}
+}
+
+// Occupancy returns the number of valid entries (used by attack drivers).
+func (c *SetAssoc) Occupancy() int {
+	n := 0
+	for i := range c.entries {
+		if c.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,391 @@
+// Package buckets implements the bucket-and-balls security model of
+// Section IV-A: buckets are tag-store sets (one per skew), balls are valid
+// tag entries, and ball throws are LLC fills. A bucket spill — a ball
+// thrown at a pair of full buckets — corresponds to a set-associative
+// eviction (SAE), the event the randomized designs must make vanishingly
+// rare. The model drives Figures 6 and 7 and, together with the analytical
+// model in internal/analytic, Tables I and IV.
+//
+// Three modes are provided: the Maya model (priority-0/priority-1 balls
+// with the paper's three access events per iteration), the Mirage model
+// (single ball class, throw plus global random eviction), and the
+// non-decoupled threshold design sketched in Section VI.
+package buckets
+
+import (
+	"fmt"
+
+	"mayacache/internal/rng"
+)
+
+// Mode selects the modeled design.
+type Mode uint8
+
+const (
+	// ModeMaya models the Maya tag store: each iteration performs a
+	// demand tag miss, a tag hit on a priority-0 entry, and a writeback
+	// tag miss (three accesses, two installs).
+	ModeMaya Mode = iota
+	// ModeMirage models Mirage: each iteration throws one ball with
+	// load-aware skew selection and evicts one global random ball.
+	ModeMirage
+	// ModeThreshold models the Section VI non-decoupled strawman: a
+	// conventional tag geometry kept below a valid-entry threshold with
+	// load-aware insertion and global random eviction.
+	ModeThreshold
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeMaya:
+		return "maya"
+	case ModeMirage:
+		return "mirage"
+	case ModeThreshold:
+		return "threshold"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Config parameterizes the model.
+type Config struct {
+	// Mode selects the design being modeled.
+	Mode Mode
+	// Skews is the number of skews (2 for Maya/Mirage).
+	Skews int
+	// BucketsPerSkew is the number of sets per skew (16K at full scale).
+	BucketsPerSkew int
+	// Capacity is the bucket capacity: ways per skew.
+	Capacity int
+	// AvgP0 is the steady-state priority-0 balls per bucket (Maya's
+	// reuse ways; 0 for Mirage/Threshold).
+	AvgP0 int
+	// AvgP1 is the steady-state priority-1 balls per bucket (Maya's base
+	// ways; total balls per bucket for Mirage/Threshold).
+	AvgP1 int
+	// Seed drives the randomness.
+	Seed uint64
+}
+
+// MayaDefault is the paper's Table II configuration scaled by
+// bucketsPerSkew (16384 at full scale).
+func MayaDefault(bucketsPerSkew int, seed uint64) Config {
+	return Config{
+		Mode:           ModeMaya,
+		Skews:          2,
+		BucketsPerSkew: bucketsPerSkew,
+		Capacity:       15, // 6 base + 3 reuse + 6 invalid
+		AvgP0:          3,
+		AvgP1:          6,
+		Seed:           seed,
+	}
+}
+
+// MirageDefault is Mirage's bucket model: 8 base + 6 extra ways per skew.
+func MirageDefault(bucketsPerSkew int, seed uint64) Config {
+	return Config{
+		Mode:           ModeMirage,
+		Skews:          2,
+		BucketsPerSkew: bucketsPerSkew,
+		Capacity:       14,
+		AvgP1:          8,
+		Seed:           seed,
+	}
+}
+
+// ThresholdDefault models the Section VI non-decoupled design: a 16-way
+// tag store kept at 75% valid occupancy (12 balls per 16-way set).
+func ThresholdDefault(buckets int, seed uint64) Config {
+	return Config{
+		Mode:           ModeThreshold,
+		Skews:          1,
+		BucketsPerSkew: buckets,
+		Capacity:       16,
+		AvgP1:          12,
+		Seed:           seed,
+	}
+}
+
+// Model is a runnable bucket-and-balls simulation.
+type Model struct {
+	cfg     Config
+	nb      int // total buckets
+	total   []uint8
+	p0      []uint8
+	r       *rng.Rand
+	spills  uint64
+	iters   uint64
+	installs uint64
+
+	// occupancy histogram accumulation (Fig 7).
+	hist       []uint64
+	histEvents uint64
+}
+
+// New builds and initializes the model at its steady-state population:
+// every bucket starts with exactly AvgP0 priority-0 and AvgP1 priority-1
+// balls (the attacker's best case, as in the paper).
+func New(cfg Config) *Model {
+	if cfg.Skews <= 0 || cfg.BucketsPerSkew <= 0 {
+		panic("buckets: invalid geometry")
+	}
+	if cfg.AvgP0+cfg.AvgP1 > cfg.Capacity {
+		panic("buckets: steady-state population exceeds capacity")
+	}
+	if cfg.Mode == ModeMaya && cfg.AvgP0 == 0 {
+		panic("buckets: Maya mode requires priority-0 balls")
+	}
+	nb := cfg.Skews * cfg.BucketsPerSkew
+	m := &Model{
+		cfg:   cfg,
+		nb:    nb,
+		total: make([]uint8, nb),
+		p0:    make([]uint8, nb),
+		r:     rng.New(cfg.Seed ^ 0xba11),
+		hist:  make([]uint64, cfg.Capacity+2),
+	}
+	for b := 0; b < nb; b++ {
+		m.total[b] = uint8(cfg.AvgP0 + cfg.AvgP1)
+		m.p0[b] = uint8(cfg.AvgP0)
+	}
+	return m
+}
+
+// bucketIn returns a uniformly random bucket in skew s.
+func (m *Model) bucketIn(s int) int {
+	return s*m.cfg.BucketsPerSkew + m.r.Intn(m.cfg.BucketsPerSkew)
+}
+
+// chooseLoadAware picks one bucket per skew and returns the less-loaded
+// one (ties broken uniformly) plus whether it has room.
+func (m *Model) chooseLoadAware() (int, bool) {
+	best := m.bucketIn(0)
+	tie := 1
+	for s := 1; s < m.cfg.Skews; s++ {
+		b := m.bucketIn(s)
+		switch {
+		case m.total[b] < m.total[best]:
+			best = b
+			tie = 1
+		case m.total[b] == m.total[best]:
+			tie++
+			if m.r.Intn(tie) == 0 {
+				best = b
+			}
+		}
+	}
+	return best, int(m.total[best]) < m.cfg.Capacity
+}
+
+// randomP0 selects a bucket proportionally to its priority-0 ball count
+// (uniform over priority-0 balls) via rejection sampling.
+func (m *Model) randomP0() int {
+	for {
+		b := m.r.Intn(m.nb)
+		if int(m.p0[b]) > m.r.Intn(m.cfg.Capacity+1) {
+			return b
+		}
+	}
+}
+
+// randomP1 selects uniformly over priority-1 balls.
+func (m *Model) randomP1() int {
+	for {
+		b := m.r.Intn(m.nb)
+		if int(m.total[b]-m.p0[b]) > m.r.Intn(m.cfg.Capacity+1) {
+			return b
+		}
+	}
+}
+
+// randomAny selects uniformly over all balls.
+func (m *Model) randomAny() int {
+	for {
+		b := m.r.Intn(m.nb)
+		if int(m.total[b]) > m.r.Intn(m.cfg.Capacity+1) {
+			return b
+		}
+	}
+}
+
+// spillFrom handles a throw into a full pair: a ball leaves the target
+// bucket (a priority-0 ball when one exists, per the Maya design). It
+// returns true if the removed ball was priority-0. When the spill removes
+// a priority-1 ball (no priority-0 present — vanishingly rare), a random
+// priority-0 ball elsewhere is upgraded so the class populations stay at
+// their steady-state values, mirroring the freed data entry being
+// reassigned.
+func (m *Model) spillFrom(b int) {
+	m.spills++
+	if m.p0[b] > 0 {
+		m.p0[b]--
+		m.total[b]--
+		return
+	}
+	m.total[b]--
+	if m.cfg.Mode == ModeMaya {
+		up := m.randomP0()
+		m.p0[up]--
+	}
+}
+
+// Step runs one iteration (three accesses for Maya, one throw otherwise).
+func (m *Model) Step() {
+	m.iters++
+	switch m.cfg.Mode {
+	case ModeMaya:
+		m.demandTagMiss()
+		m.tagHitP0()
+		m.writebackTagMiss()
+	case ModeMirage, ModeThreshold:
+		m.mirageThrow()
+	}
+}
+
+// demandTagMiss: throw a priority-0 ball load-aware; then global random
+// tag eviction removes one priority-0 ball (Fig 5a). On a spill the
+// removed ball already restored the population, so no global eviction
+// runs (as in the cache, where the priority-0 pool is back at its cap).
+func (m *Model) demandTagMiss() {
+	m.installs++
+	b, ok := m.chooseLoadAware()
+	m.p0[b]++
+	m.total[b]++
+	if !ok {
+		m.spillFrom(b)
+		return
+	}
+	e := m.randomP0()
+	m.p0[e]--
+	m.total[e]--
+}
+
+// tagHitP0: upgrade a random priority-0 ball; downgrade a random
+// priority-1 ball (global random data eviction; Fig 5b). Bucket totals are
+// unchanged.
+func (m *Model) tagHitP0() {
+	up := m.randomP0()
+	m.p0[up]--
+	down := m.randomP1()
+	m.p0[down]++
+}
+
+// writebackTagMiss: throw a priority-1 ball load-aware; downgrade a random
+// priority-1 ball (global random data eviction); evict a random
+// priority-0 ball (global random tag eviction; Fig 5c). On a spill the
+// removed priority-0 ball stands in for the tag eviction.
+func (m *Model) writebackTagMiss() {
+	m.installs++
+	b, ok := m.chooseLoadAware()
+	m.total[b]++ // priority-1 arrives
+	down := m.randomP1()
+	m.p0[down]++ // P1 -> P0 in place (data entry freed)
+	if !ok {
+		m.spillFrom(b)
+		return
+	}
+	e := m.randomP0()
+	m.p0[e]--
+	m.total[e]--
+}
+
+// mirageThrow: one ball in (load-aware), one global random ball out. On a
+// spill the set-associative victim stands in for the global eviction.
+func (m *Model) mirageThrow() {
+	m.installs++
+	b, ok := m.chooseLoadAware()
+	m.total[b]++
+	if !ok {
+		m.spills++
+		m.total[b]--
+		return
+	}
+	e := m.randomAny()
+	m.total[e]--
+}
+
+// Run executes n iterations.
+func (m *Model) Run(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		m.Step()
+	}
+}
+
+// RunUntilSpill runs until the next spill or maxIters, returning the
+// iterations executed and whether a spill occurred.
+func (m *Model) RunUntilSpill(maxIters uint64) (uint64, bool) {
+	start := m.iters
+	startSpills := m.spills
+	for m.iters-start < maxIters {
+		m.Step()
+		if m.spills != startSpills {
+			return m.iters - start, true
+		}
+	}
+	return m.iters - start, false
+}
+
+// SampleHistogram accumulates the current occupancy distribution into the
+// Fig 7 histogram.
+func (m *Model) SampleHistogram() {
+	for _, t := range m.total {
+		n := int(t)
+		if n >= len(m.hist) {
+			n = len(m.hist) - 1
+		}
+		m.hist[n]++
+	}
+	m.histEvents++
+}
+
+// Histogram returns Pr(n = N) for N in [0, Capacity+1].
+func (m *Model) Histogram() []float64 {
+	out := make([]float64, len(m.hist))
+	total := m.histEvents * uint64(m.nb)
+	if total == 0 {
+		return out
+	}
+	for i, c := range m.hist {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// Spills returns the number of bucket spills (SAEs) so far.
+func (m *Model) Spills() uint64 { return m.spills }
+
+// Iterations returns the iterations executed.
+func (m *Model) Iterations() uint64 { return m.iters }
+
+// Installs returns the ball throws performed (2 per Maya iteration, 1 per
+// Mirage/Threshold iteration).
+func (m *Model) Installs() uint64 { return m.installs }
+
+// Conservation verifies ball-count invariants, returning an error on the
+// first violation (used by tests).
+func (m *Model) Conservation() error {
+	totalBalls, totalP0 := 0, 0
+	for b := 0; b < m.nb; b++ {
+		if m.p0[b] > m.total[b] {
+			return fmt.Errorf("bucket %d: p0 %d exceeds total %d", b, m.p0[b], m.total[b])
+		}
+		if int(m.total[b]) > m.cfg.Capacity {
+			return fmt.Errorf("bucket %d: total %d exceeds capacity %d", b, m.total[b], m.cfg.Capacity)
+		}
+		totalBalls += int(m.total[b])
+		totalP0 += int(m.p0[b])
+	}
+	wantBalls := m.nb * (m.cfg.AvgP0 + m.cfg.AvgP1)
+	if totalBalls != wantBalls {
+		return fmt.Errorf("ball count %d, want %d", totalBalls, wantBalls)
+	}
+	if m.cfg.Mode == ModeMaya {
+		wantP0 := m.nb * m.cfg.AvgP0
+		if totalP0 != wantP0 {
+			return fmt.Errorf("priority-0 count %d, want %d", totalP0, wantP0)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package cachemodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestXorHasherRange(t *testing.T) {
+	h := NewXorHasher(2, 10, 1)
+	for line := uint64(0); line < 10000; line++ {
+		for s := 0; s < 2; s++ {
+			if idx := h.Index(s, line); idx < 0 || idx >= 1024 {
+				t.Fatalf("index %d out of range", idx)
+			}
+		}
+	}
+}
+
+func TestXorHasherUniform(t *testing.T) {
+	h := NewXorHasher(1, 6, 3)
+	counts := make([]int, 64)
+	const n = 64 * 1000
+	for line := uint64(0); line < n; line++ {
+		counts[h.Index(0, line)]++
+	}
+	for set, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("set %d count %d deviates from 1000", set, c)
+		}
+	}
+}
+
+func TestXorHasherRekey(t *testing.T) {
+	h := NewXorHasher(1, 12, 5)
+	before := make([]int, 500)
+	for i := range before {
+		before[i] = h.Index(0, uint64(i))
+	}
+	h.Rekey()
+	same := 0
+	for i := range before {
+		if h.Index(0, uint64(i)) == before[i] {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("%d/500 indices unchanged after rekey", same)
+	}
+}
+
+func TestModuloHasher(t *testing.T) {
+	h := NewModuloHasher(8)
+	f := func(line uint64) bool { return h.Index(0, line) == int(line%256) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	h.Rekey() // no-op
+	if h.Index(0, 300) != 44 {
+		t.Fatal("modulo hasher changed after rekey")
+	}
+	if h.Sets() != 256 || h.Skews() != 1 {
+		t.Fatal("bad geometry")
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	s := &Stats{DemandMisses: 10, Accesses: 100, DataHits: 80, DataFills: 50, FirstDemandReuses: 20}
+	if got := s.MPKI(1000); got != 10 {
+		t.Errorf("MPKI = %v, want 10", got)
+	}
+	if got := s.DataHitRate(); got != 0.8 {
+		t.Errorf("DataHitRate = %v", got)
+	}
+	if got := s.DeadBlockFraction(); got != 0.6 {
+		t.Errorf("DeadBlockFraction = %v, want 0.6", got)
+	}
+	s.Reset()
+	if s.Accesses != 0 {
+		t.Error("Reset did not zero")
+	}
+}
+
+func TestStatsEdgeCases(t *testing.T) {
+	var s Stats
+	if s.MPKI(0) != 0 || s.DataHitRate() != 0 || s.DeadBlockFraction() != 0 {
+		t.Error("zero stats not handled")
+	}
+	s.FirstDemandReuses = 10
+	s.DataFills = 5 // more reuses than fills (pre-ROI fills reused in ROI)
+	if f := s.DeadBlockFraction(); f != 0 {
+		t.Errorf("negative dead fraction not clamped: %v", f)
+	}
+}
+
+func TestGeometryDataBytes(t *testing.T) {
+	g := Geometry{DataEntries: 1024}
+	if g.DataBytes() != 65536 {
+		t.Fatalf("DataBytes = %d", g.DataBytes())
+	}
+}
+
+func TestAccessTypeString(t *testing.T) {
+	if Read.String() != "read" || Writeback.String() != "writeback" {
+		t.Fatal("bad AccessType strings")
+	}
+	if AccessType(9).String() != "unknown" {
+		t.Fatal("unknown type not handled")
+	}
+}
+
+func TestResultMiss(t *testing.T) {
+	if (Result{DataHit: true}).Miss() {
+		t.Fatal("data hit reported as miss")
+	}
+	if !(Result{TagHit: true}).Miss() {
+		t.Fatal("tag-only hit should be a miss")
+	}
+}

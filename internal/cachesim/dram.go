@@ -1,0 +1,129 @@
+package cachesim
+
+// DRAMConfig models a DDR4-3200-like main memory in core cycles (4 GHz):
+// tRP = tRCD = tCAS = 12.5ns = 50 cycles each (Table V), two channels per
+// eight cores, open-page row-buffer policy, 4KB rows.
+type DRAMConfig struct {
+	// Channels is the number of independent channels.
+	Channels int
+	// BanksPerChannel is the number of banks per channel.
+	BanksPerChannel int
+	// RowLines is the row-buffer size in cache lines (4KB row = 64).
+	RowLines int
+	// TCAS, TRP, TRCD are the timing parameters in core cycles.
+	TCAS, TRP, TRCD uint64
+	// Burst is the data-transfer time of one 64B line in core cycles.
+	Burst uint64
+}
+
+// DefaultDRAMConfig returns the paper's memory configuration.
+func DefaultDRAMConfig() DRAMConfig {
+	return DRAMConfig{
+		Channels:        2,
+		BanksPerChannel: 16,
+		RowLines:        64,
+		TCAS:            50,
+		TRP:             50,
+		TRCD:            50,
+		Burst:           10,
+	}
+}
+
+type bank struct {
+	openRow  uint64
+	hasRow   bool
+	nextFree uint64
+}
+
+// DRAM is a bank/channel contention model. Requests carry the issuing
+// core's local timestamp; because cores advance asynchronously, timestamps
+// are only approximately ordered, which is acceptable for the queueing
+// behaviour the evaluation needs (see DESIGN.md).
+type DRAM struct {
+	cfg      DRAMConfig
+	banks    []bank
+	chanFree []uint64
+	// Stats.
+	reads, writes, rowHits, rowMisses uint64
+}
+
+// NewDRAM constructs the memory model.
+func NewDRAM(cfg DRAMConfig) *DRAM {
+	if cfg.Channels <= 0 || cfg.BanksPerChannel <= 0 || cfg.RowLines <= 0 {
+		panic("cachesim: invalid DRAM configuration")
+	}
+	return &DRAM{
+		cfg:      cfg,
+		banks:    make([]bank, cfg.Channels*cfg.BanksPerChannel),
+		chanFree: make([]uint64, cfg.Channels),
+	}
+}
+
+// route maps a line address to (channel, bank index, row). The bank index
+// folds in higher address bits (as real controllers' XOR interleaving
+// does) so that concurrent streams with identical low bits spread across
+// banks instead of thrashing one.
+func (d *DRAM) route(line uint64) (int, int, uint64) {
+	nb := uint64(len(d.banks))
+	chunk := line >> 2 // 4-line (256B) bank stripes
+	bankIdx := int((chunk ^ (line >> 12) ^ (line >> 24)) % nb)
+	ch := bankIdx % d.cfg.Channels
+	row := line / uint64(d.cfg.RowLines)
+	return ch, bankIdx, row
+}
+
+// Read services a demand fetch issued at time now and returns its latency
+// in cycles.
+func (d *DRAM) Read(now, line uint64) uint64 {
+	d.reads++
+	return d.service(now, line)
+}
+
+// Write enqueues a writeback at time now. Writebacks consume bank and
+// channel time but nothing waits on them.
+func (d *DRAM) Write(now, line uint64) {
+	d.writes++
+	d.service(now, line)
+}
+
+func (d *DRAM) service(now, line uint64) uint64 {
+	ch, bi, row := d.route(line)
+	b := &d.banks[bi]
+	// Row activation proceeds in the bank, overlapping with activity in
+	// other banks; only the final data burst serializes on the channel.
+	start := max64(now, b.nextFree)
+	var access uint64
+	if b.hasRow && b.openRow == row {
+		d.rowHits++
+		access = d.cfg.TCAS
+	} else {
+		d.rowMisses++
+		access = d.cfg.TRP + d.cfg.TRCD + d.cfg.TCAS
+		b.openRow, b.hasRow = row, true
+	}
+	burstStart := max64(start+access, d.chanFree[ch])
+	done := burstStart + d.cfg.Burst
+	b.nextFree = done
+	d.chanFree[ch] = done
+	return done - now
+}
+
+// Counters returns (reads, writes, rowHits, rowMisses).
+func (d *DRAM) Counters() (reads, writes, rowHits, rowMisses uint64) {
+	return d.reads, d.writes, d.rowHits, d.rowMisses
+}
+
+// ResetCounters zeroes the statistics (timing state is preserved).
+func (d *DRAM) ResetCounters() {
+	d.reads, d.writes, d.rowHits, d.rowMisses = 0, 0, 0, 0
+}
+
+func max64(xs ...uint64) uint64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,93 @@
+package cachesim
+
+// A region-based stride prefetcher standing in for the paper's IPCP
+// prefetcher at the L1D (Table V). Without program counters in the
+// synthetic traces, streams are classified per 4KB region: the table
+// tracks each hot region's last offset and stride and, once a stride
+// repeats (confidence >= 2), issues degree-N prefetches down the
+// hierarchy. Prefetches are asynchronous — the core never waits on them —
+// but they consume DRAM bandwidth and pollute the caches, which is the
+// trade-off the ablation benchmarks quantify. The prefetcher is off by
+// default (Degree 0) so that headline experiments match the simpler
+// no-prefetch configuration documented in DESIGN.md.
+
+// PrefetchConfig tunes the stride prefetcher.
+type PrefetchConfig struct {
+	// Degree is how many strided lines to prefetch on a confident
+	// prediction (0 disables prefetching).
+	Degree int
+	// TableEntries is the region-tracker capacity (default 64).
+	TableEntries int
+}
+
+const regionShift = 6 // 4KB region = 64 lines
+
+type strideEntry struct {
+	region     uint64
+	lastOffset int32
+	stride     int32
+	confidence int8
+	valid      bool
+}
+
+type prefetcher struct {
+	cfg     PrefetchConfig
+	entries []strideEntry
+	// issued counts prefetches sent; useful counts prefetched lines that
+	// were already cached (wasted issue slots are the difference).
+	issued uint64
+}
+
+func newPrefetcher(cfg PrefetchConfig) *prefetcher {
+	if cfg.Degree <= 0 {
+		return nil
+	}
+	if cfg.TableEntries <= 0 {
+		cfg.TableEntries = 64
+	}
+	return &prefetcher{cfg: cfg, entries: make([]strideEntry, cfg.TableEntries)}
+}
+
+// observe records a demand access and returns the lines to prefetch.
+func (p *prefetcher) observe(line uint64) []uint64 {
+	region := line >> regionShift
+	offset := int32(line & (1<<regionShift - 1))
+	slot := &p.entries[region%uint64(len(p.entries))]
+	if !slot.valid || slot.region != region {
+		*slot = strideEntry{region: region, lastOffset: offset, valid: true}
+		return nil
+	}
+	stride := offset - slot.lastOffset
+	slot.lastOffset = offset
+	if stride == 0 {
+		return nil
+	}
+	if stride == slot.stride {
+		if slot.confidence < 4 {
+			slot.confidence++
+		}
+	} else {
+		slot.stride = stride
+		slot.confidence = 0
+		return nil
+	}
+	if slot.confidence < 2 {
+		return nil
+	}
+	out := make([]uint64, 0, p.cfg.Degree)
+	next := line
+	for i := 0; i < p.cfg.Degree; i++ {
+		next += uint64(int64(stride))
+		out = append(out, next)
+	}
+	p.issued += uint64(len(out))
+	return out
+}
+
+// Issued returns the number of prefetches issued.
+func (p *prefetcher) Issued() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.issued
+}

@@ -1,0 +1,398 @@
+// Package cachesim is the trace-driven, cycle-approximate multi-core
+// simulator this reproduction uses in place of ChampSim. It models the
+// paper's Table V system: out-of-order cores abstracted as an
+// issue/retire-width pipeline with a 512-entry ROB window and MSHR-bounded
+// memory-level parallelism, per-core L1D and L2 caches, a shared pluggable
+// LLC (any cachemodel.LLC), and a banked DDR4-like DRAM.
+//
+// Fidelity notes (see DESIGN.md §4): instruction fetch is assumed perfect
+// (no L1I model — the synthetic traces carry no code addresses), timing is
+// approximate rather than cycle-accurate, and cores interleave on their
+// local clocks. The evaluation's comparisons are between LLC designs under
+// identical everything-else, which this preserves.
+package cachesim
+
+import (
+	"fmt"
+
+	"mayacache/internal/baseline"
+	"mayacache/internal/cachemodel"
+	"mayacache/internal/trace"
+)
+
+// CoreParams describes one core and its private hierarchy (Table V).
+type CoreParams struct {
+	IssueWidth  int // instructions fetched/issued per cycle (6)
+	RetireWidth int // instructions retired per cycle (4; bounds gap cost)
+	ROB         int // reorder-buffer entries (512)
+	MSHRs       int // outstanding LLC-bound misses per core (64)
+
+	L1DSets, L1DWays int
+	L1DLatency       uint64 // 5 cycles
+
+	L2Sets, L2Ways int
+	L2Latency      uint64 // 10 cycles
+
+	LLCLatency uint64 // 24 cycles base
+
+	// Prefetch configures the L1D stride prefetcher (IPCP substitute);
+	// zero Degree disables it.
+	Prefetch PrefetchConfig
+}
+
+// DefaultCoreParams returns the paper's core configuration. The 48KB
+// 12-way L1D and 512KB 8-way L2 match Table V.
+func DefaultCoreParams() CoreParams {
+	return CoreParams{
+		IssueWidth:  6,
+		RetireWidth: 4,
+		ROB:         512,
+		MSHRs:       64,
+		L1DSets:     64, L1DWays: 12, L1DLatency: 5,
+		L2Sets: 1024, L2Ways: 8, L2Latency: 10,
+		LLCLatency: 24,
+	}
+}
+
+// Config assembles a full system.
+type Config struct {
+	Cores int
+	Core  CoreParams
+	LLC   cachemodel.LLC
+	DRAM  DRAMConfig
+	// Seed drives private-cache policy randomness.
+	Seed uint64
+}
+
+// core holds one core's simulation state.
+type core struct {
+	id    int
+	gen   trace.Generator
+	l1d   *baseline.SetAssoc
+	l2    *baseline.SetAssoc
+	clock uint64
+	// subIssue accumulates fractional cycles from gap instructions.
+	subIssue int
+	// outstanding holds completion times of in-flight long-latency
+	// accesses (FIFO; the window models ROB/MSHR-bounded MLP). head
+	// indexes the oldest entry; the slice is compacted when it drifts.
+	outstanding []uint64
+	outHead     int
+	pf          *prefetcher
+	retired     uint64
+	target      uint64
+	done        bool
+	// roiStart* snapshot the ROI beginning for IPC computation.
+	roiStartClock   uint64
+	roiStartRetired uint64
+}
+
+// System is a runnable multi-core simulation.
+type System struct {
+	cfg   Config
+	cores []*core
+	llc   cachemodel.LLC
+	dram  *DRAM
+}
+
+// New assembles a system; workloads must have exactly cfg.Cores
+// generators (one per core).
+func New(cfg Config, workloads []trace.Generator) *System {
+	if cfg.Cores <= 0 {
+		panic("cachesim: Cores must be positive")
+	}
+	if len(workloads) != cfg.Cores {
+		panic(fmt.Sprintf("cachesim: %d workloads for %d cores", len(workloads), cfg.Cores))
+	}
+	if cfg.LLC == nil {
+		panic("cachesim: no LLC provided")
+	}
+	s := &System{cfg: cfg, llc: cfg.LLC, dram: NewDRAM(cfg.DRAM)}
+	for i := 0; i < cfg.Cores; i++ {
+		c := &core{
+			id:  i,
+			gen: workloads[i],
+			l1d: baseline.New(baseline.Config{
+				Sets: cfg.Core.L1DSets, Ways: cfg.Core.L1DWays,
+				Replacement: baseline.LRU, Seed: cfg.Seed + uint64(i)*2 + 1,
+				NamePrefix: fmt.Sprintf("L1D[%d]", i),
+			}),
+			l2: baseline.New(baseline.Config{
+				Sets: cfg.Core.L2Sets, Ways: cfg.Core.L2Ways,
+				Replacement: baseline.LRU, Seed: cfg.Seed + uint64(i)*2 + 2,
+				NamePrefix: fmt.Sprintf("L2[%d]", i),
+			}),
+			outstanding: make([]uint64, 0, cfg.Core.MSHRs),
+			pf:          newPrefetcher(cfg.Core.Prefetch),
+		}
+		s.cores = append(s.cores, c)
+	}
+	return s
+}
+
+// CoreResult reports one core's ROI statistics.
+type CoreResult struct {
+	Core         int
+	Workload     string
+	Instructions uint64
+	Cycles       uint64
+	IPC          float64
+}
+
+// Results aggregates a run.
+type Results struct {
+	Cores    []CoreResult
+	LLCStats cachemodel.Stats
+	// LLCAccessesROI etc. come from the design's counters (reset at ROI
+	// start). DRAM row-buffer behaviour:
+	DRAMReads, DRAMWrites, DRAMRowHits, DRAMRowMisses uint64
+}
+
+// MPKI returns the LLC misses per kilo-instruction over all cores.
+func (r Results) MPKI() float64 {
+	var instr uint64
+	for _, c := range r.Cores {
+		instr += c.Instructions
+	}
+	if instr == 0 {
+		return 0
+	}
+	return float64(r.LLCStats.Misses) * 1000 / float64(instr)
+}
+
+// IPCSum returns the sum of per-core IPCs (throughput metric).
+func (r Results) IPCSum() float64 {
+	sum := 0.0
+	for _, c := range r.Cores {
+		sum += c.IPC
+	}
+	return sum
+}
+
+// Run simulates warmup instructions per core without statistics, then
+// roi instructions per core with statistics, and returns the results.
+func (s *System) Run(warmup, roi uint64) Results {
+	// Warmup phase.
+	for _, c := range s.cores {
+		c.target = warmup
+		c.done = warmup == 0
+	}
+	s.drive()
+	// ROI phase: reset stats, snapshot clocks.
+	s.llc.ResetStats()
+	s.dram.ResetCounters()
+	for _, c := range s.cores {
+		c.l1d.ResetStats()
+		c.l2.ResetStats()
+		c.roiStartClock = c.clock
+		c.roiStartRetired = c.retired
+		c.target = c.retired + roi
+		c.done = false
+	}
+	s.drive()
+
+	res := Results{LLCStats: *s.llc.Stats()}
+	res.DRAMReads, res.DRAMWrites, res.DRAMRowHits, res.DRAMRowMisses = s.dram.Counters()
+	for _, c := range s.cores {
+		instr := c.retired - c.roiStartRetired
+		cycles := c.clock - c.roiStartClock
+		ipc := 0.0
+		if cycles > 0 {
+			ipc = float64(instr) / float64(cycles)
+		}
+		res.Cores = append(res.Cores, CoreResult{
+			Core:         c.id,
+			Workload:     c.gen.Name(),
+			Instructions: instr,
+			Cycles:       cycles,
+			IPC:          ipc,
+		})
+	}
+	return res
+}
+
+// drive interleaves cores by local clock until every core reaches target.
+func (s *System) drive() {
+	for {
+		// Pick the laggard core still running.
+		var next *core
+		for _, c := range s.cores {
+			if c.done {
+				continue
+			}
+			if next == nil || c.clock < next.clock {
+				next = c
+			}
+		}
+		if next == nil {
+			return
+		}
+		s.step(next)
+		if next.retired >= next.target {
+			next.drain()
+			next.done = true
+		}
+	}
+}
+
+// step advances one core by one trace event.
+func (s *System) step(c *core) {
+	ev := c.gen.Next()
+	// Gap instructions cost gap/retireWidth cycles (the narrower of
+	// issue/retire bounds steady-state throughput).
+	width := s.cfg.Core.RetireWidth
+	c.subIssue += int(ev.Gap)
+	c.clock += uint64(c.subIssue / width)
+	c.subIssue %= width
+	c.retired += uint64(ev.Gap) + 1
+
+	lat, longMiss := s.memAccess(c, ev)
+	s.prefetchAfter(c, ev.Line)
+	if !longMiss {
+		// L1 hits are fully pipelined; they cost issue slot only.
+		return
+	}
+	// Long-latency access: runs under the ROB/MSHR window.
+	completion := c.clock + lat
+	limit := s.mlpCap(int(ev.Gap))
+	for len(c.outstanding)-c.outHead >= limit {
+		head := c.outstanding[c.outHead]
+		c.outHead++
+		if head > c.clock {
+			c.clock = head
+		}
+	}
+	if c.outHead > 64 && c.outHead*2 >= len(c.outstanding) {
+		c.outstanding = append(c.outstanding[:0], c.outstanding[c.outHead:]...)
+		c.outHead = 0
+	}
+	c.outstanding = append(c.outstanding, completion)
+}
+
+// mlpCap bounds in-flight long-latency accesses by MSHRs and by how many
+// such accesses fit in the ROB given the current gap density.
+func (s *System) mlpCap(gap int) int {
+	byROB := s.cfg.Core.ROB / (gap + 1)
+	if byROB < 1 {
+		byROB = 1
+	}
+	if byROB > s.cfg.Core.MSHRs {
+		return s.cfg.Core.MSHRs
+	}
+	return byROB
+}
+
+// drain waits out the outstanding window at the end of a phase.
+func (c *core) drain() {
+	for _, t := range c.outstanding[c.outHead:] {
+		if t > c.clock {
+			c.clock = t
+		}
+	}
+	c.outstanding = c.outstanding[:0]
+	c.outHead = 0
+}
+
+// memAccess walks the hierarchy for one access and returns (latency,
+// longMiss). longMiss is false for L1D hits, which the pipeline hides.
+func (s *System) memAccess(c *core, ev trace.Event) (uint64, bool) {
+	p := &s.cfg.Core
+	// Stores hit the L1D as writebacks (RFO + dirty); the fetch below on
+	// a miss is a demand read. Dirtiness then propagates down the
+	// hierarchy through natural eviction.
+	l1Type := cachemodel.Read
+	if ev.Write {
+		l1Type = cachemodel.Writeback
+	}
+	r1 := c.l1d.Access(cachemodel.Access{Line: ev.Line, Type: l1Type, SDID: uint8(c.id), Core: uint8(c.id)})
+	// L1 victims writeback into L2.
+	for _, wb := range r1.Writebacks {
+		s.l2WB(c, wb)
+	}
+	if r1.DataHit {
+		return p.L1DLatency, false
+	}
+
+	// L2.
+	acc := cachemodel.Access{Line: ev.Line, Type: cachemodel.Read, SDID: uint8(c.id), Core: uint8(c.id)}
+	r2 := c.l2.Access(acc)
+	if r2.DataHit {
+		return p.L1DLatency + p.L2Latency, true
+	}
+	for _, wb := range r2.Writebacks {
+		s.llcWB(c, wb)
+	}
+
+	// LLC (shared, pluggable design under test).
+	llcLat := p.LLCLatency + uint64(s.llc.LookupPenalty())
+	r3 := s.llc.Access(acc)
+	s.pushWBs(c, r3.Writebacks)
+	lat := p.L1DLatency + p.L2Latency + llcLat
+	if r3.DataHit {
+		return lat, true
+	}
+
+	// DRAM fetch. The request reaches the controller after the lookup
+	// chain.
+	lat += s.dram.Read(c.clock+lat, ev.Line)
+	return lat, true
+}
+
+// prefetchAfter issues the prefetcher's predictions for a demand access.
+// Prefetches run asynchronously (the core never waits) but walk the real
+// hierarchy: they fill L1D/L2/LLC-as-applicable, consume DRAM bandwidth,
+// and pollute exactly as hardware prefetches do.
+func (s *System) prefetchAfter(c *core, line uint64) {
+	if c.pf == nil {
+		return
+	}
+	for _, pl := range c.pf.observe(line) {
+		acc := cachemodel.Access{Line: pl, Type: cachemodel.Read, SDID: uint8(c.id), Core: uint8(c.id)}
+		if r1 := c.l1d.Access(acc); r1.DataHit {
+			continue
+		} else {
+			for _, wb := range r1.Writebacks {
+				s.l2WB(c, wb)
+			}
+		}
+		if r2 := c.l2.Access(acc); r2.DataHit {
+			continue
+		} else {
+			for _, wb := range r2.Writebacks {
+				s.llcWB(c, wb)
+			}
+		}
+		r3 := s.llc.Access(acc)
+		s.pushWBs(c, r3.Writebacks)
+		if !r3.DataHit {
+			s.dram.Read(c.clock, pl) // bandwidth only; nothing waits
+		}
+	}
+}
+
+// l2WB sends an L1 dirty victim into the L2 (writeback-allocate).
+func (s *System) l2WB(c *core, wb cachemodel.WritebackOut) {
+	r := c.l2.Access(cachemodel.Access{Line: wb.Line, Type: cachemodel.Writeback, SDID: wb.SDID, Core: uint8(c.id)})
+	for _, w := range r.Writebacks {
+		s.llcWB(c, w)
+	}
+}
+
+// llcWB sends an L2 dirty victim into the LLC.
+func (s *System) llcWB(c *core, wb cachemodel.WritebackOut) {
+	r := s.llc.Access(cachemodel.Access{Line: wb.Line, Type: cachemodel.Writeback, SDID: wb.SDID, Core: uint8(c.id)})
+	s.pushWBs(c, r.Writebacks)
+}
+
+// pushWBs retires LLC dirty victims to memory.
+func (s *System) pushWBs(c *core, wbs []cachemodel.WritebackOut) {
+	for _, w := range wbs {
+		s.dram.Write(c.clock, w.Line)
+	}
+}
+
+// LLC exposes the design under test (for post-run inspection).
+func (s *System) LLC() cachemodel.LLC { return s.llc }
+
+// DRAM exposes the memory model.
+func (s *System) DRAM() *DRAM { return s.dram }

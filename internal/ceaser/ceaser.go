@@ -1,0 +1,295 @@
+// Package ceaser implements the earlier generation of randomized LLCs the
+// paper builds on (Section II-B): CEASER's encrypted single-index cache
+// with periodic remapping, CEASER-S's two-skew variant, and Scatter-Cache's
+// per-way skewed indexing. They exist in this repository as attack-study
+// baselines: the eviction-set experiments in internal/attack show how fast
+// probabilistic conflict attacks succeed against them relative to
+// Mirage/Maya.
+package ceaser
+
+import (
+	"fmt"
+
+	"mayacache/internal/cachemodel"
+	"mayacache/internal/prince"
+	"mayacache/internal/rng"
+)
+
+// Variant selects among the three designs.
+type Variant uint8
+
+const (
+	// CEASER: one encrypted index, LRU within set, periodic remap.
+	CEASER Variant = iota
+	// CEASERS: CEASER-S — ways split into two skews with independent
+	// keys, random skew selection on install.
+	CEASERS
+	// ScatterCache: each way has an independent index; the install way is
+	// chosen at random (Scatter-Cache SCv1).
+	ScatterCache
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case CEASER:
+		return "CEASER"
+	case CEASERS:
+		return "CEASER-S"
+	case ScatterCache:
+		return "ScatterCache"
+	default:
+		return fmt.Sprintf("Variant(%d)", uint8(v))
+	}
+}
+
+// Config parameterizes a randomized set-associative cache.
+type Config struct {
+	// Sets is the number of sets (power of two).
+	Sets int
+	// Ways is the total associativity (split across skews for CEASER-S).
+	Ways int
+	// Variant selects the design.
+	Variant Variant
+	// RemapPeriod is the number of fills between epoch remaps for CEASER
+	// (0 disables remapping). CEASER's gradual remap is modeled as an
+	// epoch flush+rekey, which is pessimistic for performance but
+	// preserves the security-relevant property (mappings expire).
+	RemapPeriod uint64
+	// Seed drives keys and randomness.
+	Seed uint64
+	// UsePrince selects the PRINCE randomizer (default true when nil
+	// Hasher); tests may inject a faster hasher.
+	Hasher cachemodel.IndexHasher
+}
+
+type entry struct {
+	line   uint64
+	sdid   uint8
+	core   uint8
+	valid  bool
+	dirty  bool
+	reused bool
+	stamp  uint64 // LRU stamp
+}
+
+// Cache implements cachemodel.LLC for all three variants.
+type Cache struct {
+	cfg       Config
+	sets      int
+	ways      int
+	skews     int // 1 for CEASER, 2 for CEASER-S, Ways for Scatter
+	waysPerSk int
+	entries   []entry
+	hasher    cachemodel.IndexHasher
+	r         *rng.Rand
+	clock     uint64
+	fills     uint64
+	stats     cachemodel.Stats
+	wbBuf     []cachemodel.WritebackOut
+}
+
+// New constructs the selected variant.
+func New(cfg Config) *Cache {
+	if cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0 {
+		panic(fmt.Sprintf("ceaser: Sets must be a positive power of two, got %d", cfg.Sets))
+	}
+	if cfg.Ways <= 0 {
+		panic("ceaser: Ways must be positive")
+	}
+	c := &Cache{cfg: cfg, sets: cfg.Sets, ways: cfg.Ways, r: rng.New(cfg.Seed ^ 0xcea5e4)}
+	switch cfg.Variant {
+	case CEASER:
+		c.skews, c.waysPerSk = 1, cfg.Ways
+	case CEASERS:
+		if cfg.Ways%2 != 0 {
+			panic("ceaser: CEASER-S needs an even way count")
+		}
+		c.skews, c.waysPerSk = 2, cfg.Ways/2
+	case ScatterCache:
+		c.skews, c.waysPerSk = cfg.Ways, 1
+	default:
+		panic("ceaser: unknown variant")
+	}
+	c.entries = make([]entry, cfg.Sets*cfg.Ways)
+	c.hasher = cfg.Hasher
+	if c.hasher == nil {
+		c.hasher = prince.NewRandomizer(c.skews, log2(cfg.Sets), cfg.Seed)
+	}
+	return c
+}
+
+func log2(n int) uint {
+	var b uint
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// slot returns the entry index for (skew, set, wayInSkew).
+func (c *Cache) slot(skew, set, way int) int {
+	return set*c.ways + skew*c.waysPerSk + way
+}
+
+// lookup finds (line, sdid), returning the entry index or -1.
+func (c *Cache) lookup(line uint64, sdid uint8) int {
+	for skew := 0; skew < c.skews; skew++ {
+		set := c.hasher.Index(skew, line)
+		for w := 0; w < c.waysPerSk; w++ {
+			i := c.slot(skew, set, w)
+			e := &c.entries[i]
+			if e.valid && e.line == line && e.sdid == sdid {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// Access implements cachemodel.LLC.
+func (c *Cache) Access(a cachemodel.Access) cachemodel.Result {
+	c.wbBuf = c.wbBuf[:0]
+	s := &c.stats
+	s.Accesses++
+	if a.Type == cachemodel.Read {
+		s.Reads++
+	} else {
+		s.Writebacks++
+	}
+	c.clock++
+
+	if i := c.lookup(a.Line, a.SDID); i >= 0 {
+		e := &c.entries[i]
+		s.TagHits++
+		s.DataHits++
+		if a.Type == cachemodel.Read {
+			if !e.reused {
+				s.FirstDemandReuses++
+				e.reused = true
+			}
+		} else {
+			e.dirty = true
+		}
+		e.stamp = c.clock
+		return cachemodel.Result{TagHit: true, DataHit: true}
+	}
+
+	s.Misses++
+	if a.Type == cachemodel.Read {
+		s.DemandMisses++
+	} else {
+		s.WritebackMisses++
+	}
+	// Pick the skew (and thus candidate set) to install into.
+	skew := 0
+	if c.skews > 1 {
+		skew = c.r.Intn(c.skews)
+	}
+	set := c.hasher.Index(skew, a.Line)
+	// Prefer an invalid way within the chosen skew's portion of the set.
+	way := -1
+	for w := 0; w < c.waysPerSk; w++ {
+		if !c.entries[c.slot(skew, set, w)].valid {
+			way = w
+			break
+		}
+	}
+	sae := false
+	if way < 0 {
+		// LRU victim within the skew's ways — a set-associative
+		// eviction, observable by a conflict attacker.
+		way = 0
+		oldest := c.entries[c.slot(skew, set, 0)].stamp
+		for w := 1; w < c.waysPerSk; w++ {
+			if st := c.entries[c.slot(skew, set, w)].stamp; st < oldest {
+				way, oldest = w, st
+			}
+		}
+		sae = true
+		s.SAEs++
+		v := &c.entries[c.slot(skew, set, way)]
+		if v.reused {
+			s.ReusedDataEvictions++
+		} else {
+			s.DeadDataEvictions++
+		}
+		if v.core != a.Core {
+			s.InterCoreEvictions++
+		}
+		if v.dirty {
+			c.wbBuf = append(c.wbBuf, cachemodel.WritebackOut{Line: v.line, SDID: v.sdid})
+			s.WritebacksToMem++
+		}
+	}
+	c.entries[c.slot(skew, set, way)] = entry{
+		line: a.Line, sdid: a.SDID, core: a.Core,
+		valid: true, dirty: a.Type == cachemodel.Writeback, stamp: c.clock,
+	}
+	s.Fills++
+	s.DataFills++
+	c.fills++
+	if c.cfg.RemapPeriod > 0 && c.fills%c.cfg.RemapPeriod == 0 {
+		c.remap()
+	}
+	return cachemodel.Result{SAE: sae, Writebacks: c.wbBuf}
+}
+
+// remap models CEASER's epoch key change: dirty lines are written back,
+// the cache is cleared, and the index keys refresh.
+func (c *Cache) remap() {
+	for i := range c.entries {
+		e := &c.entries[i]
+		if e.valid && e.dirty {
+			c.wbBuf = append(c.wbBuf, cachemodel.WritebackOut{Line: e.line, SDID: e.sdid})
+			c.stats.WritebacksToMem++
+		}
+		*e = entry{}
+	}
+	c.hasher.Rekey()
+	c.stats.Rekeys++
+}
+
+// Flush implements cachemodel.LLC.
+func (c *Cache) Flush(line uint64, sdid uint8) bool {
+	i := c.lookup(line, sdid)
+	if i < 0 {
+		return false
+	}
+	if c.entries[i].dirty {
+		c.stats.WritebacksToMem++
+	}
+	c.entries[i] = entry{}
+	c.stats.Flushes++
+	return true
+}
+
+// Probe implements cachemodel.LLC.
+func (c *Cache) Probe(line uint64, sdid uint8) (bool, bool) {
+	hit := c.lookup(line, sdid) >= 0
+	return hit, hit
+}
+
+// LookupPenalty implements cachemodel.LLC: PRINCE latency, no indirection.
+func (c *Cache) LookupPenalty() int { return prince.LatencyCycles }
+
+// Stats implements cachemodel.LLC.
+func (c *Cache) Stats() *cachemodel.Stats { return &c.stats }
+
+// ResetStats implements cachemodel.LLC.
+func (c *Cache) ResetStats() { c.stats.Reset() }
+
+// Name implements cachemodel.LLC.
+func (c *Cache) Name() string { return c.cfg.Variant.String() }
+
+// Geometry implements cachemodel.LLC.
+func (c *Cache) Geometry() cachemodel.Geometry {
+	return cachemodel.Geometry{
+		Skews:       c.skews,
+		SetsPerSkew: c.sets,
+		WaysPerSkew: c.waysPerSk,
+		DataEntries: c.sets * c.ways,
+		TagEntries:  c.sets * c.ways,
+	}
+}

@@ -1,0 +1,111 @@
+package ceaser
+
+import (
+	"testing"
+
+	"mayacache/internal/cachemodel"
+	"mayacache/internal/rng"
+)
+
+func read(line uint64) cachemodel.Access {
+	return cachemodel.Access{Line: line, Type: cachemodel.Read}
+}
+
+func fastCfg(v Variant, seed uint64) Config {
+	skews := 1
+	switch v {
+	case CEASERS:
+		skews = 2
+	case ScatterCache:
+		skews = 16
+	}
+	return Config{
+		Sets: 256, Ways: 16, Variant: v, Seed: seed,
+		Hasher: cachemodel.NewXorHasher(skews, 8, seed),
+	}
+}
+
+func TestMissThenHitAllVariants(t *testing.T) {
+	for _, v := range []Variant{CEASER, CEASERS, ScatterCache} {
+		c := New(fastCfg(v, 1))
+		if r := c.Access(read(42)); r.DataHit {
+			t.Fatalf("%v: first access hit", v)
+		}
+		if r := c.Access(read(42)); !r.DataHit {
+			t.Fatalf("%v: second access missed", v)
+		}
+	}
+}
+
+func TestEvictionsOccurUnderPressure(t *testing.T) {
+	for _, v := range []Variant{CEASER, CEASERS, ScatterCache} {
+		c := New(fastCfg(v, 2))
+		r := rng.New(1)
+		for i := 0; i < 50000; i++ {
+			c.Access(read(uint64(r.Uint32())))
+		}
+		if c.Stats().SAEs == 0 {
+			t.Errorf("%v: no set-associative evictions under pressure — randomized caches still conflict", v)
+		}
+	}
+}
+
+func TestCEASERRemapFlushes(t *testing.T) {
+	cfg := fastCfg(CEASER, 3)
+	cfg.RemapPeriod = 1000
+	c := New(cfg)
+	c.Access(read(7))
+	for i := uint64(100); i < 1101; i++ {
+		c.Access(read(i))
+	}
+	if c.Stats().Rekeys == 0 {
+		t.Fatal("no remap after RemapPeriod fills")
+	}
+	if hit, _ := c.Probe(7, 0); hit {
+		t.Fatal("line survived an epoch remap")
+	}
+}
+
+func TestSDIDSeparation(t *testing.T) {
+	c := New(fastCfg(ScatterCache, 4))
+	c.Access(cachemodel.Access{Line: 5, Type: cachemodel.Read, SDID: 1})
+	if hit, _ := c.Probe(5, 2); hit {
+		t.Fatal("cross-domain hit")
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	c := New(fastCfg(CEASER, 5))
+	c.Access(cachemodel.Access{Line: 9, Type: cachemodel.Writeback})
+	saw := false
+	r := rng.New(2)
+	for i := 0; i < 100000 && !saw; i++ {
+		res := c.Access(read(uint64(r.Uint32())))
+		for _, w := range res.Writebacks {
+			if w.Line == 9 {
+				saw = true
+			}
+		}
+	}
+	if !saw {
+		t.Fatal("dirty line never written back")
+	}
+}
+
+func TestVariantNames(t *testing.T) {
+	for v, want := range map[Variant]string{
+		CEASER: "CEASER", CEASERS: "CEASER-S", ScatterCache: "ScatterCache",
+	} {
+		if got := New(fastCfg(v, 6)).Name(); got != want {
+			t.Errorf("Name() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	c := New(fastCfg(CEASERS, 7))
+	g := c.Geometry()
+	if g.Skews != 2 || g.WaysPerSkew != 8 || g.DataEntries != 256*16 {
+		t.Fatalf("unexpected geometry %+v", g)
+	}
+}

@@ -1,0 +1,127 @@
+// Package experiments wires workloads, cache designs, and the simulator
+// into the paper's numbered experiments. Every figure and table in the
+// evaluation has a function here; cmd tools and the benchmark harness are
+// thin wrappers over them.
+package experiments
+
+import (
+	"fmt"
+
+	"mayacache/internal/baseline"
+	"mayacache/internal/cachemodel"
+	"mayacache/internal/core"
+	"mayacache/internal/mirage"
+)
+
+// Design names a cache design under test.
+type Design string
+
+// The designs compared in the paper.
+const (
+	DesignBaseline   Design = "Baseline"
+	DesignMirage     Design = "Mirage"
+	DesignMirageLite Design = "Mirage-Lite"
+	DesignMaya       Design = "Maya"
+	DesignMayaISO    Design = "Maya-ISO"
+)
+
+// setsPerCore is the per-core set count: a 2MB/core 16-way baseline slice
+// has 2MB / 64B / 16 = 2048 sets.
+const setsPerCore = 2048
+
+// LLCOptions parameterizes design construction.
+type LLCOptions struct {
+	// Cores scales capacity (2MB baseline-equivalent per core).
+	Cores int
+	// Seed drives keys and randomness.
+	Seed uint64
+	// FastHash selects the non-cryptographic index hasher for bulk
+	// performance sweeps (see cachemodel.XorHasher); security and attack
+	// experiments leave it false to use PRINCE.
+	FastHash bool
+	// ReuseWays overrides Maya's reuse ways per skew (0 = default 3).
+	ReuseWays int
+	// InvalidWays overrides Maya's invalid ways per skew (0 = default 6).
+	InvalidWays int
+	// DataScale multiplies Maya's base ways for the LLC-size sensitivity
+	// study (0 = default 1.0).
+	DataScale float64
+}
+
+func (o LLCOptions) hasher(skews int, sets int) cachemodel.IndexHasher {
+	if !o.FastHash {
+		return nil // designs default to PRINCE
+	}
+	return cachemodel.NewXorHasher(skews, log2(sets), o.Seed)
+}
+
+func log2(n int) uint {
+	var b uint
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// NewLLC constructs the named design scaled to opts.Cores.
+func NewLLC(d Design, opts LLCOptions) cachemodel.LLC {
+	if opts.Cores <= 0 {
+		panic("experiments: Cores must be positive")
+	}
+	sets := setsPerCore * opts.Cores
+	switch d {
+	case DesignBaseline:
+		return baseline.New(baseline.Config{
+			Sets: sets, Ways: 16, Replacement: baseline.SRRIP, Seed: opts.Seed,
+		})
+	case DesignMirage:
+		cfg := mirage.DefaultConfig(opts.Seed)
+		cfg.SetsPerSkew = sets
+		cfg.Hasher = opts.hasher(cfg.Skews, sets)
+		return mirage.New(cfg)
+	case DesignMirageLite:
+		cfg := mirage.LiteConfig(opts.Seed)
+		cfg.SetsPerSkew = sets
+		cfg.Hasher = opts.hasher(cfg.Skews, sets)
+		return mirage.New(cfg)
+	case DesignMaya:
+		cfg := core.DefaultConfig(opts.Seed)
+		cfg.SetsPerSkew = sets
+		if opts.ReuseWays > 0 {
+			cfg.ReuseWays = opts.ReuseWays
+			if opts.ReuseWays >= 5 {
+				// Fig 4: five or more reuse ways widen the tag lookup
+				// by one cycle.
+				cfg.ExtraLookupLatency = 1
+			}
+		}
+		if opts.InvalidWays > 0 {
+			cfg.InvalidWays = opts.InvalidWays
+		}
+		if opts.DataScale > 0 {
+			cfg.BaseWays = int(float64(cfg.BaseWays)*opts.DataScale + 0.5)
+			if cfg.BaseWays < 1 {
+				cfg.BaseWays = 1
+			}
+		}
+		cfg.Hasher = opts.hasher(cfg.Skews, sets)
+		return core.New(cfg)
+	case DesignMayaISO:
+		// ISO-area Maya: data store grown back to ~16MB (8 base ways per
+		// skew) plus 4 reuse ways, matching Mirage's area envelope.
+		cfg := core.DefaultConfig(opts.Seed)
+		cfg.SetsPerSkew = sets
+		cfg.BaseWays = 8
+		cfg.ReuseWays = 4
+		cfg.Hasher = opts.hasher(cfg.Skews, sets)
+		return core.New(cfg)
+	default:
+		panic(fmt.Sprintf("experiments: unknown design %q", d))
+	}
+}
+
+// AllDesigns returns the designs of the paper's headline comparison.
+func AllDesigns() []Design {
+	return []Design{DesignBaseline, DesignMirage, DesignMaya}
+}

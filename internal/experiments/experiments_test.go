@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"testing"
+
+	"mayacache/internal/trace"
+)
+
+// tiny keeps experiment tests fast; shapes are asserted loosely.
+func tiny() Scale {
+	return Scale{WarmupInstr: 200_000, ROIInstr: 100_000, Seed: 1, Parallel: true}
+}
+
+func TestNewLLCAllDesigns(t *testing.T) {
+	for _, d := range []Design{DesignBaseline, DesignMirage, DesignMirageLite, DesignMaya, DesignMayaISO} {
+		llc := NewLLC(d, LLCOptions{Cores: 1, Seed: 1, FastHash: true})
+		if llc == nil {
+			t.Fatalf("%s: nil LLC", d)
+		}
+		g := llc.Geometry()
+		if g.DataEntries <= 0 {
+			t.Fatalf("%s: bad geometry %+v", d, g)
+		}
+	}
+}
+
+func TestNewLLCGeometryScaling(t *testing.T) {
+	one := NewLLC(DesignMaya, LLCOptions{Cores: 1, Seed: 1, FastHash: true}).Geometry()
+	eight := NewLLC(DesignMaya, LLCOptions{Cores: 8, Seed: 1, FastHash: true}).Geometry()
+	if eight.DataEntries != 8*one.DataEntries {
+		t.Fatalf("data entries do not scale with cores: %d vs 8x%d", eight.DataEntries, one.DataEntries)
+	}
+	// 8-core Maya must be the paper's 192K entries (12MB).
+	if eight.DataEntries != 196608 {
+		t.Fatalf("8-core Maya data entries = %d, want 196608", eight.DataEntries)
+	}
+}
+
+func TestMayaOptionOverrides(t *testing.T) {
+	g := NewLLC(DesignMaya, LLCOptions{Cores: 1, Seed: 1, FastHash: true, ReuseWays: 7, InvalidWays: 5}).Geometry()
+	if g.WaysPerSkew != 6+7+5 {
+		t.Fatalf("ways per skew = %d, want 18", g.WaysPerSkew)
+	}
+}
+
+func TestRunMixDesignProducesWS(t *testing.T) {
+	sc := tiny()
+	res := RunMixDesign("m", []string{"xz", "xz"}, DesignBaseline, sc)
+	if res.WS <= 0 || res.WS > 2.1 {
+		t.Fatalf("weighted speedup %v out of range for 2 cores", res.WS)
+	}
+	if res.MPKI < 0 {
+		t.Fatalf("negative MPKI")
+	}
+}
+
+func TestAloneIPCMemoized(t *testing.T) {
+	sc := tiny()
+	a := AloneIPC("xz", sc)
+	b := AloneIPC("xz", sc)
+	if a != b {
+		t.Fatalf("memoized alone IPC differs: %v vs %v", a, b)
+	}
+	if a <= 0 {
+		t.Fatalf("alone IPC %v", a)
+	}
+}
+
+func TestFig1ShapesAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	sc := tiny()
+	rows := Fig1(sc)
+	if len(rows) != 20 {
+		t.Fatalf("%d Fig 1 rows, want 20", len(rows))
+	}
+	ab, _ := Fig1Average(rows)
+	// The paper's headline observation: most LLC fills are dead.
+	if ab < 60 {
+		t.Fatalf("baseline average dead%% = %.1f, expected the >60%% regime even at tiny scale", ab)
+	}
+}
+
+func TestSummarizeFig9(t *testing.T) {
+	rows := []Fig9Row{
+		{Bench: "a", Suite: "SPEC", NormMirage: 1.0, NormMaya: 1.1},
+		{Bench: "b", Suite: "GAP", NormMirage: 0.9, NormMaya: 1.0},
+	}
+	sums := SummarizeFig9(rows)
+	if len(sums) != 3 { // SPEC, GAP, ALL
+		t.Fatalf("%d summaries", len(sums))
+	}
+	for _, s := range sums {
+		if s.NormMaya <= 0 {
+			t.Fatalf("bad summary %+v", s)
+		}
+	}
+}
+
+func TestTable7Aggregation(t *testing.T) {
+	fig9 := []Fig9Row{{Bench: "a", Suite: "SPEC", MPKIBase: 10, MPKIMirage: 9, MPKIMaya: 11}}
+	fig10 := []Fig10Row{
+		{Mix: "M1", Bin: trace.BinLow, MPKIBase: 8, MPKIMirage: 8, MPKIMaya: 9},
+		{Mix: "M15", Bin: trace.BinHigh, MPKIBase: 21, MPKIMirage: 21, MPKIMaya: 22},
+	}
+	rows := Table7(fig9, fig10)
+	if len(rows) != 4 {
+		t.Fatalf("%d Table VII rows, want 4", len(rows))
+	}
+	if rows[0].Baseline != 10 {
+		t.Fatalf("homogeneous baseline MPKI %v", rows[0].Baseline)
+	}
+}
+
+func TestPartitionLLCKinds(t *testing.T) {
+	for _, k := range []string{"way", "set", "flex"} {
+		llc := newPartitionLLC(k, 8, 1)
+		if llc == nil {
+			t.Fatalf("%s: nil", k)
+		}
+	}
+}
+
+func TestSortFig9(t *testing.T) {
+	rows := []Fig9Row{
+		{Bench: "pr", Suite: "GAP"},
+		{Bench: "mcf", Suite: "SPEC"},
+		{Bench: "bc", Suite: "GAP"},
+	}
+	SortFig9(rows)
+	if rows[0].Suite != "SPEC" || rows[1].Bench != "bc" {
+		t.Fatalf("bad order: %+v", rows)
+	}
+}
+
+func TestRunMixDesignSeeds(t *testing.T) {
+	sc := tiny()
+	res := RunMixDesignSeeds("xz", []string{"xz", "xz"}, DesignBaseline, sc, 3)
+	if res.WS.N != 3 {
+		t.Fatalf("N = %d, want 3", res.WS.N)
+	}
+	if res.WS.Mean <= 0 {
+		t.Fatalf("mean WS %v", res.WS.Mean)
+	}
+	if res.WS.CI95 < 0 {
+		t.Fatalf("negative CI %v", res.WS.CI95)
+	}
+}
+
+func TestNormalizedAcrossSeeds(t *testing.T) {
+	sc := tiny()
+	st := NormalizedAcrossSeeds("lbm", []string{"lbm", "lbm"}, DesignMaya, sc, 2)
+	if st.N != 2 || st.Mean <= 0 {
+		t.Fatalf("bad stats %+v", st)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s := summarize([]float64{5})
+	if s.Mean != 5 || s.CI95 != 0 || s.Stddev != 0 {
+		t.Fatalf("singleton stats %+v", s)
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"math"
+
+	"mayacache/internal/metrics"
+)
+
+// Multi-seed statistics: the paper reports single simulations over 200M-
+// instruction sim-points; at this repository's reduced scales, seed
+// variance is visible, so the drivers can quantify it.
+
+// SeedStats summarizes a metric across seeds.
+type SeedStats struct {
+	Mean   float64
+	Stddev float64
+	// CI95 is the half-width of the 95% confidence interval on the mean
+	// (normal approximation).
+	CI95 float64
+	N    int
+}
+
+// summarize folds per-seed samples.
+func summarize(xs []float64) SeedStats {
+	s := SeedStats{N: len(xs), Mean: metrics.Mean(xs), Stddev: metrics.Stddev(xs)}
+	if s.N > 1 {
+		s.CI95 = 1.96 * s.Stddev / math.Sqrt(float64(s.N))
+	}
+	return s
+}
+
+// MultiSeedResult is one (mix, design) measurement across seeds.
+type MultiSeedResult struct {
+	Mix    string
+	Design Design
+	WS     SeedStats
+	MPKI   SeedStats
+}
+
+// RunMixDesignSeeds repeats RunMixDesign across `seeds` consecutive seeds
+// starting from sc.Seed and returns mean/stddev/CI statistics. Seeds vary
+// the workload streams, the cache keys, and the eviction randomness
+// together.
+func RunMixDesignSeeds(mixName string, benchNames []string, d Design, sc Scale, seeds int) MultiSeedResult {
+	if seeds < 1 {
+		seeds = 1
+	}
+	ws := make([]float64, seeds)
+	mpki := make([]float64, seeds)
+	parallelFor(seeds, sc.Parallel, func(i int) {
+		s := sc
+		s.Seed = sc.Seed + uint64(i)
+		r := RunMixDesign(mixName, benchNames, d, s)
+		ws[i] = r.WS
+		mpki[i] = r.MPKI
+	})
+	return MultiSeedResult{
+		Mix:    mixName,
+		Design: d,
+		WS:     summarize(ws),
+		MPKI:   summarize(mpki),
+	}
+}
+
+// NormalizedAcrossSeeds computes per-seed normalized weighted speedup of
+// design d against the baseline (pairing seeds), returning its statistics.
+// Pairing by seed removes the workload-stream variance component and
+// isolates the design effect.
+func NormalizedAcrossSeeds(mixName string, benchNames []string, d Design, sc Scale, seeds int) SeedStats {
+	if seeds < 1 {
+		seeds = 1
+	}
+	norms := make([]float64, seeds)
+	parallelFor(seeds, sc.Parallel, func(i int) {
+		s := sc
+		s.Seed = sc.Seed + uint64(i)
+		base := RunMixDesign(mixName, benchNames, DesignBaseline, s)
+		res := RunMixDesign(mixName, benchNames, d, s)
+		norms[i] = res.WS / base.WS
+	})
+	return summarize(norms)
+}

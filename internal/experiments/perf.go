@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"mayacache/internal/cachemodel"
+	"mayacache/internal/cachesim"
+	"mayacache/internal/metrics"
+	"mayacache/internal/trace"
+)
+
+// Scale controls simulation effort. The paper runs 200M warmup + 200M ROI
+// instructions per core; the default here is scaled down so the full
+// experiment suite completes in minutes, with shapes already stable.
+type Scale struct {
+	WarmupInstr uint64
+	ROIInstr    uint64
+	Seed        uint64
+	Parallel    bool // run independent configurations on all CPUs
+}
+
+// QuickScale is the default reduced scale.
+func QuickScale() Scale {
+	return Scale{WarmupInstr: 2_000_000, ROIInstr: 1_000_000, Seed: 1, Parallel: true}
+}
+
+// TinyScale is for unit tests and -short benchmarks.
+func TinyScale() Scale {
+	return Scale{WarmupInstr: 300_000, ROIInstr: 200_000, Seed: 1}
+}
+
+// runMix simulates one workload assignment under one LLC.
+func runMix(benchNames []string, llc cachemodel.LLC, sc Scale) cachesim.Results {
+	gens := make([]trace.Generator, len(benchNames))
+	for i, b := range benchNames {
+		gens[i] = trace.MustGenerator(trace.MustLookup(b), i, sc.Seed)
+	}
+	sys := cachesim.New(cachesim.Config{
+		Cores: len(benchNames),
+		Core:  cachesim.DefaultCoreParams(),
+		LLC:   llc,
+		DRAM:  dramFor(len(benchNames)),
+		Seed:  sc.Seed,
+	}, gens)
+	return sys.Run(sc.WarmupInstr, sc.ROIInstr)
+}
+
+// dramFor scales channels with core count (2 channels per 8 cores).
+func dramFor(cores int) cachesim.DRAMConfig {
+	cfg := cachesim.DefaultDRAMConfig()
+	ch := (cores + 3) / 4
+	if ch < 1 {
+		ch = 1
+	}
+	cfg.Channels = ch
+	return cfg
+}
+
+// homogeneous returns the benchmark repeated for n cores.
+func homogeneous(bench string, n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = bench
+	}
+	return names
+}
+
+// aloneIPCCache memoizes single-core baseline IPCs per (bench, scale).
+type aloneKey struct {
+	bench  string
+	warm   uint64
+	roi    uint64
+	seed   uint64
+}
+
+var (
+	aloneMu    sync.Mutex
+	aloneCache = map[aloneKey]float64{}
+)
+
+// AloneIPC returns the benchmark's single-core IPC on a private 2MB
+// baseline LLC — the denominator of the weighted-speedup metric.
+func AloneIPC(bench string, sc Scale) float64 {
+	k := aloneKey{bench, sc.WarmupInstr, sc.ROIInstr, sc.Seed}
+	aloneMu.Lock()
+	v, ok := aloneCache[k]
+	aloneMu.Unlock()
+	if ok {
+		return v
+	}
+	llc := NewLLC(DesignBaseline, LLCOptions{Cores: 1, Seed: sc.Seed})
+	res := runMix([]string{bench}, llc, sc)
+	v = res.Cores[0].IPC
+	aloneMu.Lock()
+	aloneCache[k] = v
+	aloneMu.Unlock()
+	return v
+}
+
+// MixResult is one (mix, design) performance measurement.
+type MixResult struct {
+	Mix      string
+	Design   Design
+	WS       float64 // weighted speedup
+	MPKI     float64
+	IPCs     []float64
+	LLCStats cachemodel.Stats
+}
+
+// RunMixDesign simulates the benchmark assignment under the named design
+// and computes the weighted speedup against single-core baseline IPCs.
+func RunMixDesign(mixName string, benchNames []string, d Design, sc Scale) MixResult {
+	llc := NewLLC(d, LLCOptions{Cores: len(benchNames), Seed: sc.Seed, FastHash: true})
+	return RunMixLLC(mixName, benchNames, d, llc, sc)
+}
+
+// RunMixLLC is RunMixDesign with a caller-supplied LLC instance (used for
+// configuration sweeps like Fig 4's reuse-way study).
+func RunMixLLC(mixName string, benchNames []string, d Design, llc cachemodel.LLC, sc Scale) MixResult {
+	res := runMix(benchNames, llc, sc)
+	ipcs := make([]float64, len(res.Cores))
+	alone := make([]float64, len(res.Cores))
+	for i, c := range res.Cores {
+		ipcs[i] = c.IPC
+		alone[i] = AloneIPC(benchNames[i], sc)
+	}
+	ws, err := metrics.WeightedSpeedup(ipcs, alone)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return MixResult{
+		Mix: mixName, Design: d, WS: ws, MPKI: res.MPKI(),
+		IPCs: ipcs, LLCStats: res.LLCStats,
+	}
+}
+
+// parallelFor runs f(i) for i in [0, n), optionally across CPUs.
+func parallelFor(n int, parallel bool, f func(i int)) {
+	if !parallel {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallelism())
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+}

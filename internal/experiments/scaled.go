@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"mayacache/internal/baseline"
+	"mayacache/internal/core"
+	"mayacache/internal/cachemodel"
+)
+
+// newScaledBaseline builds a baseline LLC with an explicit set count (for
+// the LLC-size sensitivity sweep, where capacity is varied directly).
+func newScaledBaseline(sets int, seed uint64) cachemodel.LLC {
+	return baseline.New(baseline.Config{
+		Sets: sets, Ways: 16, Replacement: baseline.SRRIP, Seed: seed,
+	})
+}
+
+// newScaledMaya builds a default-way Maya cache with an explicit per-skew
+// set count.
+func newScaledMaya(setsPerSkew int, seed uint64) cachemodel.LLC {
+	cfg := core.DefaultConfig(seed)
+	cfg.SetsPerSkew = setsPerSkew
+	cfg.Hasher = cachemodel.NewXorHasher(cfg.Skews, log2(setsPerSkew), seed)
+	return core.New(cfg)
+}

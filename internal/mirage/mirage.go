@@ -1,0 +1,406 @@
+// Package mirage implements the Mirage cache (Saileshwar & Qureshi, USENIX
+// Security 2021): the fully-associative-by-illusion LLC that Maya improves
+// on. Mirage decouples a skewed-associative tag store (with extra invalid
+// tag ways per skew) from a full-size data store, installs every line via
+// load-aware skew selection, and replaces via global random data eviction.
+// Relative to Maya it has no priority-0/reuse machinery: every valid tag
+// owns a data entry, which is why it pays a 20% storage overhead where Maya
+// saves 2%.
+//
+// The package also provides Mirage-Lite (fewer extra ways) used in the
+// paper's Table X comparison.
+package mirage
+
+import (
+	"fmt"
+
+	"mayacache/internal/cachemodel"
+	"mayacache/internal/prince"
+	"mayacache/internal/rng"
+)
+
+// Config parameterizes a Mirage cache.
+type Config struct {
+	// SetsPerSkew is the number of tag sets per skew (16K default).
+	SetsPerSkew int
+	// Skews is the number of tag-store skews (2 default).
+	Skews int
+	// BaseWays per skew determine the data store size:
+	// SetsPerSkew*Skews*BaseWays entries (8 default -> 16MB).
+	BaseWays int
+	// ExtraWays per skew are the additional invalid tags that absorb
+	// load imbalance (6 default; Mirage-Lite uses fewer).
+	ExtraWays int
+	// Seed drives keys and eviction randomness.
+	Seed uint64
+	// Hasher overrides the index function; nil selects PRINCE.
+	Hasher cachemodel.IndexHasher
+	// RekeyOnSAE refreshes keys and flushes on an SAE.
+	RekeyOnSAE bool
+	// NameSuffix distinguishes variants (e.g. "-Lite") in reports.
+	NameSuffix string
+}
+
+// DefaultConfig is the paper's Mirage configuration for a 16MB LLC:
+// 2 skews x 16K sets x (8 base + 6 extra) ways, 256K data entries.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		SetsPerSkew: 16384,
+		Skews:       2,
+		BaseWays:    8,
+		ExtraWays:   6,
+		Seed:        seed,
+	}
+}
+
+// LiteConfig is Mirage-Lite: the same structure with fewer extra ways,
+// trading security (10^21 installs per SAE) for storage (+17%).
+func LiteConfig(seed uint64) Config {
+	c := DefaultConfig(seed)
+	c.ExtraWays = 5
+	c.NameSuffix = "-Lite"
+	return c
+}
+
+type tagEntry struct {
+	line   uint64
+	fptr   int32
+	sdid   uint8
+	core   uint8
+	valid  bool
+	dirty  bool
+	reused bool
+}
+
+type dataEntry struct {
+	rptr    int32
+	usedPos int32
+	valid   bool
+}
+
+// Mirage implements cachemodel.LLC.
+type Mirage struct {
+	cfg      Config
+	ways     int
+	sets     int
+	skews    int
+	tags     []tagEntry
+	validCnt []uint16
+
+	data     []dataEntry
+	dataUsed []int32
+	dataFree []int32
+
+	hasher cachemodel.IndexHasher
+	r      *rng.Rand
+	stats  cachemodel.Stats
+	wbBuf  []cachemodel.WritebackOut
+}
+
+// New constructs a Mirage cache from cfg.
+func New(cfg Config) *Mirage {
+	if cfg.SetsPerSkew <= 0 || cfg.SetsPerSkew&(cfg.SetsPerSkew-1) != 0 {
+		panic(fmt.Sprintf("mirage: SetsPerSkew must be a positive power of two, got %d", cfg.SetsPerSkew))
+	}
+	if cfg.Skews < 2 {
+		panic("mirage: at least two skews required")
+	}
+	ways := cfg.BaseWays + cfg.ExtraWays
+	nTags := cfg.Skews * cfg.SetsPerSkew * ways
+	nData := cfg.Skews * cfg.SetsPerSkew * cfg.BaseWays
+	c := &Mirage{
+		cfg:      cfg,
+		ways:     ways,
+		sets:     cfg.SetsPerSkew,
+		skews:    cfg.Skews,
+		tags:     make([]tagEntry, nTags),
+		validCnt: make([]uint16, cfg.Skews*cfg.SetsPerSkew),
+		data:     make([]dataEntry, nData),
+		dataUsed: make([]int32, 0, nData),
+		dataFree: make([]int32, 0, nData),
+		r:        rng.New(cfg.Seed ^ 0x4d697261), // "Mira"
+	}
+	for i := range c.tags {
+		c.tags[i].fptr = -1
+	}
+	for i := nData - 1; i >= 0; i-- {
+		c.dataFree = append(c.dataFree, int32(i))
+	}
+	c.hasher = cfg.Hasher
+	if c.hasher == nil {
+		c.hasher = prince.NewRandomizer(cfg.Skews, log2(cfg.SetsPerSkew), cfg.Seed)
+	}
+	return c
+}
+
+func log2(n int) uint {
+	var b uint
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+func (c *Mirage) setBase(skew, set int) int32 {
+	return int32((skew*c.sets + set) * c.ways)
+}
+
+func (c *Mirage) lookup(line uint64, sdid uint8) int32 {
+	for skew := 0; skew < c.skews; skew++ {
+		base := c.setBase(skew, c.hasher.Index(skew, line))
+		for w := int32(0); w < int32(c.ways); w++ {
+			e := &c.tags[base+w]
+			if e.valid && e.line == line && e.sdid == sdid {
+				return base + w
+			}
+		}
+	}
+	return -1
+}
+
+// Access implements cachemodel.LLC.
+func (c *Mirage) Access(a cachemodel.Access) cachemodel.Result {
+	c.wbBuf = c.wbBuf[:0]
+	s := &c.stats
+	s.Accesses++
+	isWB := a.Type == cachemodel.Writeback
+	if isWB {
+		s.Writebacks++
+	} else {
+		s.Reads++
+	}
+
+	if ti := c.lookup(a.Line, a.SDID); ti >= 0 {
+		e := &c.tags[ti]
+		s.TagHits++
+		s.DataHits++
+		if isWB {
+			e.dirty = true
+		} else {
+			// Only demand hits count as reuse for dead-block stats.
+			if !e.reused {
+				s.FirstDemandReuses++
+				e.reused = true
+			}
+		}
+		return cachemodel.Result{TagHit: true, DataHit: true}
+	}
+
+	// Miss: free a data entry if needed (global random eviction), then
+	// install into the less-loaded skew.
+	s.Misses++
+	if isWB {
+		s.WritebackMisses++
+	} else {
+		s.DemandMisses++
+	}
+	if len(c.dataFree) == 0 {
+		c.globalEviction(a.Core)
+	}
+	sae := c.install(a)
+	if sae {
+		s.SAEs++
+		if c.cfg.RekeyOnSAE {
+			c.rekeyAndFlush()
+		}
+	}
+	return cachemodel.Result{SAE: sae, Writebacks: c.wbBuf}
+}
+
+// chooseSkew is load-aware skew selection (same policy as Maya).
+func (c *Mirage) chooseSkew(line uint64) (int, int, bool) {
+	bestSkew, bestSet, bestValid := -1, -1, 0
+	tie := 0
+	for skew := 0; skew < c.skews; skew++ {
+		set := c.hasher.Index(skew, line)
+		v := int(c.validCnt[skew*c.sets+set])
+		switch {
+		case bestSkew < 0 || v < bestValid:
+			bestSkew, bestSet, bestValid = skew, set, v
+			tie = 1
+		case v == bestValid:
+			tie++
+			if c.r.Intn(tie) == 0 {
+				bestSkew, bestSet = skew, set
+			}
+		}
+	}
+	return bestSkew, bestSet, bestValid < c.ways
+}
+
+func (c *Mirage) install(a cachemodel.Access) bool {
+	skew, set, ok := c.chooseSkew(a.Line)
+	sae := false
+	if !ok {
+		// SAE: evict a random valid entry from the target set.
+		sae = true
+		base := c.setBase(skew, set)
+		w := int32(c.r.Intn(c.ways))
+		c.evictTag(base+w, a.Core, true)
+	}
+	base := c.setBase(skew, set)
+	var ti int32 = -1
+	for w := int32(0); w < int32(c.ways); w++ {
+		if !c.tags[base+w].valid {
+			ti = base + w
+			break
+		}
+	}
+	e := &c.tags[ti]
+	*e = tagEntry{line: a.Line, sdid: a.SDID, core: a.Core, valid: true, dirty: a.Type == cachemodel.Writeback, fptr: -1}
+	c.validCnt[skew*c.sets+set]++
+	c.stats.Fills++
+
+	// Attach a data entry (one is guaranteed free here).
+	slot := c.dataFree[len(c.dataFree)-1]
+	c.dataFree = c.dataFree[:len(c.dataFree)-1]
+	d := &c.data[slot]
+	d.valid = true
+	d.rptr = ti
+	d.usedPos = int32(len(c.dataUsed))
+	c.dataUsed = append(c.dataUsed, slot)
+	e.fptr = slot
+	c.stats.DataFills++
+	return sae
+}
+
+// globalEviction removes a uniformly random line from the whole cache —
+// the property that makes Mirage equivalent to a fully-associative cache
+// with random replacement.
+func (c *Mirage) globalEviction(evictorCore uint8) {
+	pos := int32(c.r.Intn(len(c.dataUsed)))
+	slot := c.dataUsed[pos]
+	c.evictTag(c.data[slot].rptr, evictorCore, true)
+	c.stats.GlobalDataEvictions++
+}
+
+// evictTag invalidates tag ti and frees its data entry. account controls
+// dead-block/inter-core bookkeeping (flushes are excluded from it).
+func (c *Mirage) evictTag(ti int32, evictorCore uint8, account bool) {
+	e := &c.tags[ti]
+	if !e.valid {
+		panic("mirage: evictTag on invalid tag")
+	}
+	if account {
+		if e.reused {
+			c.stats.ReusedDataEvictions++
+		} else {
+			c.stats.DeadDataEvictions++
+		}
+		if e.core != evictorCore {
+			c.stats.InterCoreEvictions++
+		}
+	}
+	if e.dirty {
+		c.wbBuf = append(c.wbBuf, cachemodel.WritebackOut{Line: e.line, SDID: e.sdid})
+		c.stats.WritebacksToMem++
+	}
+	c.freeDataSlot(e.fptr)
+	c.validCnt[int(ti)/c.ways]--
+	*e = tagEntry{fptr: -1}
+}
+
+func (c *Mirage) freeDataSlot(slot int32) {
+	pos := c.data[slot].usedPos
+	last := int32(len(c.dataUsed) - 1)
+	moved := c.dataUsed[last]
+	c.dataUsed[pos] = moved
+	c.data[moved].usedPos = pos
+	c.dataUsed = c.dataUsed[:last]
+	c.data[slot] = dataEntry{rptr: -1}
+	c.dataFree = append(c.dataFree, slot)
+}
+
+func (c *Mirage) rekeyAndFlush() {
+	for ti := range c.tags {
+		e := &c.tags[ti]
+		if !e.valid {
+			continue
+		}
+		if e.dirty {
+			c.wbBuf = append(c.wbBuf, cachemodel.WritebackOut{Line: e.line, SDID: e.sdid})
+			c.stats.WritebacksToMem++
+		}
+		c.freeDataSlot(e.fptr)
+		*e = tagEntry{fptr: -1}
+	}
+	for i := range c.validCnt {
+		c.validCnt[i] = 0
+	}
+	c.hasher.Rekey()
+	c.stats.Rekeys++
+}
+
+// Flush implements cachemodel.LLC.
+func (c *Mirage) Flush(line uint64, sdid uint8) bool {
+	ti := c.lookup(line, sdid)
+	if ti < 0 {
+		return false
+	}
+	c.evictTag(ti, c.tags[ti].core, false)
+	c.stats.Flushes++
+	return true
+}
+
+// Probe implements cachemodel.LLC.
+func (c *Mirage) Probe(line uint64, sdid uint8) (bool, bool) {
+	hit := c.lookup(line, sdid) >= 0
+	return hit, hit
+}
+
+// LookupPenalty implements cachemodel.LLC: 3 cycles of PRINCE plus 1 cycle
+// of indirection, as charged in the paper.
+func (c *Mirage) LookupPenalty() int { return prince.LatencyCycles + 1 }
+
+// Stats implements cachemodel.LLC.
+func (c *Mirage) Stats() *cachemodel.Stats { return &c.stats }
+
+// ResetStats implements cachemodel.LLC.
+func (c *Mirage) ResetStats() { c.stats.Reset() }
+
+// Name implements cachemodel.LLC.
+func (c *Mirage) Name() string {
+	return fmt.Sprintf("Mirage-%db%de%s", c.cfg.BaseWays, c.cfg.ExtraWays, c.cfg.NameSuffix)
+}
+
+// Geometry implements cachemodel.LLC.
+func (c *Mirage) Geometry() cachemodel.Geometry {
+	return cachemodel.Geometry{
+		Skews:       c.skews,
+		SetsPerSkew: c.sets,
+		WaysPerSkew: c.ways,
+		DataEntries: len(c.data),
+		TagEntries:  len(c.tags),
+		Decoupled:   true,
+	}
+}
+
+// Occupancy returns the number of resident lines.
+func (c *Mirage) Occupancy() int { return len(c.dataUsed) }
+
+// Audit verifies FPTR/RPTR consistency and population accounting.
+func (c *Mirage) Audit() error {
+	valid := 0
+	for ti := range c.tags {
+		e := &c.tags[ti]
+		if !e.valid {
+			continue
+		}
+		valid++
+		if e.fptr < 0 || int(e.fptr) >= len(c.data) {
+			return fmt.Errorf("tag %d has bad fptr %d", ti, e.fptr)
+		}
+		d := &c.data[e.fptr]
+		if !d.valid || d.rptr != int32(ti) {
+			return fmt.Errorf("tag %d: FPTR/RPTR mismatch", ti)
+		}
+	}
+	if valid != len(c.dataUsed) {
+		return fmt.Errorf("valid tags %d != data in use %d", valid, len(c.dataUsed))
+	}
+	if len(c.dataUsed)+len(c.dataFree) != len(c.data) {
+		return fmt.Errorf("data slots leak")
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package partition
+
+import (
+	"testing"
+
+	"mayacache/internal/baseline"
+	"mayacache/internal/cachemodel"
+	"mayacache/internal/rng"
+)
+
+func cfg(k Kind) Config {
+	return Config{
+		Sets: 512, Ways: 16, Domains: 8, Kind: k,
+		Replacement: baseline.SRRIP, Seed: 1,
+	}
+}
+
+func TestIsolation(t *testing.T) {
+	// The defining property: a domain hammering the cache cannot evict
+	// another domain's lines.
+	for _, k := range []Kind{WayPartition, SetPartition, FlexSetPartition} {
+		c := New(cfg(k))
+		c.Access(cachemodel.Access{Line: 42, Type: cachemodel.Read, SDID: 0})
+		r := rng.New(1)
+		for i := 0; i < 100000; i++ {
+			c.Access(cachemodel.Access{Line: uint64(r.Uint32()), Type: cachemodel.Read, SDID: 1})
+		}
+		if hit, _ := c.Probe(42, 0); !hit {
+			t.Errorf("%v: domain 1 evicted domain 0's line", k)
+		}
+	}
+}
+
+func TestReducedEffectiveCapacity(t *testing.T) {
+	// A single domain only reaches 1/Domains of the cache: a working set
+	// that fits the full cache but not the partition must thrash.
+	full := baseline.New(baseline.Config{Sets: 512, Ways: 16, Replacement: baseline.LRU, Seed: 1})
+	part := New(Config{Sets: 512, Ways: 16, Domains: 8, Kind: WayPartition, Replacement: baseline.LRU, Seed: 1})
+	// Working set: 4096 lines = half the 8192-entry cache, 4x the
+	// 1024-entry partition.
+	for pass := 0; pass < 4; pass++ {
+		for l := uint64(0); l < 4096; l++ {
+			full.Access(cachemodel.Access{Line: l, Type: cachemodel.Read})
+			part.Access(cachemodel.Access{Line: l, Type: cachemodel.Read, SDID: 0})
+		}
+	}
+	if fh, ph := full.Stats().DataHits, part.Stats().DataHits; ph*2 > fh {
+		t.Fatalf("partitioned cache hits (%d) not clearly below shared (%d)", ph, fh)
+	}
+}
+
+func TestMissThenHitPerDomain(t *testing.T) {
+	for _, k := range []Kind{WayPartition, SetPartition, FlexSetPartition} {
+		c := New(cfg(k))
+		for d := uint8(0); d < 8; d++ {
+			a := cachemodel.Access{Line: 7, Type: cachemodel.Read, SDID: d}
+			if r := c.Access(a); r.DataHit {
+				t.Fatalf("%v domain %d: first access hit", k, d)
+			}
+			if r := c.Access(a); !r.DataHit {
+				t.Fatalf("%v domain %d: second access missed", k, d)
+			}
+		}
+	}
+}
+
+func TestAggregateStats(t *testing.T) {
+	c := New(cfg(WayPartition))
+	for d := uint8(0); d < 8; d++ {
+		c.Access(cachemodel.Access{Line: uint64(d), Type: cachemodel.Read, SDID: d})
+	}
+	if got := c.Stats().Accesses; got != 8 {
+		t.Fatalf("aggregate accesses = %d, want 8", got)
+	}
+}
+
+func TestFlushScopedToDomain(t *testing.T) {
+	c := New(cfg(SetPartition))
+	c.Access(cachemodel.Access{Line: 5, Type: cachemodel.Read, SDID: 0})
+	c.Access(cachemodel.Access{Line: 5, Type: cachemodel.Read, SDID: 1})
+	if !c.Flush(5, 0) {
+		t.Fatal("flush failed")
+	}
+	if hit, _ := c.Probe(5, 1); !hit {
+		t.Fatal("flush in domain 0 removed domain 1's line")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		WayPartition: "DAWG-way", SetPartition: "PageColor-set", FlexSetPartition: "BCE-flex",
+	} {
+		if k.String() != want {
+			t.Errorf("String = %q, want %q", k.String(), want)
+		}
+	}
+}

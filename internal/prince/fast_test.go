@@ -1,0 +1,112 @@
+package prince
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncryptFastMatchesReference(t *testing.T) {
+	f := func(pt, k0, k1 uint64) bool {
+		c := New(k0, k1)
+		return c.EncryptFast(pt) == c.Encrypt(pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMPrimeFastMatchesReference(t *testing.T) {
+	f := func(x uint64) bool { return mPrimeFast(x) == mPrime(x) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncryptFastKAT(t *testing.T) {
+	for i, v := range katVectors {
+		c := New(v.k0, v.k1)
+		if got := c.EncryptFast(v.pt); got != v.ct {
+			t.Errorf("vector %d: EncryptFast = %#016x, want %#016x", i, got, v.ct)
+		}
+	}
+}
+
+func TestRandomizerIndexInRange(t *testing.T) {
+	r := NewRandomizer(2, 14, 42)
+	for line := uint64(0); line < 10000; line++ {
+		for s := 0; s < 2; s++ {
+			idx := r.Index(s, line)
+			if idx < 0 || idx >= 1<<14 {
+				t.Fatalf("index %d out of range", idx)
+			}
+		}
+	}
+}
+
+func TestRandomizerSkewsDiffer(t *testing.T) {
+	r := NewRandomizer(2, 14, 42)
+	same := 0
+	const n = 10000
+	for line := uint64(0); line < n; line++ {
+		if r.Index(0, line) == r.Index(1, line) {
+			same++
+		}
+	}
+	// Two independent ciphers collide on an index with p = 2^-14.
+	if same > 20 {
+		t.Fatalf("skew indices coincide %d/%d times", same, n)
+	}
+}
+
+func TestRandomizerUniformity(t *testing.T) {
+	r := NewRandomizer(1, 8, 7)
+	counts := make([]int, 256)
+	const n = 256 * 1000
+	for line := uint64(0); line < n; line++ {
+		counts[r.Index(0, line)]++
+	}
+	for set, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("set %d: count %d deviates badly from 1000", set, c)
+		}
+	}
+}
+
+func TestRekeyChangesMapping(t *testing.T) {
+	r := NewRandomizer(1, 14, 9)
+	before := make([]int, 1000)
+	for line := range before {
+		before[line] = r.Index(0, uint64(line))
+	}
+	r.Rekey()
+	if r.Epoch() != 1 {
+		t.Fatalf("epoch = %d after one rekey", r.Epoch())
+	}
+	same := 0
+	for line := range before {
+		if r.Index(0, uint64(line)) == before[line] {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("mapping unchanged for %d/1000 lines after rekey", same)
+	}
+}
+
+func BenchmarkEncryptFast(b *testing.B) {
+	c := New(0x0123456789abcdef, 0xfedcba9876543210)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= c.EncryptFast(uint64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkRandomizerIndex(b *testing.B) {
+	r := NewRandomizer(2, 14, 1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Index(i&1, uint64(i))
+	}
+	_ = sink
+}

@@ -1,0 +1,65 @@
+package prince
+
+import "mayacache/internal/rng"
+
+// Randomizer derives per-skew cache set indices from line addresses using
+// one PRINCE instance per skew, as in CEASER-S, Scatter-Cache, Mirage, and
+// Maya. The key is set at construction ("system boot" in the paper) and can
+// be refreshed with Rekey, which the designs do after the (astronomically
+// rare) set-associative eviction.
+type Randomizer struct {
+	ciphers []*Cipher
+	setMask uint64
+	setBits uint
+	seed    uint64
+	epoch   uint64
+}
+
+// NewRandomizer creates a randomizer for nSkews skews, each indexing
+// 2^setBits sets, with keys derived deterministically from seed.
+func NewRandomizer(nSkews int, setBits uint, seed uint64) *Randomizer {
+	if nSkews < 1 {
+		panic("prince: NewRandomizer needs at least one skew")
+	}
+	if setBits == 0 || setBits > 48 {
+		panic("prince: setBits out of range")
+	}
+	r := &Randomizer{setBits: setBits, setMask: (1 << setBits) - 1, seed: seed}
+	r.ciphers = make([]*Cipher, nSkews)
+	r.installKeys()
+	return r
+}
+
+func (r *Randomizer) installKeys() {
+	sm := r.seed ^ rng.Mix64(r.epoch+0x5eed)
+	for i := range r.ciphers {
+		k0 := rng.SplitMix64(&sm)
+		k1 := rng.SplitMix64(&sm)
+		r.ciphers[i] = New(k0, k1)
+	}
+}
+
+// Index returns the set index for line in the given skew.
+func (r *Randomizer) Index(skew int, line uint64) int {
+	return int(r.ciphers[skew].EncryptFast(line) & r.setMask)
+}
+
+// Skews returns the number of skews.
+func (r *Randomizer) Skews() int { return len(r.ciphers) }
+
+// Sets returns the number of sets per skew.
+func (r *Randomizer) Sets() int { return 1 << r.setBits }
+
+// Rekey installs fresh keys (a new epoch). All previously computed indices
+// become invalid; callers are expected to flush the cache.
+func (r *Randomizer) Rekey() {
+	r.epoch++
+	r.installKeys()
+}
+
+// Epoch returns the number of rekeys performed.
+func (r *Randomizer) Epoch() uint64 { return r.epoch }
+
+// LatencyCycles is the lookup latency the paper charges for a 12-round
+// PRINCE in the address path.
+const LatencyCycles = 3

@@ -1,0 +1,168 @@
+// Package report renders experiment results as fixed-width tables and CSV,
+// shared by the cmd tools and the benchmark harness.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+// CSV writes the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) {
+	write := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			fmt.Fprint(w, c)
+		}
+		fmt.Fprintln(w)
+	}
+	write(t.Headers)
+	for _, row := range t.Rows {
+		write(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series renders an ASCII bar series, used for figure-shaped output.
+type Series struct {
+	Title  string
+	Labels []string
+	Values []float64
+	// RefValue draws a reference line annotation (e.g. baseline = 1.0).
+	RefValue float64
+	HasRef   bool
+}
+
+// NewSeries creates a labeled value series.
+func NewSeries(title string) *Series { return &Series{Title: title} }
+
+// Add appends one bar.
+func (s *Series) Add(label string, v float64) {
+	s.Labels = append(s.Labels, label)
+	s.Values = append(s.Values, v)
+}
+
+// SetRef sets the reference annotation.
+func (s *Series) SetRef(v float64) {
+	s.RefValue, s.HasRef = v, true
+}
+
+// Render writes bars scaled to maxWidth columns.
+func (s *Series) Render(w io.Writer, maxWidth int) {
+	if maxWidth <= 0 {
+		maxWidth = 50
+	}
+	if s.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", s.Title)
+	}
+	maxV := 0.0
+	lw := 0
+	for i, v := range s.Values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(s.Labels[i]) > lw {
+			lw = len(s.Labels[i])
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	for i, v := range s.Values {
+		n := int(v / maxV * float64(maxWidth))
+		if n < 0 {
+			n = 0
+		}
+		ref := ""
+		if s.HasRef {
+			delta := (v/s.RefValue - 1) * 100
+			ref = fmt.Sprintf("  (%+.1f%%)", delta)
+		}
+		fmt.Fprintf(w, "%s  %8.3f  %s%s\n", pad(s.Labels[i], lw), v, strings.Repeat("#", n), ref)
+	}
+}

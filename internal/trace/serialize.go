@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Trace serialization: a compact gzip-compressed binary format so
+// synthetic traces can be captured once and replayed (or external traces
+// converted into the simulator's format). Layout after the gzip layer:
+//
+//	magic "MYTR" | version u8 | count u64 | count x (gap varint,
+//	line varint-delta, flags u8)
+//
+// Lines are delta-encoded against the previous event's line (zig-zag), so
+// strided and streaming traces compress to a few bits per event.
+
+const (
+	traceMagic   = "MYTR"
+	traceVersion = 1
+	flagWrite    = 1 << 0
+)
+
+// WriteEvents serializes events to w.
+func WriteEvents(w io.Writer, events []Event) error {
+	gz := gzip.NewWriter(w)
+	bw := bufio.NewWriter(gz)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(traceVersion); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(events)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	var prev uint64
+	for _, e := range events {
+		n = binary.PutUvarint(buf[:], uint64(e.Gap))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		delta := int64(e.Line) - int64(prev)
+		n = binary.PutVarint(buf[:], delta)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		flags := byte(0)
+		if e.Write {
+			flags |= flagWrite
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return err
+		}
+		prev = e.Line
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// ReadEvents deserializes a trace written by WriteEvents.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer gz.Close()
+	br := bufio.NewReader(gz)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	version, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if version != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	const maxEvents = 1 << 30
+	if count > maxEvents {
+		return nil, fmt.Errorf("trace: implausible event count %d", count)
+	}
+	events := make([]Event, 0, count)
+	var prev uint64
+	for i := uint64(0); i < count; i++ {
+		gap, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d gap: %w", i, err)
+		}
+		delta, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d line: %w", i, err)
+		}
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d flags: %w", i, err)
+		}
+		line := uint64(int64(prev) + delta)
+		events = append(events, Event{
+			Gap:   int32(gap),
+			Line:  line,
+			Write: flags&flagWrite != 0,
+		})
+		prev = line
+	}
+	return events, nil
+}
+
+// Capture materializes n events from a generator.
+func Capture(g Generator, n int) []Event {
+	out := make([]Event, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Replayer is a Generator that plays back a recorded event slice,
+// wrapping around at the end.
+type Replayer struct {
+	name   string
+	events []Event
+	pos    int
+}
+
+// NewReplayer wraps events as a Generator. It panics on an empty slice.
+func NewReplayer(name string, events []Event) *Replayer {
+	if len(events) == 0 {
+		panic("trace: NewReplayer with no events")
+	}
+	return &Replayer{name: name, events: events}
+}
+
+// Next implements Generator.
+func (r *Replayer) Next() Event {
+	e := r.events[r.pos]
+	r.pos++
+	if r.pos == len(r.events) {
+		r.pos = 0
+	}
+	return e
+}
+
+// Name implements Generator.
+func (r *Replayer) Name() string { return r.name }

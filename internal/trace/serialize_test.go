@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	g := MustGenerator(MustLookup("mcf"), 0, 7)
+	events := Capture(g, 5000)
+	var buf bytes.Buffer
+	if err := WriteEvents(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := MustGenerator(MustLookup("lbm"), int(seed%8), seed)
+		events := Capture(g, 200)
+		var buf bytes.Buffer
+		if WriteEvents(&buf, events) != nil {
+			return false
+		}
+		got, err := ReadEvents(&buf)
+		if err != nil || len(got) != len(events) {
+			return false
+		}
+		for i := range events {
+			if got[i] != events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressionIsEffective(t *testing.T) {
+	// Streaming traces must compress far below 8 bytes/event.
+	g := MustGenerator(MustLookup("lbm"), 0, 1)
+	events := Capture(g, 10000)
+	var buf bytes.Buffer
+	if err := WriteEvents(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	perEvent := float64(buf.Len()) / float64(len(events))
+	if perEvent > 4 {
+		t.Fatalf("%.2f bytes/event; delta+gzip should beat 4", perEvent)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := ReadEvents(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Valid gzip, wrong magic.
+	var buf bytes.Buffer
+	if err := WriteEvents(&buf, []Event{{Line: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	corrupted := buf.Bytes()
+	// Truncation must error, not panic.
+	if _, err := ReadEvents(bytes.NewReader(corrupted[:len(corrupted)/2])); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+func TestReplayerWrapsAround(t *testing.T) {
+	events := []Event{{Line: 1}, {Line: 2}}
+	r := NewReplayer("two", events)
+	seq := []uint64{r.Next().Line, r.Next().Line, r.Next().Line}
+	if seq[0] != 1 || seq[1] != 2 || seq[2] != 1 {
+		t.Fatalf("replay sequence %v", seq)
+	}
+	if r.Name() != "two" {
+		t.Fatalf("name %q", r.Name())
+	}
+}
+
+func TestReplayerRejectsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty replayer accepted")
+		}
+	}()
+	NewReplayer("x", nil)
+}

@@ -1,0 +1,91 @@
+package maya
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestOPTAnalysisAPI(t *testing.T) {
+	stream := []uint64{1, 2, 3, 1, 2, 3}
+	res, err := AnalyzeOPT(stream, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accesses != 6 || res.Distinct != 3 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+	if res.Misses < res.Distinct {
+		t.Fatal("misses below compulsory floor")
+	}
+}
+
+func TestTraceCaptureReplayRoundTrip(t *testing.T) {
+	g, err := NewWorkloadGenerator("xz", 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := CaptureTrace(g, 1000)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1000 {
+		t.Fatalf("round trip returned %d events", len(back))
+	}
+	r := NewTraceReplayer("xz-replay", back)
+	if r.Next() != events[0] {
+		t.Fatal("replayer diverges from capture")
+	}
+}
+
+func TestReplayedTraceDrivesSystem(t *testing.T) {
+	g, err := NewWorkloadGenerator("mcf", 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := CaptureTrace(g, 20_000)
+	replay := NewTraceReplayer("mcf-capture", events)
+	// Feed the replayed trace through a system via a custom LLC +
+	// manual construction: the public facade accepts workload names, so
+	// drive the cache directly here.
+	cfg := DefaultCacheConfig(1)
+	cfg.SetsPerSkew = 256
+	c := NewCache(cfg)
+	for i := 0; i < 20_000; i++ {
+		e := replay.Next()
+		typ := Read
+		if e.Write {
+			typ = Writeback
+		}
+		c.Access(Access{Line: e.Line, Type: typ})
+	}
+	if c.Stats().Accesses != 20_000 {
+		t.Fatalf("accesses %d", c.Stats().Accesses)
+	}
+}
+
+func TestAttackAPIFlow(t *testing.T) {
+	cfg := DefaultCacheConfig(3)
+	cfg.SetsPerSkew = 64
+	c := NewCache(cfg)
+	res := BuildEvictionSet(c, 0x99, 2048, 10_000_000, 3)
+	if res.Found {
+		t.Fatal("eviction set found against Maya via public API")
+	}
+	if res.SAEsObserved != 0 {
+		t.Fatal("SAEs observed against Maya")
+	}
+	keyA, keyB := FindContrastingAESKeys(8, 8, 3)
+	if keyA == keyB {
+		t.Fatal("key search returned identical keys")
+	}
+	v := NewAESVictim(keyA, 1<<20, 8, CacheToucher(c, 2))
+	o := NewOccupancy(OccupancyConfig{Cache: c, OccupancyLines: 512, SDID: 1, NoiseLines: 4, Seed: 3})
+	if s := o.Sample(v); s < 0 {
+		t.Fatal("negative sample")
+	}
+}

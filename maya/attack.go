@@ -1,0 +1,57 @@
+package maya
+
+import "mayacache/internal/attack"
+
+// Attack-framework re-exports (the cacheFX-style occupancy attacker and
+// eviction-set construction used in Figure 8 and the attack examples).
+
+// Victim is a secret-dependent process observable through the cache.
+type Victim = attack.Victim
+
+// AESVictim is a T-table AES-128 victim with a per-key plaintext pool.
+type AESVictim = attack.AESVictim
+
+// NewAESVictim builds an AES victim whose table accesses go through the
+// given trace callback.
+func NewAESVictim(key [16]byte, tableBase uint64, poolSize int, trace func(uint64)) *AESVictim {
+	return attack.NewAESVictim(key, tableBase, poolSize, trace)
+}
+
+// ModExpVictim is a fixed-window modular-exponentiation victim.
+type ModExpVictim = attack.ModExpVictim
+
+// NewModExpVictim builds a modexp victim with a keySeed-derived secret
+// exponent of expBits bits.
+func NewModExpVictim(keySeed uint64, expBits int, tableBase uint64, trace func(uint64)) *ModExpVictim {
+	return attack.NewModExpVictim(keySeed, expBits, tableBase, trace)
+}
+
+// CacheToucher adapts an LLC into a victim trace callback.
+func CacheToucher(c LLC, sdid uint8) func(line uint64) {
+	return attack.CacheToucher(c, sdid)
+}
+
+// Occupancy is the LLC occupancy attacker.
+type Occupancy = attack.Occupancy
+
+// OccupancyConfig parameterizes the attacker.
+type OccupancyConfig = attack.OccupancyConfig
+
+// NewOccupancy builds and primes an occupancy attacker.
+func NewOccupancy(cfg OccupancyConfig) *Occupancy { return attack.NewOccupancy(cfg) }
+
+// EvictionSetResult reports an eviction-set construction attempt.
+type EvictionSetResult = attack.EvictionSetResult
+
+// BuildEvictionSet attempts conflict-based eviction-set construction
+// against the cache; it succeeds against conventional designs and fails
+// (with zero observed SAEs) against Maya and Mirage.
+func BuildEvictionSet(c LLC, victimLine uint64, candidates int, budget uint64, seed uint64) EvictionSetResult {
+	return attack.BuildEvictionSet(c, victimLine, candidates, budget, seed)
+}
+
+// FindContrastingAESKeys searches for two keys with maximally different
+// cache reuse profiles (the Fig 8 attacker's key choice).
+func FindContrastingAESKeys(candidates, poolSize int, seed uint64) ([16]byte, [16]byte) {
+	return attack.FindContrastingAESKeys(candidates, poolSize, seed)
+}

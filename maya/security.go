@@ -1,0 +1,64 @@
+package maya
+
+import (
+	"mayacache/internal/analytic"
+	"mayacache/internal/buckets"
+	"mayacache/internal/power"
+)
+
+// Security analysis re-exports: the bucket-and-balls Monte-Carlo model and
+// the analytical Birth-Death chain of Section IV.
+
+// BucketModelConfig parameterizes the Monte-Carlo security model.
+type BucketModelConfig = buckets.Config
+
+// BucketModel is a runnable bucket-and-balls simulation.
+type BucketModel = buckets.Model
+
+// Bucket-model modes.
+const (
+	BucketModeMaya      = buckets.ModeMaya
+	BucketModeMirage    = buckets.ModeMirage
+	BucketModeThreshold = buckets.ModeThreshold
+)
+
+// NewBucketModel builds a bucket-and-balls model.
+func NewBucketModel(cfg BucketModelConfig) *BucketModel { return buckets.New(cfg) }
+
+// DefaultBucketModel returns the paper's Table II configuration for the
+// Maya tag store.
+func DefaultBucketModel(bucketsPerSkew int, seed uint64) BucketModelConfig {
+	return buckets.MayaDefault(bucketsPerSkew, seed)
+}
+
+// SecurityPoint describes a Maya configuration for the analytical model.
+type SecurityPoint = analytic.DesignPoint
+
+// InstallsPerSAE solves the analytical Birth-Death model for the given
+// configuration and returns the expected cache-line installs between
+// set-associative evictions (the paper's security metric; the default
+// Maya configuration yields ~1e33, i.e. one SAE in ~1e16 years).
+func InstallsPerSAE(p SecurityPoint) (float64, error) { return p.InstallsPerSAE() }
+
+// YearsPerSAE converts installs to years at one fill per nanosecond.
+func YearsPerSAE(installs float64) float64 { return analytic.YearsPerSAE(installs) }
+
+// Storage/cost accounting re-exports (Tables VIII and IX).
+
+// StorageAccount returns the exact Table VIII storage breakdown.
+func StorageAccount(d CostDesign) power.Storage { return power.Account(d) }
+
+// CostEstimate returns the Table IX energy/power/area estimates.
+func CostEstimate(d CostDesign) power.Costs { return power.Estimate(d) }
+
+// CostDesign identifies designs for cost accounting.
+type CostDesign = power.Design
+
+// Cost-accounted designs.
+const (
+	CostBaseline   = power.Baseline
+	CostMirage     = power.Mirage
+	CostMirageLite = power.MirageLite
+	CostMaya       = power.Maya
+	CostMayaISO    = power.MayaISO
+)
