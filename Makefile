@@ -1,0 +1,48 @@
+# Maya cache reproduction — build/verify targets.
+#
+# `make ci` is the tier-1 gate: everything a PR must keep green.
+
+GO ?= go
+
+.PHONY: all build test vet check race fuzz-smoke ci clean
+
+all: build
+
+# build compiles every package and command.
+build:
+	$(GO) build ./...
+
+# test runs the full unit/integration suite.
+test:
+	$(GO) test ./...
+
+# vet runs go vet plus mayavet, the simulator-specific analyzers
+# (randsource, maporder, uncheckederr, narrowcast — see internal/vet).
+vet:
+	$(GO) vet ./...
+	$(GO) run ./cmd/mayavet ./...
+
+# check re-runs the suite with the mayacheck build tag: the hot cache
+# structures self-verify their FPTR/RPTR bijection, occupancy conservation,
+# and ball-count invariants on every run.
+check:
+	$(GO) test -tags mayacheck ./internal/core/... ./internal/mirage/... ./internal/buckets/... ./internal/cachesim/...
+
+# race runs the race detector over the multi-core simulator paths.
+race:
+	$(GO) test -race ./internal/cachesim/... ./internal/core/... ./internal/experiments/...
+
+# fuzz-smoke gives each fuzz target a short budget — enough to catch
+# regressions in the PRINCE round-trip and trace-parser robustness without
+# stalling CI. Corpus crashers live under testdata/fuzz and replay in
+# normal `go test` runs.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzEncryptDecryptRoundTrip -fuzztime=10s ./internal/prince/
+	$(GO) test -run=^$$ -fuzz=FuzzReadEvents$$ -fuzztime=10s ./internal/trace/
+	$(GO) test -run=^$$ -fuzz=FuzzReadEventsRoundTrip -fuzztime=10s ./internal/trace/
+
+# ci is the tier-1 verification gate.
+ci: build test vet check race
+
+clean:
+	$(GO) clean ./...

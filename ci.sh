@@ -1,0 +1,22 @@
+#!/bin/sh
+# ci.sh — tier-1 verification gate, equivalent to `make ci` for
+# environments without make. Every step must pass.
+set -eu
+
+echo "==> build"
+go build ./...
+
+echo "==> test"
+go test ./...
+
+echo "==> vet (go vet + mayavet)"
+go vet ./...
+go run ./cmd/mayavet ./...
+
+echo "==> invariant-checked tests (-tags mayacheck)"
+go test -tags mayacheck ./internal/core/... ./internal/mirage/... ./internal/buckets/... ./internal/cachesim/...
+
+echo "==> race detector (multi-core simulator paths)"
+go test -race ./internal/cachesim/... ./internal/core/... ./internal/experiments/...
+
+echo "ci: all green"

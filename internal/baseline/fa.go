@@ -2,6 +2,7 @@ package baseline
 
 import (
 	"fmt"
+	"math"
 
 	"mayacache/internal/cachemodel"
 	"mayacache/internal/rng"
@@ -42,6 +43,10 @@ type faEntry struct {
 func NewFullyAssociative(capacity int, seed uint64, matchSDID bool) *FullyAssociative {
 	if capacity <= 0 {
 		panic("baseline: FullyAssociative capacity must be positive")
+	}
+	// Slot and usedPos fields are int32; every index below is < capacity.
+	if capacity > math.MaxInt32 {
+		panic("baseline: FullyAssociative capacity overflows int32 slot indices")
 	}
 	return &FullyAssociative{
 		capacity: capacity,
@@ -98,21 +103,21 @@ func (c *FullyAssociative) Access(a cachemodel.Access) cachemodel.Result {
 		// Find a free slot: slots are allocated densely from the front,
 		// but eviction frees arbitrary slots, so track via a free scan
 		// only at startup; afterwards reuse the victim's slot.
-		slot = int32(len(c.used))
+		slot = int32(len(c.used)) //mayavet:checked len(used) < capacity <= MaxInt32 (NewFullyAssociative)
 		if c.slots[slot].valid {
 			// Startup invariant broken only if flushes occurred; fall
 			// back to a scan.
 			slot = -1
 			for i := range c.slots {
 				if !c.slots[i].valid {
-					slot = int32(i)
+					slot = int32(i) //mayavet:checked i < capacity <= MaxInt32 (NewFullyAssociative)
 					break
 				}
 			}
 		}
 	} else {
 		// Random global eviction.
-		pos := int32(c.r.Intn(len(c.used)))
+		pos := int32(c.r.Intn(len(c.used))) //mayavet:checked Intn < len(used) <= capacity <= MaxInt32
 		slot = c.used[pos]
 		v := &c.slots[slot]
 		if v.reused {
@@ -133,7 +138,7 @@ func (c *FullyAssociative) Access(a cachemodel.Access) cachemodel.Result {
 
 	e := &c.slots[slot]
 	*e = faEntry{key: k, core: a.Core, valid: true, dirty: a.Type == cachemodel.Writeback}
-	e.usedPos = int32(len(c.used))
+	e.usedPos = int32(len(c.used)) //mayavet:checked len(used) < capacity <= MaxInt32 (NewFullyAssociative)
 	c.used = append(c.used, slot)
 	c.index[k] = slot
 	s.Fills++

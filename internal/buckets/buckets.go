@@ -15,8 +15,13 @@ package buckets
 import (
 	"fmt"
 
+	"mayacache/internal/invariant"
 	"mayacache/internal/rng"
 )
+
+// conservationPeriod is how often (in iterations) a mayacheck build
+// re-verifies ball-count conservation from Step. The check is O(buckets).
+const conservationPeriod = 4096
 
 // Mode selects the modeled design.
 type Mode uint8
@@ -241,6 +246,9 @@ func (m *Model) Step() {
 		m.writebackTagMiss()
 	case ModeMirage, ModeThreshold:
 		m.mirageThrow()
+	}
+	if invariant.Enabled && invariant.Every(m.iters, conservationPeriod) {
+		invariant.CheckErr(m.Conservation())
 	}
 }
 

@@ -1,0 +1,36 @@
+//go:build mayacheck
+
+package buckets
+
+import (
+	"testing"
+
+	"mayacache/internal/invariant"
+)
+
+func TestMayacheckCleanModelPasses(t *testing.T) {
+	m := New(MayaDefault(64, 1))
+	m.Run(3 * conservationPeriod)
+	if err := m.Conservation(); err != nil {
+		t.Fatalf("clean model failed conservation: %v", err)
+	}
+}
+
+func TestMayacheckDetectsBallLoss(t *testing.T) {
+	m := New(MayaDefault(64, 2))
+	m.Run(conservationPeriod / 2)
+	// Lose a ball: total count no longer matches the steady-state
+	// population the security model assumes.
+	m.total[0]--
+	m.p0[0]--
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("ball loss ran without an invariant violation")
+		}
+		if _, ok := r.(invariant.Violation); !ok {
+			t.Fatalf("panic value %T (%v), want invariant.Violation", r, r)
+		}
+	}()
+	m.Run(2 * conservationPeriod)
+}

@@ -17,8 +17,19 @@ import (
 
 	"mayacache/internal/baseline"
 	"mayacache/internal/cachemodel"
+	"mayacache/internal/invariant"
 	"mayacache/internal/trace"
 )
+
+// llcAuditPeriod is how often (in drive-loop steps) a mayacheck build
+// audits the shared LLC's structural invariants.
+const llcAuditPeriod = 1 << 16
+
+// auditor is implemented by LLC designs that can self-verify (Maya,
+// Mirage); the drive loop audits them periodically under -tags mayacheck.
+type auditor interface {
+	Audit() error
+}
 
 // CoreParams describes one core and its private hierarchy (Table V).
 type CoreParams struct {
@@ -213,7 +224,16 @@ func (s *System) Run(warmup, roi uint64) Results {
 
 // drive interleaves cores by local clock until every core reaches target.
 func (s *System) drive() {
+	var steps uint64
 	for {
+		if invariant.Enabled {
+			steps++
+			if invariant.Every(steps, llcAuditPeriod) {
+				if a, ok := s.llc.(auditor); ok {
+					invariant.CheckErr(a.Audit())
+				}
+			}
+		}
 		// Pick the laggard core still running.
 		var next *core
 		for _, c := range s.cores {

@@ -1,0 +1,83 @@
+//go:build mayacheck
+
+package core
+
+import (
+	"testing"
+
+	"mayacache/internal/cachemodel"
+	"mayacache/internal/invariant"
+	"mayacache/internal/rng"
+)
+
+// smallCheckConfig is a tiny geometry that exercises evictions quickly.
+func smallCheckConfig(seed uint64) Config {
+	return Config{
+		SetsPerSkew: 16,
+		Skews:       2,
+		BaseWays:    4,
+		ReuseWays:   2,
+		InvalidWays: 2,
+		Seed:        seed,
+	}
+}
+
+// expectViolation runs f and fails the test unless it panics with an
+// invariant.Violation.
+func expectViolation(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("corrupted cache ran without an invariant violation")
+		}
+		if _, ok := r.(invariant.Violation); !ok {
+			t.Fatalf("panic value %T (%v), want invariant.Violation", r, r)
+		}
+	}()
+	f()
+}
+
+// drive pushes enough accesses through m to cross an audit boundary.
+func drive(m *Maya, seed uint64, n int) {
+	r := rng.New(seed)
+	for i := 0; i < n; i++ {
+		typ := cachemodel.Read
+		if r.Bool(0.2) {
+			typ = cachemodel.Writeback
+		}
+		m.Access(cachemodel.Access{Line: r.Uint64n(1 << 12), Type: typ})
+	}
+}
+
+func TestMayacheckCleanRunPasses(t *testing.T) {
+	m := New(smallCheckConfig(7))
+	drive(m, 8, 3*auditPeriod)
+	if err := m.Audit(); err != nil {
+		t.Fatalf("clean run failed audit: %v", err)
+	}
+}
+
+func TestMayacheckDetectsBrokenRPTR(t *testing.T) {
+	m := New(smallCheckConfig(11))
+	drive(m, 12, auditPeriod/2)
+	if len(m.dataUsed) == 0 {
+		t.Fatal("no data entries populated")
+	}
+	// Break the bijection: point a live data entry at the wrong tag.
+	slot := m.dataUsed[0]
+	m.data[slot].rptr++
+	expectViolation(t, func() { drive(m, 13, 2*auditPeriod) })
+}
+
+func TestMayacheckDetectsOccupancySkew(t *testing.T) {
+	m := New(smallCheckConfig(17))
+	drive(m, 18, auditPeriod/2)
+	// Double-count a data slot: priority-1 tag count no longer matches
+	// data-store occupancy.
+	if len(m.dataUsed) == 0 {
+		t.Fatal("no data entries populated")
+	}
+	m.dataUsed = append(m.dataUsed, m.dataUsed[0])
+	expectViolation(t, func() { drive(m, 19, 2*auditPeriod) })
+}

@@ -18,11 +18,18 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"mayacache/internal/cachemodel"
+	"mayacache/internal/invariant"
 	"mayacache/internal/prince"
 	"mayacache/internal/rng"
 )
+
+// auditPeriod is how often (in accesses) a mayacheck build runs the full
+// O(tags) Audit from the access path. Cheap O(1) assertions on the
+// FPTR/RPTR indirection run on every data-store operation regardless.
+const auditPeriod = 4096
 
 // Tag states (Fig 3 of the paper).
 const (
@@ -128,6 +135,12 @@ func New(cfg Config) *Maya {
 	ways := cfg.BaseWays + cfg.ReuseWays + cfg.InvalidWays
 	nTags := cfg.Skews * cfg.SetsPerSkew * ways
 	nData := cfg.Skews * cfg.SetsPerSkew * cfg.BaseWays
+	// FPTR/RPTR and the dense-list positions are int32: every tag index is
+	// < nTags and every data index or list position is < nData, so this
+	// single geometry check bounds all narrowing conversions below.
+	if nTags > math.MaxInt32 {
+		panic(fmt.Sprintf("core: geometry with %d tag entries overflows int32 indices", nTags))
+	}
 	m := &Maya{
 		cfg:      cfg,
 		ways:     ways,
@@ -206,6 +219,10 @@ func (m *Maya) Access(a cachemodel.Access) cachemodel.Result {
 		s.Writebacks++
 	} else {
 		s.Reads++
+	}
+
+	if invariant.Enabled && invariant.Every(s.Accesses, auditPeriod) {
+		invariant.CheckErr(m.Audit())
 	}
 
 	ti := m.lookup(a.Line, a.SDID)
@@ -298,7 +315,8 @@ func (m *Maya) freeWay(skew, set int) int32 {
 			return base + w
 		}
 	}
-	panic("core: freeWay called on a full set")
+	invariant.Check(false, "core: freeWay called on a full set (skew %d, set %d)", skew, set)
+	return -1
 }
 
 // installP0 handles a demand tag miss: fill a priority-0 tag via
@@ -373,16 +391,25 @@ func (m *Maya) attachData(ti int32, core uint8) {
 	d := &m.data[slot]
 	d.valid = true
 	d.rptr = ti
-	d.usedPos = int32(len(m.dataUsed))
+	d.usedPos = int32(len(m.dataUsed)) //mayavet:checked len(dataUsed) < nData <= MaxInt32 (New)
 	m.dataUsed = append(m.dataUsed, slot)
 	m.tags[ti].fptr = slot
 	m.stats.DataFills++
+	if invariant.Enabled {
+		// The FPTR/RPTR bijection must hold for the entry just linked, and
+		// the data store must conserve slots.
+		invariant.Check(m.data[slot].rptr == ti && m.tags[ti].fptr == slot,
+			"core: FPTR/RPTR link broken at slot %d tag %d", slot, ti)
+		invariant.Check(len(m.dataUsed)+len(m.dataFree) == len(m.data),
+			"core: data slots leak after attach: used %d + free %d != %d",
+			len(m.dataUsed), len(m.dataFree), len(m.data))
+	}
 }
 
 // globalDataEviction selects a uniformly random data entry, downgrades its
 // owning tag to priority-0, and frees the slot (writing back dirty data).
 func (m *Maya) globalDataEviction(evictorCore uint8) {
-	pos := int32(m.r.Intn(len(m.dataUsed)))
+	pos := int32(m.r.Intn(len(m.dataUsed))) //mayavet:checked Intn < len(dataUsed) <= nData <= MaxInt32 (New)
 	slot := m.dataUsed[pos]
 	ti := m.data[slot].rptr
 	e := &m.tags[ti]
@@ -405,7 +432,7 @@ func (m *Maya) globalDataEviction(evictorCore uint8) {
 // population accounting makes at most one eviction necessary here too.
 func (m *Maya) enforceP0Cap() {
 	for len(m.p0List) > m.p0Cap {
-		pos := int32(m.r.Intn(len(m.p0List)))
+		pos := int32(m.r.Intn(len(m.p0List))) //mayavet:checked Intn < len(p0List) <= nTags <= MaxInt32 (New)
 		ti := m.p0List[pos]
 		m.invalidateTag(ti)
 		m.stats.GlobalTagEvictions++
@@ -471,6 +498,11 @@ func (m *Maya) accountDataEviction(e *tagEntry, evictorCore uint8) {
 }
 
 func (m *Maya) freeDataSlot(slot, pos int32) {
+	if invariant.Enabled {
+		invariant.Check(m.data[slot].valid, "core: freeing invalid data slot %d", slot)
+		invariant.Check(pos >= 0 && int(pos) < len(m.dataUsed) && m.dataUsed[pos] == slot,
+			"core: dataUsed position %d does not hold slot %d", pos, slot)
+	}
 	last := int32(len(m.dataUsed) - 1)
 	moved := m.dataUsed[last]
 	m.dataUsed[pos] = moved
@@ -486,16 +518,14 @@ func (m *Maya) invalidateTag(ti int32) {
 	if e.state == stP0 {
 		m.removeP0(ti)
 	}
-	if e.fptr >= 0 {
-		panic("core: invalidateTag on a tag still owning data")
-	}
+	invariant.Check(e.fptr < 0, "core: invalidateTag on tag %d still owning data slot %d", ti, e.fptr)
 	skewSet := int(ti) / m.ways
 	m.validCnt[skewSet]--
 	*e = tagEntry{fptr: -1, p0pos: -1}
 }
 
 func (m *Maya) addP0(ti int32) {
-	m.tags[ti].p0pos = int32(len(m.p0List))
+	m.tags[ti].p0pos = int32(len(m.p0List)) //mayavet:checked len(p0List) <= nTags <= MaxInt32 (New)
 	m.p0List = append(m.p0List, ti)
 }
 

@@ -1,0 +1,7 @@
+//go:build mayacheck
+
+package invariant
+
+// Enabled reports whether invariant checking is compiled in. This build
+// (-tags mayacheck) enables it.
+const Enabled = true

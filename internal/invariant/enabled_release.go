@@ -1,0 +1,8 @@
+//go:build !mayacheck
+
+package invariant
+
+// Enabled reports whether invariant checking is compiled in. Without the
+// mayacheck build tag it is a false constant, so `if invariant.Enabled`
+// blocks are eliminated at compile time.
+const Enabled = false

@@ -1,0 +1,75 @@
+// Package invariant provides build-tag-gated runtime assertion support for
+// the simulator's security-critical data structures.
+//
+// The Maya/Mirage security arguments rest on structural invariants the type
+// system cannot express: the FPTR/RPTR tag-data indirection must stay a
+// bijection, tag-class populations must stay at their steady-state caps,
+// and the bucket-and-balls model must conserve ball counts. A modeling bug
+// in any of these silently changes the simulated eviction distribution —
+// exactly the class of error behind the MIRAGE "broken/refuted" exchange
+// (arXiv:2303.15673 vs arXiv:2304.00955).
+//
+// Builds without the "mayacheck" tag compile Enabled to false; every check
+// site is guarded by it, so the assertions cost nothing in normal runs
+// (dead-code eliminated). Builds with -tags mayacheck turn the hot
+// structures self-verifying: internal/core, internal/mirage,
+// internal/buckets, and internal/cachesim call their audit routines
+// periodically from the simulation loop and panic with a diagnostic on the
+// first violation.
+//
+// Usage:
+//
+//	if invariant.Enabled {
+//		invariant.Check(m.Audit() == nil, "core: %v", m.Audit())
+//	}
+//
+// or, for error-returning audits, invariant.CheckErr(m.Audit()).
+package invariant
+
+import "fmt"
+
+// Violation is the panic value raised by a failed invariant check, so tests
+// can distinguish invariant failures from unrelated panics.
+type Violation struct {
+	Msg string
+}
+
+// Error implements error (a Violation is usable with errors.As after
+// recover).
+func (v Violation) Error() string { return "invariant violated: " + v.Msg }
+
+// String implements fmt.Stringer.
+func (v Violation) String() string { return v.Error() }
+
+// fail raises a Violation.
+func fail(format string, args ...any) {
+	panic(Violation{Msg: fmt.Sprintf(format, args...)})
+}
+
+// Check panics with a Violation when cond is false. Callers on hot paths
+// must guard the call with Enabled so disabled builds pay nothing:
+//
+//	if invariant.Enabled {
+//		invariant.Check(len(used)+len(free) == cap, "slots leak")
+//	}
+func Check(cond bool, format string, args ...any) {
+	if !cond {
+		fail(format, args...)
+	}
+}
+
+// CheckErr panics with a Violation when err is non-nil. It adapts the
+// Audit() error convention used by the cache structures.
+func CheckErr(err error) {
+	if err != nil {
+		fail("%v", err)
+	}
+}
+
+// Every reports whether tick is a checking tick for the given period: true
+// when tick is a multiple of period. A period of 0 or negative disables
+// periodic checking. Keeping the modulo here (behind Enabled) keeps call
+// sites to a single branch.
+func Every(tick uint64, period uint64) bool {
+	return period > 0 && tick%period == 0
+}

@@ -1,0 +1,65 @@
+package invariant
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestCheckPassthrough(t *testing.T) {
+	// A true condition must not panic regardless of build tags.
+	Check(true, "unused %d", 1)
+	CheckErr(nil)
+}
+
+func TestCheckPanicsWithViolation(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Check(false) did not panic")
+		}
+		v, ok := r.(Violation)
+		if !ok {
+			t.Fatalf("panic value %T, want Violation", r)
+		}
+		if !strings.Contains(v.Error(), "slot 42") {
+			t.Fatalf("violation message %q missing formatted args", v.Error())
+		}
+	}()
+	Check(false, "bad slot %d", 42)
+}
+
+func TestCheckErrWrapsError(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("CheckErr(err) did not panic")
+		}
+		var v Violation
+		if !errors.As(r.(Violation), &v) {
+			t.Fatalf("panic value %v not a Violation", r)
+		}
+	}()
+	CheckErr(errors.New("fptr/rptr mismatch"))
+}
+
+func TestEvery(t *testing.T) {
+	cases := []struct {
+		tick, period uint64
+		want         bool
+	}{
+		{0, 4, true},
+		{1, 4, false},
+		{4, 4, true},
+		{6, 4, false},
+		{8, 4, true},
+		{5, 0, false}, // period 0 disables
+		{0, 1, true},
+		{7, 1, true},
+	}
+	for _, c := range cases {
+		if got := Every(c.tick, c.period); got != c.want {
+			t.Errorf("Every(%d, %d) = %v, want %v", c.tick, c.period, got, c.want)
+		}
+	}
+}

@@ -13,11 +13,17 @@ package mirage
 
 import (
 	"fmt"
+	"math"
 
 	"mayacache/internal/cachemodel"
+	"mayacache/internal/invariant"
 	"mayacache/internal/prince"
 	"mayacache/internal/rng"
 )
+
+// auditPeriod is how often (in accesses) a mayacheck build runs the full
+// O(tags) Audit from the access path.
+const auditPeriod = 4096
 
 // Config parameterizes a Mirage cache.
 type Config struct {
@@ -108,6 +114,12 @@ func New(cfg Config) *Mirage {
 	ways := cfg.BaseWays + cfg.ExtraWays
 	nTags := cfg.Skews * cfg.SetsPerSkew * ways
 	nData := cfg.Skews * cfg.SetsPerSkew * cfg.BaseWays
+	// FPTR/RPTR and dense-list positions are int32: every tag index is
+	// < nTags and every data index or list position is < nData, so this
+	// single geometry check bounds all narrowing conversions below.
+	if nTags > math.MaxInt32 {
+		panic(fmt.Sprintf("mirage: geometry with %d tag entries overflows int32 indices", nTags))
+	}
 	c := &Mirage{
 		cfg:      cfg,
 		ways:     ways,
@@ -169,6 +181,10 @@ func (c *Mirage) Access(a cachemodel.Access) cachemodel.Result {
 		s.Writebacks++
 	} else {
 		s.Reads++
+	}
+
+	if invariant.Enabled && invariant.Every(s.Accesses, auditPeriod) {
+		invariant.CheckErr(c.Audit())
 	}
 
 	if ti := c.lookup(a.Line, a.SDID); ti >= 0 {
@@ -258,10 +274,20 @@ func (c *Mirage) install(a cachemodel.Access) bool {
 	d := &c.data[slot]
 	d.valid = true
 	d.rptr = ti
-	d.usedPos = int32(len(c.dataUsed))
+	d.usedPos = int32(len(c.dataUsed)) //mayavet:checked len(dataUsed) < nData <= MaxInt32 (New)
 	c.dataUsed = append(c.dataUsed, slot)
 	e.fptr = slot
 	c.stats.DataFills++
+	if invariant.Enabled {
+		// Every valid Mirage tag owns exactly one data entry; the link just
+		// made must be bidirectional, and valid-way accounting must agree
+		// with the data store occupancy.
+		invariant.Check(c.data[slot].rptr == ti && c.tags[ti].fptr == slot,
+			"mirage: FPTR/RPTR link broken at slot %d tag %d", slot, ti)
+		invariant.Check(len(c.dataUsed)+len(c.dataFree) == len(c.data),
+			"mirage: data slots leak after install: used %d + free %d != %d",
+			len(c.dataUsed), len(c.dataFree), len(c.data))
+	}
 	return sae
 }
 
@@ -269,7 +295,7 @@ func (c *Mirage) install(a cachemodel.Access) bool {
 // the property that makes Mirage equivalent to a fully-associative cache
 // with random replacement.
 func (c *Mirage) globalEviction(evictorCore uint8) {
-	pos := int32(c.r.Intn(len(c.dataUsed)))
+	pos := int32(c.r.Intn(len(c.dataUsed))) //mayavet:checked Intn < len(dataUsed) <= nData <= MaxInt32 (New)
 	slot := c.dataUsed[pos]
 	c.evictTag(c.data[slot].rptr, evictorCore, true)
 	c.stats.GlobalDataEvictions++
@@ -279,9 +305,7 @@ func (c *Mirage) globalEviction(evictorCore uint8) {
 // dead-block/inter-core bookkeeping (flushes are excluded from it).
 func (c *Mirage) evictTag(ti int32, evictorCore uint8, account bool) {
 	e := &c.tags[ti]
-	if !e.valid {
-		panic("mirage: evictTag on invalid tag")
-	}
+	invariant.Check(e.valid, "mirage: evictTag on invalid tag %d", ti)
 	if account {
 		if e.reused {
 			c.stats.ReusedDataEvictions++
@@ -303,6 +327,11 @@ func (c *Mirage) evictTag(ti int32, evictorCore uint8, account bool) {
 
 func (c *Mirage) freeDataSlot(slot int32) {
 	pos := c.data[slot].usedPos
+	if invariant.Enabled {
+		invariant.Check(c.data[slot].valid, "mirage: freeing invalid data slot %d", slot)
+		invariant.Check(pos >= 0 && int(pos) < len(c.dataUsed) && c.dataUsed[pos] == slot,
+			"mirage: dataUsed position %d does not hold slot %d", pos, slot)
+	}
 	last := int32(len(c.dataUsed) - 1)
 	moved := c.dataUsed[last]
 	c.dataUsed[pos] = moved
@@ -401,6 +430,23 @@ func (c *Mirage) Audit() error {
 	}
 	if len(c.dataUsed)+len(c.dataFree) != len(c.data) {
 		return fmt.Errorf("data slots leak")
+	}
+	// Valid/invalid-way accounting: load-aware skew selection reads
+	// validCnt, so drift here skews the install distribution the security
+	// argument depends on.
+	for skew := 0; skew < c.skews; skew++ {
+		for set := 0; set < c.sets; set++ {
+			base := c.setBase(skew, set)
+			n := uint16(0)
+			for w := int32(0); w < int32(c.ways); w++ {
+				if c.tags[base+w].valid {
+					n++
+				}
+			}
+			if n != c.validCnt[skew*c.sets+set] {
+				return fmt.Errorf("validCnt[%d,%d] = %d, actual %d", skew, set, c.validCnt[skew*c.sets+set], n)
+			}
+		}
 	}
 	return nil
 }

@@ -1,0 +1,24 @@
+package prince
+
+import "testing"
+
+// FuzzEncryptDecryptRoundTrip checks, for arbitrary keys and plaintexts,
+// that Decrypt inverts Encrypt and that the fast path agrees with the
+// reference path. The α-reflection property is exercised implicitly: the
+// implementation realizes Decrypt via the reflected key schedule.
+func FuzzEncryptDecryptRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(0), uint64(0), ^uint64(0))
+	f.Add(^uint64(0), ^uint64(0), uint64(0))
+	f.Add(uint64(0x0123456789abcdef), uint64(0xfedcba9876543210), uint64(0xdeadbeefcafef00d))
+	f.Fuzz(func(t *testing.T, k0, k1, pt uint64) {
+		c := New(k0, k1)
+		ct := c.Encrypt(pt)
+		if got := c.Decrypt(ct); got != pt {
+			t.Fatalf("Decrypt(Encrypt(%#x)) = %#x under k0=%#x k1=%#x", pt, got, k0, k1)
+		}
+		if fast := c.EncryptFast(pt); fast != ct {
+			t.Fatalf("EncryptFast(%#x) = %#x, Encrypt = %#x under k0=%#x k1=%#x", pt, fast, ct, k0, k1)
+		}
+	})
+}

@@ -95,7 +95,16 @@ func ReadEvents(r io.Reader) ([]Event, error) {
 	if count > maxEvents {
 		return nil, fmt.Errorf("trace: implausible event count %d", count)
 	}
-	events := make([]Event, 0, count)
+	// Cap the up-front allocation: the count is attacker-controlled header
+	// data, and a forged count near maxEvents would commit ~24GB before a
+	// single event is validated. Growth beyond the cap is paid only as
+	// real, decodable events arrive.
+	const maxPrealloc = 1 << 16
+	prealloc := count
+	if prealloc > maxPrealloc {
+		prealloc = maxPrealloc
+	}
+	events := make([]Event, 0, prealloc)
 	var prev uint64
 	for i := uint64(0); i < count; i++ {
 		gap, err := binary.ReadUvarint(br)

@@ -1,0 +1,121 @@
+package vet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// The loader resolves and type-checks packages with nothing but the
+// standard library: `go list -export -deps -json` supplies the package
+// graph and compiled export data (from the build cache), the target
+// packages themselves are parsed from source, and go/types checks them
+// against the export data through importer.ForCompiler's lookup hook.
+// This is the same information x/tools' go/packages would provide, without
+// the dependency (go.mod is intentionally dependency-free).
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns in dir (module root or below), parses the matched
+// packages, and type-checks them. Packages that fail to fully type-check
+// are still returned with TypeErrors set, so syntactic analyzers can run.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("vet: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("vet: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && p.Name != "" {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("vet: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Error != nil && len(t.GoFiles) == 0 {
+			return nil, fmt.Errorf("vet: %s: %s", t.ImportPath, t.Error.Err)
+		}
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("vet: parsing %s: %v", name, err)
+			}
+			files = append(files, f)
+		}
+		p := &Package{
+			ImportPath: t.ImportPath,
+			Fset:       fset,
+			Files:      files,
+			Info: &types.Info{
+				Types:      map[ast.Expr]types.TypeAndValue{},
+				Defs:       map[*ast.Ident]types.Object{},
+				Uses:       map[*ast.Ident]types.Object{},
+				Selections: map[*ast.SelectorExpr]*types.Selection{},
+				Scopes:     map[ast.Node]*types.Scope{},
+			},
+		}
+		conf := types.Config{
+			// A fresh importer per package keeps lookup errors attributable;
+			// export data readers are cheap relative to parsing.
+			Importer: importer.ForCompiler(fset, "gc", lookup),
+			Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+		}
+		tpkg, err := conf.Check(t.ImportPath, fset, files, p.Info)
+		if err != nil && len(p.TypeErrors) == 0 {
+			p.TypeErrors = append(p.TypeErrors, err)
+		}
+		p.Types = tpkg
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

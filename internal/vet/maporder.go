@@ -1,0 +1,206 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder returns the analyzer flagging `range` over a map whose loop
+// body feeds order-sensitive state. Go randomizes map iteration order on
+// purpose, so anything order-dependent computed inside such a loop —
+// elements appended to a slice, a variable overwritten per iteration, an
+// early return, or (worst) a draw from a seeded rng stream — differs from
+// run to run even with identical seeds. In a simulator that is a silent
+// reproducibility bug: eviction choices and metrics orderings drift with
+// the runtime's hash seed rather than the experiment's.
+//
+// Order-insensitive bodies are allowed: writes keyed by the range key
+// (m2[k] = v, counts[k]++), commutative accumulation (+=, *=, |=, ^=,
+// count++), and deletes. Everything else is flagged; a loop that is
+// genuinely safe (e.g. keys are collected and sorted immediately after)
+// takes a `//mayavet:ignore maporder -- reason` directive.
+func MapOrder() *Analyzer {
+	return &Analyzer{
+		Name: "maporder",
+		Doc:  "flag range over maps whose loop body feeds order-sensitive state",
+		Run:  runMapOrder,
+	}
+}
+
+func runMapOrder(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if reason := orderSensitive(p, rs); reason != "" {
+				out = append(out, Finding{
+					Analyzer: "maporder",
+					Pos:      p.Fset.Position(rs.Pos()),
+					Message: fmt.Sprintf("iteration order of map %s leaks into simulation state (%s); iterate sorted keys or restructure",
+						exprString(rs.X), reason),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// orderSensitive inspects a map-range body and returns a description of
+// the first order-dependent effect, or "" when the body looks
+// order-insensitive.
+func orderSensitive(p *Package, rs *ast.RangeStmt) string {
+	reason := ""
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if r := assignOrderEffect(p, rs, s); r != "" {
+				reason = r
+			}
+		case *ast.ReturnStmt:
+			if len(s.Results) > 0 {
+				reason = "returns a value chosen by iteration order"
+			}
+		case *ast.BranchStmt:
+			if s.Tok == token.BREAK {
+				reason = "breaks after an order-dependent prefix"
+			}
+		case *ast.CallExpr:
+			if r := callOrderEffect(p, s); r != "" {
+				reason = r
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// assignOrderEffect classifies one assignment inside a map-range body.
+func assignOrderEffect(p *Package, rs *ast.RangeStmt, s *ast.AssignStmt) string {
+	// Commutative compound assignments accumulate order-insensitively.
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.MUL_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN, token.AND_ASSIGN:
+		return ""
+	}
+	for i, lhs := range s.Lhs {
+		if ident, ok := lhs.(*ast.Ident); ok && ident.Name == "_" {
+			continue
+		}
+		// Indexed writes are keyed per-iteration (m2[k] = v, counts[k]++):
+		// distinct keys hit distinct slots, so order does not matter.
+		if _, ok := lhs.(*ast.IndexExpr); ok {
+			continue
+		}
+		root := rootIdent(lhs)
+		if root == nil {
+			return "writes through a computed lvalue"
+		}
+		if declaredWithin(p, root, rs.Body) || isRangeVar(p, root, rs) {
+			continue
+		}
+		// append to an outer slice is THE classic map-order bug: element
+		// order becomes runtime-dependent.
+		if call, ok := s.Rhs[min(i, len(s.Rhs)-1)].(*ast.CallExpr); ok {
+			if fn, ok := call.Fun.(*ast.Ident); ok && fn.Name == "append" {
+				if _, isBuiltin := p.Info.Uses[fn].(*types.Builtin); isBuiltin {
+					return fmt.Sprintf("appends to %s in iteration order", root.Name)
+				}
+			}
+		}
+		return fmt.Sprintf("overwrites %s each iteration (last writer wins by hash order)", root.Name)
+	}
+	return ""
+}
+
+// callOrderEffect flags calls that consume a deterministic stream:
+// advancing a seeded internal/rng generator in map order desynchronizes
+// every later draw of the experiment.
+func callOrderEffect(p *Package, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	if named, ok := recv.(*types.Named); ok {
+		if obj := named.Obj(); obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/rng") {
+			return fmt.Sprintf("draws from a seeded rng stream (%s.%s) in iteration order", obj.Name(), fn.Name())
+		}
+	}
+	return ""
+}
+
+// declaredWithin reports whether ident's object is declared inside node.
+func declaredWithin(p *Package, ident *ast.Ident, node ast.Node) bool {
+	obj := p.Info.ObjectOf(ident)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= node.Pos() && obj.Pos() < node.End()
+}
+
+// isRangeVar reports whether ident is the range statement's key or value.
+func isRangeVar(p *Package, ident *ast.Ident, rs *ast.RangeStmt) bool {
+	obj := p.Info.ObjectOf(ident)
+	if obj == nil {
+		return false
+	}
+	for _, v := range []ast.Expr{rs.Key, rs.Value} {
+		if v == nil {
+			continue
+		}
+		if vi, ok := v.(*ast.Ident); ok && p.Info.ObjectOf(vi) == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// exprString renders a short expression for messages.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	default:
+		return "expression"
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

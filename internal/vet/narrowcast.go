@@ -1,0 +1,198 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+)
+
+// NarrowCast returns the analyzer flagging narrowing integer conversions
+// stored into index/pointer fields (fptr, rptr, usedPos, p0pos, slot,
+// idx, ...). The decoupled tag/data structures in internal/core and
+// internal/mirage pack indices into int32/uint16 to keep the hot arrays
+// dense; a silently-truncating int -> int32 on one of those fields does
+// not crash — it aliases two cache entries and quietly corrupts the
+// eviction distribution the security claims are measured on.
+//
+// A conversion is accepted when the operand is a constant that provably
+// fits. Everything else needs the bound made explicit: either a range
+// guard the reviewer can see, or a `//mayavet:checked reason` directive
+// citing the construction-time capacity check (e.g. Maya's New rejects
+// geometries whose tag count overflows int32).
+func NarrowCast() *Analyzer {
+	return &Analyzer{
+		Name: "narrowcast",
+		Doc:  "flag unchecked narrowing integer conversions on index/pointer fields",
+		Run:  runNarrowCast,
+	}
+}
+
+// indexFieldRe matches the names of fields/variables that hold packed
+// indices or cross-structure pointers.
+var indexFieldRe = regexp.MustCompile(`(?i)(ptr|pos|idx|index|slot)`)
+
+func runNarrowCast(p *Package) []Finding {
+	var out []Finding
+	report := func(name string, conv *ast.CallExpr, from, to types.Type) {
+		out = append(out, Finding{
+			Analyzer: "narrowcast",
+			Pos:      p.Fset.Position(conv.Pos()),
+			Message: fmt.Sprintf("unchecked narrowing conversion %s -> %s stored in index/pointer field %q; guard the range or annotate //mayavet:checked with the bound",
+				from, to, name),
+		})
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range s.Lhs {
+					if i >= len(s.Rhs) {
+						break
+					}
+					name := lvalueName(lhs)
+					if name == "" || !indexFieldRe.MatchString(name) {
+						continue
+					}
+					if conv, from, to := narrowingConv(p, s.Rhs[i]); conv != nil {
+						report(name, conv, from, to)
+					}
+				}
+			case *ast.CompositeLit:
+				t := p.Info.TypeOf(s)
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Struct); !ok {
+					return true
+				}
+				for _, elt := range s.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok || !indexFieldRe.MatchString(key.Name) {
+						continue
+					}
+					if conv, from, to := narrowingConv(p, kv.Value); conv != nil {
+						report(key.Name, conv, from, to)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// lvalueName returns the terminal name of an assignable expression
+// (x, s.f, a[i].f), or "" when it has none.
+func lvalueName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	case *ast.ParenExpr:
+		return lvalueName(x.X)
+	default:
+		return ""
+	}
+}
+
+// narrowingConv reports whether e is a conversion T(x) that can truncate:
+// the target integer type is strictly narrower than the operand's, and the
+// operand is not a constant that provably fits.
+func narrowingConv(p *Package, e ast.Expr) (conv *ast.CallExpr, from, to types.Type) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil, nil, nil
+	}
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil, nil, nil
+	}
+	toT := tv.Type
+	toBits, toInt := intBits(toT)
+	if !toInt {
+		return nil, nil, nil
+	}
+	arg := call.Args[0]
+	argTV := p.Info.Types[arg]
+	fromT := argTV.Type
+	fromBits, fromInt := intBits(fromT)
+	if !fromInt || toBits >= fromBits {
+		return nil, nil, nil
+	}
+	// Constants that fit the target are safe (e.g. fptr: -1).
+	if argTV.Value != nil && constant.Int != argTV.Value.Kind() {
+		return nil, nil, nil
+	}
+	if argTV.Value != nil && representableIn(argTV.Value, toT) {
+		return nil, nil, nil
+	}
+	return call, fromT, toT
+}
+
+// intBits returns the bit width of a basic integer type (64 for the
+// platform-sized int/uint/uintptr, matching the 64-bit targets the
+// simulator runs on) and whether t is an integer type at all.
+func intBits(t types.Type) (int, bool) {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return 0, false
+	}
+	switch b.Kind() {
+	case types.Int8, types.Uint8:
+		return 8, true
+	case types.Int16, types.Uint16:
+		return 16, true
+	case types.Int32, types.Uint32:
+		return 32, true
+	case types.Int64, types.Uint64, types.Int, types.Uint, types.Uintptr:
+		return 64, true
+	case types.UntypedInt:
+		return 64, true
+	default:
+		return 0, false
+	}
+}
+
+// representableIn reports whether constant v fits in integer type t.
+func representableIn(v constant.Value, t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return representableConst(constant.ToInt(v), b)
+}
+
+// representableConst mirrors the spec's representability rule for integer
+// constants, without reaching into go/types internals.
+func representableConst(v constant.Value, b *types.Basic) bool {
+	if v.Kind() != constant.Int {
+		return false
+	}
+	i64, exact := constant.Int64Val(v)
+	if !exact {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int8:
+		return i64 >= -1<<7 && i64 < 1<<7
+	case types.Uint8:
+		return i64 >= 0 && i64 < 1<<8
+	case types.Int16:
+		return i64 >= -1<<15 && i64 < 1<<15
+	case types.Uint16:
+		return i64 >= 0 && i64 < 1<<16
+	case types.Int32:
+		return i64 >= -1<<31 && i64 < 1<<31
+	case types.Uint32:
+		return i64 >= 0 && i64 < 1<<32
+	default:
+		return true
+	}
+}

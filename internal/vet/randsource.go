@@ -1,0 +1,95 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// RandSource returns the analyzer enforcing the repository's randomness
+// policy: every stochastic decision flows through the seeded generators in
+// internal/rng (or the PRINCE cipher in internal/prince). Importing
+// math/rand or crypto/rand anywhere else — or deriving a seed from the
+// wall clock — makes experiments non-reproducible in a way no test
+// notices: results stay plausible, they just stop being the paper's.
+func RandSource() *Analyzer {
+	return &Analyzer{
+		Name: "randsource",
+		Doc:  "flag math/rand, crypto/rand, and time-derived seeds outside internal/rng",
+		Run:  runRandSource,
+	}
+}
+
+// bannedImports maps import paths to the reason they are disallowed.
+var bannedImports = map[string]string{
+	"math/rand":    "unseeded global state breaks bit-for-bit reproducibility",
+	"math/rand/v2": "unseeded global state breaks bit-for-bit reproducibility",
+	"crypto/rand":  "non-deterministic entropy breaks bit-for-bit reproducibility",
+}
+
+// timeSeedMethods are the time.Time accessors whose results, fed anywhere,
+// indicate a wall-clock-derived seed.
+var timeSeedMethods = map[string]bool{
+	"Unix": true, "UnixNano": true, "UnixMicro": true, "UnixMilli": true,
+}
+
+// exemptFromRandPolicy reports whether pkg is allowed to own randomness.
+func exemptFromRandPolicy(importPath string) bool {
+	return strings.HasSuffix(importPath, "internal/rng")
+}
+
+func runRandSource(p *Package) []Finding {
+	if exemptFromRandPolicy(p.ImportPath) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			reason, banned := bannedImports[path]
+			if !banned {
+				continue
+			}
+			out = append(out, Finding{
+				Analyzer: "randsource",
+				Pos:      p.Fset.Position(imp.Pos()),
+				Message:  fmt.Sprintf("import of %s: %s; use internal/rng", path, reason),
+			})
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			// Match time.Now().UnixNano() and siblings: a selector of a
+			// banned method name whose receiver is a call to time.Now.
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !timeSeedMethods[sel.Sel.Name] {
+				return true
+			}
+			call, ok := sel.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			inner, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || inner.Sel.Name != "Now" {
+				return true
+			}
+			pkgIdent, ok := inner.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if pn, ok := p.Info.Uses[pkgIdent].(*types.PkgName); !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			out = append(out, Finding{
+				Analyzer: "randsource",
+				Pos:      p.Fset.Position(sel.Pos()),
+				Message:  fmt.Sprintf("time.Now().%s(): wall-clock-derived seeds break reproducibility; take an explicit seed", sel.Sel.Name),
+			})
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+// Package clean collects near-miss patterns that must NOT be flagged:
+// order-insensitive map loops, constant narrowings, exempt error sinks,
+// and directive-suppressed lines. Any finding in this package is a false
+// positive and fails the vet tests.
+package clean
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// Histogram accumulates per-key counts: indexed writes keyed by the range
+// variable are order-insensitive.
+func Histogram(m map[string]int) map[string]int {
+	counts := map[string]int{}
+	for k, v := range m {
+		counts[k] = v
+	}
+	return counts
+}
+
+// Sum is commutative accumulation.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// SortedKeys collects then sorts: order-independent result, suppressed
+// with a justified directive.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//mayavet:ignore maporder -- keys are sorted immediately below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+type entry struct {
+	fptr int32
+}
+
+// Reset stores a constant that provably fits.
+func Reset(e *entry) {
+	e.fptr = -1
+	e.fptr = int32(1 << 10)
+}
+
+// Checked documents the bound with a directive.
+func Checked(e *entry, i int) {
+	e.fptr = int32(i) //mayavet:checked i is bounded by the caller's geometry validation
+}
+
+// Widen goes the safe direction.
+func Widen(e *entry) int64 {
+	idx := int64(e.fptr)
+	return idx
+}
+
+// PrintReport uses the exempt fmt printing family and in-memory writers.
+func PrintReport(rows []string) string {
+	var buf bytes.Buffer
+	for _, r := range rows {
+		fmt.Fprintln(&buf, r)
+	}
+	fmt.Println("report done")
+	return buf.String()
+}
+
+// HandledError checks and ExplicitDrop discards visibly.
+func HandledError() error {
+	if err := work(); err != nil {
+		return err
+	}
+	_ = work()
+	return nil
+}
+
+func work() error { return nil }

@@ -1,0 +1,76 @@
+// Package violations seeds one known finding per analyzer (and a few
+// variants); internal/vet's tests assert every `// want:` marker fires and
+// nothing else does.
+package violations
+
+import (
+	crand "crypto/rand" // want: randsource
+	"errors"
+	"math/rand" // want: randsource
+	"time"
+)
+
+// WallClockSeed derives a seed from the wall clock and the global
+// math/rand stream: the exact reproducibility bug randsource exists for.
+func WallClockSeed() uint64 {
+	seed := uint64(time.Now().UnixNano()) // want: randsource
+	return seed ^ uint64(rand.Int63())
+}
+
+// Entropy reads the OS entropy pool (crypto/rand import flagged above).
+func Entropy(buf []byte) {
+	_, _ = crand.Read(buf)
+}
+
+// Keys leaks map iteration order into a slice: element order differs per
+// run even under identical seeds.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want: maporder
+		out = append(out, k)
+	}
+	return out
+}
+
+// LastValue lets the runtime's hash order pick the winner.
+func LastValue(m map[string]int) int {
+	var last int
+	for _, v := range m { // want: maporder
+		last = v
+	}
+	return last
+}
+
+// FirstKey returns an arbitrary element while looking deterministic.
+func FirstKey(m map[string]int) string {
+	for k := range m { // want: maporder
+		return k
+	}
+	return ""
+}
+
+// save pretends to persist experiment results.
+func save() error { return errors.New("disk full") }
+
+// DropError discards save's error, truncating results silently.
+func DropError() {
+	save() // want: uncheckederr
+}
+
+type entry struct {
+	fptr int32
+	pos  uint16
+}
+
+// SetPtr narrows an int into a pointer field with no bound in sight.
+func SetPtr(e *entry, i int) {
+	e.fptr = int32(i) // want: narrowcast
+}
+
+// NewEntry narrows inside a composite literal.
+func NewEntry(i int) entry {
+	return entry{
+		fptr: int32(i), // want: narrowcast
+		pos:  uint16(i), // want: narrowcast
+	}
+}

@@ -1,0 +1,102 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// UncheckedErr returns the analyzer flagging statement-position calls that
+// drop an error result on the floor. Experiment harnesses are where this
+// bites: a failed trace write or results-file flush that nobody checks
+// produces a truncated artifact that analysis scripts happily consume.
+//
+// Only bare expression statements are flagged — assigning to _ is an
+// explicit, reviewable decision, and `defer f.Close()` on read paths is
+// accepted idiom. Writers that are documented never to fail (fmt printing
+// to streams, strings.Builder, bytes.Buffer) are exempt.
+func UncheckedErr() *Analyzer {
+	return &Analyzer{
+		Name: "uncheckederr",
+		Doc:  "flag statement calls whose error result is silently dropped",
+		Run:  runUncheckedErr,
+	}
+}
+
+func runUncheckedErr(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(p, call) || errExempt(p, call) {
+				return true
+			}
+			out = append(out, Finding{
+				Analyzer: "uncheckederr",
+				Pos:      p.Fset.Position(call.Pos()),
+				Message:  fmt.Sprintf("%s returns an error that is dropped; handle it or assign to _ explicitly", exprString(call.Fun)),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// returnsError reports whether any result of call has type error.
+func returnsError(p *Package, call *ast.CallExpr) bool {
+	t := p.Info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	switch rt := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < rt.Len(); i++ {
+			if isErrorType(rt.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(rt)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// errExempt whitelists callees whose error results are documented to be
+// unreachable or conventionally ignored.
+func errExempt(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	// fmt's printing family: stream errors on stdout/stderr are
+	// conventionally ignored in CLI tools.
+	if pkgPathOf(fn) == "fmt" && (strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return true
+	}
+	// In-memory writers never fail: their Write methods return an error
+	// only to satisfy io.Writer.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv := sig.Recv().Type().String()
+		if strings.Contains(recv, "bytes.Buffer") || strings.Contains(recv, "strings.Builder") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,178 @@
+// Package vet implements mayavet, the simulator-specific static analysis
+// driver run by `go run ./cmd/mayavet ./...` (and `make vet`).
+//
+// Generic Go linters cannot see the properties this codebase's security
+// and reproducibility claims rest on: every random draw must come from the
+// seeded generators in internal/rng, iteration order must never leak into
+// simulation state, errors on experiment I/O paths must not be silently
+// dropped, and the int32/uint16 index and pointer fields of the decoupled
+// tag/data structures must only be narrowed under a proven bound. The four
+// analyzers in this package (randsource, maporder, uncheckederr,
+// narrowcast) mechanically enforce those rules on every build.
+//
+// Findings can be suppressed, one line at a time, with a directive comment
+// on the reported line or the line above it:
+//
+//	//mayavet:ignore [analyzer] -- reason
+//	//mayavet:checked reason        (alias for "ignore narrowcast")
+//
+// The reason text is mandatory by convention (the analyzers do not parse
+// it) — a suppression with no justification should not survive review.
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer report.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String formats a finding the way compilers do, so editors can jump to it.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Package is one type-checked package under analysis.
+type Package struct {
+	// ImportPath is the package's import path ("mayacache/internal/core").
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors collects type-checker diagnostics (analysis proceeds on a
+	// best-effort basis when the package does not fully check).
+	TypeErrors []error
+}
+
+// Analyzer is one mayavet check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Package) []Finding
+}
+
+// All returns the full analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		RandSource(),
+		MapOrder(),
+		UncheckedErr(),
+		NarrowCast(),
+	}
+}
+
+// directiveRe matches mayavet suppression comments. Group 1 is the verb
+// (ignore or checked), group 2 the optional analyzer list.
+var directiveRe = regexp.MustCompile(`^//\s*mayavet:(ignore|checked)\b[ \t]*([a-z, ]*)`)
+
+// directive records one suppression comment.
+type directive struct {
+	analyzers map[string]bool // empty means "all analyzers"
+}
+
+// directivesByLine extracts the suppression directives of a file, keyed by
+// the source line they apply to (their own line; appliesTo also honors the
+// following line).
+func directivesByLine(fset *token.FileSet, file *ast.File) map[int]directive {
+	out := map[int]directive{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			m := directiveRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			d := directive{analyzers: map[string]bool{}}
+			if m[1] == "checked" {
+				d.analyzers["narrowcast"] = true
+			}
+			for _, name := range strings.FieldsFunc(m[2], func(r rune) bool { return r == ',' || r == ' ' }) {
+				d.analyzers[name] = true
+			}
+			out[fset.Position(c.Pos()).Line] = d
+		}
+	}
+	return out
+}
+
+// suppressed reports whether a finding at line in the given directive map
+// is covered by a directive on the same or the preceding line.
+func (d directive) covers(analyzer string) bool {
+	return len(d.analyzers) == 0 || d.analyzers[analyzer]
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// surviving (non-suppressed) findings sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		dirs := map[int]directive{}
+		for _, f := range p.Files {
+			for line, d := range directivesByLine(p.Fset, f) {
+				dirs[line] = d
+			}
+		}
+		for _, a := range analyzers {
+			for _, f := range a.Run(p) {
+				if d, ok := dirs[f.Pos.Line]; ok && d.covers(a.Name) {
+					continue
+				}
+				if d, ok := dirs[f.Pos.Line-1]; ok && d.covers(a.Name) {
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// pkgPathOf returns the import path of the package an object belongs to,
+// or "" for builtins and universe-scope objects.
+func pkgPathOf(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// rootIdent walks an lvalue expression (a.b[i].c, (*p).f, ...) to its
+// leftmost identifier, or nil when the expression has no simple root.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package vet
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantRe matches expectation markers in fixture files:
+//
+//	for k := range m { // want: maporder
+//
+// Multiple analyzer names may be listed space-separated.
+var wantRe = regexp.MustCompile(`//\s*want:\s*([a-z ,]+)`)
+
+// loadFixture type-checks the fixture module under testdata/src.
+func loadFixture(t *testing.T) []*Package {
+	t.Helper()
+	dir, err := filepath.Abs("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("loading fixture module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("fixture module matched no packages")
+	}
+	for _, p := range pkgs {
+		for _, e := range p.TypeErrors {
+			t.Errorf("fixture package %s has type error: %v", p.ImportPath, e)
+		}
+	}
+	return pkgs
+}
+
+// expectations scans fixture sources for want markers, returning a set of
+// "file:line:analyzer" keys.
+func expectations(t *testing.T, pkgs []*Package) map[string]bool {
+	t.Helper()
+	want := map[string]bool{}
+	seen := map[string]bool{}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			name := p.Fset.Position(f.Pos()).Filename
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			fh, err := os.Open(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := bufio.NewScanner(fh)
+			for line := 1; sc.Scan(); line++ {
+				m := wantRe.FindStringSubmatch(sc.Text())
+				if m == nil {
+					continue
+				}
+				for _, a := range strings.Fields(strings.ReplaceAll(m[1], ",", " ")) {
+					want[fmt.Sprintf("%s:%d:%s", filepath.Base(name), line, a)] = true
+				}
+			}
+			if err := sc.Err(); err != nil {
+				t.Fatal(err)
+			}
+			fh.Close()
+		}
+	}
+	return want
+}
+
+func TestAnalyzersMatchFixtureMarkers(t *testing.T) {
+	pkgs := loadFixture(t)
+	want := expectations(t, pkgs)
+	if len(want) == 0 {
+		t.Fatal("fixture has no want markers")
+	}
+
+	got := map[string]bool{}
+	for _, f := range RunAnalyzers(pkgs, All()) {
+		got[fmt.Sprintf("%s:%d:%s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Analyzer)] = true
+	}
+
+	var missing, unexpected []string
+	for k := range want {
+		if !got[k] {
+			missing = append(missing, k)
+		}
+	}
+	for k := range got {
+		if !want[k] {
+			unexpected = append(unexpected, k)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(unexpected)
+	for _, k := range missing {
+		t.Errorf("expected finding did not fire: %s", k)
+	}
+	for _, k := range unexpected {
+		t.Errorf("unexpected finding (false positive): %s", k)
+	}
+}
+
+// TestEachAnalyzerFires proves the acceptance criterion directly: every
+// analyzer reports at least one finding on the violations fixture.
+func TestEachAnalyzerFires(t *testing.T) {
+	pkgs := loadFixture(t)
+	for _, a := range All() {
+		findings := RunAnalyzers(pkgs, []*Analyzer{a})
+		fired := false
+		for _, f := range findings {
+			if strings.Contains(f.Pos.Filename, "violations") {
+				fired = true
+				break
+			}
+		}
+		if !fired {
+			t.Errorf("analyzer %s reported nothing on the violations fixture", a.Name)
+		}
+	}
+}
+
+// TestDirectiveSuppression verifies both directive spellings suppress, and
+// that an unrelated analyzer name does not.
+func TestDirectiveSuppression(t *testing.T) {
+	pkgs := loadFixture(t)
+	for _, f := range RunAnalyzers(pkgs, All()) {
+		if strings.Contains(f.Pos.Filename, string(filepath.Separator)+"clean"+string(filepath.Separator)) {
+			t.Errorf("finding leaked through suppression/clean code: %s", f)
+		}
+	}
+}
+
+func TestRepoIsCleanUnderMayavet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	for _, f := range RunAnalyzers(pkgs, All()) {
+		t.Errorf("repository finding: %s", f)
+	}
+}
