@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check race fuzz-smoke ci clean
+.PHONY: all build test vet check race e2e fuzz-smoke ci clean
 
 all: build
 
@@ -24,13 +24,34 @@ vet:
 
 # check re-runs the suite with the mayacheck build tag: the hot cache
 # structures self-verify their FPTR/RPTR bijection, occupancy conservation,
-# and ball-count invariants on every run.
+# and ball-count invariants on every run, and the fault-injection tests
+# prove the audits fire on corrupted tag stores.
 check:
-	$(GO) test -tags mayacheck ./internal/core/... ./internal/mirage/... ./internal/buckets/... ./internal/cachesim/...
+	$(GO) test -tags mayacheck ./internal/core/... ./internal/mirage/... ./internal/buckets/... ./internal/cachesim/... ./internal/faults/...
 
-# race runs the race detector over the multi-core simulator paths.
+# race runs the race detector over the multi-core simulator paths and the
+# concurrent sweep harness.
 race:
-	$(GO) test -race ./internal/cachesim/... ./internal/core/... ./internal/experiments/...
+	$(GO) test -race ./internal/cachesim/... ./internal/core/... ./internal/experiments/... ./internal/harness/... ./internal/faults/...
+
+# e2e exercises mayasim end to end: fault isolation (one injected
+# panicking cell, nonzero exit, FAILED row) and checkpoint resume
+# (byte-identical tables). ci.sh runs the same smoke inline.
+e2e:
+	@TMP=$$(mktemp -d); trap 'rm -rf "$$TMP"' EXIT; \
+	$(GO) build -o "$$TMP/mayasim" ./cmd/mayasim; \
+	if "$$TMP/mayasim" -experiment cores -warmup 60000 -roi 30000 -serial \
+	    -checkpoint "$$TMP/ck.jsonl" -fault panic:cores=8 \
+	    > "$$TMP/fault.out" 2> "$$TMP/fault.err"; then \
+	  echo "e2e: fault-injected sweep exited zero" >&2; exit 1; fi; \
+	grep -q FAILED "$$TMP/fault.out"; \
+	grep -q "FAILURE SUMMARY" "$$TMP/fault.err"; \
+	"$$TMP/mayasim" -experiment cores -warmup 60000 -roi 30000 -serial \
+	    -checkpoint "$$TMP/ck.jsonl" > "$$TMP/resume.out"; \
+	"$$TMP/mayasim" -experiment cores -warmup 60000 -roi 30000 -serial \
+	    > "$$TMP/fresh.out"; \
+	cmp "$$TMP/resume.out" "$$TMP/fresh.out"; \
+	echo "e2e: resume byte-identical"
 
 # fuzz-smoke gives each fuzz target a short budget — enough to catch
 # regressions in the PRINCE round-trip and trace-parser robustness without
@@ -42,7 +63,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzReadEventsRoundTrip -fuzztime=10s ./internal/trace/
 
 # ci is the tier-1 verification gate.
-ci: build test vet check race
+ci: build test vet check race e2e
 
 clean:
 	$(GO) clean ./...

@@ -14,9 +14,30 @@ go vet ./...
 go run ./cmd/mayavet ./...
 
 echo "==> invariant-checked tests (-tags mayacheck)"
-go test -tags mayacheck ./internal/core/... ./internal/mirage/... ./internal/buckets/... ./internal/cachesim/...
+go test -tags mayacheck ./internal/core/... ./internal/mirage/... ./internal/buckets/... ./internal/cachesim/... ./internal/faults/...
 
 echo "==> race detector (multi-core simulator paths)"
-go test -race ./internal/cachesim/... ./internal/core/... ./internal/experiments/...
+go test -race ./internal/cachesim/... ./internal/core/... ./internal/experiments/... ./internal/harness/... ./internal/faults/...
+
+echo "==> e2e: fault isolation + checkpoint resume (mayasim)"
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+go build -o "$TMP/mayasim" ./cmd/mayasim
+# A sweep with one injected panicking cell must complete the other cells,
+# render the failed row, and exit nonzero.
+if "$TMP/mayasim" -experiment cores -warmup 60000 -roi 30000 -serial \
+    -checkpoint "$TMP/ck.jsonl" -fault panic:cores=8 \
+    > "$TMP/fault.out" 2> "$TMP/fault.err"; then
+  echo "ci: fault-injected sweep exited zero" >&2; exit 1
+fi
+grep -q FAILED "$TMP/fault.out"
+grep -q "FAILURE SUMMARY" "$TMP/fault.err"
+# Rerunning with the checkpoint (fault removed) must recompute only the
+# missing cell and render byte-identical tables to an uninterrupted run.
+"$TMP/mayasim" -experiment cores -warmup 60000 -roi 30000 -serial \
+    -checkpoint "$TMP/ck.jsonl" > "$TMP/resume.out"
+"$TMP/mayasim" -experiment cores -warmup 60000 -roi 30000 -serial \
+    > "$TMP/fresh.out"
+cmp "$TMP/resume.out" "$TMP/fresh.out"
 
 echo "ci: all green"

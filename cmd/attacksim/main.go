@@ -11,20 +11,28 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"mayacache/internal/attack"
 	"mayacache/internal/baseline"
 	"mayacache/internal/cachemodel"
 	"mayacache/internal/ceaser"
 	maya "mayacache/internal/core"
+	"mayacache/internal/harness"
 	"mayacache/internal/mirage"
 	"mayacache/internal/report"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		exp   = flag.String("experiment", "all", "fig8|evictionset|all")
 		runs  = flag.Int("runs", 3, "attack repetitions (median reported)")
@@ -35,18 +43,39 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	runner := harness.New(harness.Options{Workers: 1})
+	// runExp isolates one experiment: a panic in it becomes a structured
+	// failure on the shared runner while the other experiments still run.
+	runExp := func(name string, fn func() error) {
+		_, _, _ = harness.RunCells(ctx, runner, name, []string{"-"}, func(context.Context, int) (struct{}, error) {
+			return struct{}{}, fn()
+		})
+	}
+
 	switch *exp {
 	case "fig8":
-		fig8(*sets, *runs, *max, *noise, *seed)
+		runExp("fig8", func() error { return fig8(*sets, *runs, *max, *noise, *seed) })
 	case "evictionset":
-		evictionSets(*sets, *seed)
+		runExp("evictionset", func() error { return evictionSets(*sets, *seed) })
 	case "all":
-		fig8(*sets, *runs, *max, *noise, *seed)
-		evictionSets(*sets, *seed)
+		runExp("fig8", func() error { return fig8(*sets, *runs, *max, *noise, *seed) })
+		runExp("evictionset", func() error { return evictionSets(*sets, *seed) })
 	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "attacksim: unknown experiment %q (valid: fig8, evictionset, all)\n", *exp)
+		return 2
 	}
+
+	if runner.Failed() {
+		runner.WriteFailureSummary(os.Stderr)
+		return 1
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "attacksim: interrupted")
+		return 1
+	}
+	return 0
 }
 
 // designUnderAttack builds each Fig 8 cache plus its occupancy-set size:
@@ -88,7 +117,7 @@ func fig8Designs(sets int) []designUnderAttack {
 	}
 }
 
-func fig8(sets, runs, max, noise int, seed uint64) {
+func fig8(sets, runs, max, noise int, seed uint64) error {
 	t := report.NewTable(
 		"Fig 8: occupancy attack — encryptions to distinguish two keys (median)",
 		"design", "AES", "AES (normalized to FA)", "ModExp", "ModExp (normalized)")
@@ -121,13 +150,14 @@ func fig8(sets, runs, max, noise int, seed uint64) {
 	}
 	t.Render(os.Stdout)
 	fmt.Println()
+	return nil
 }
 
 // evictionSets demonstrates why Maya/Mirage eliminate conflict attacks:
 // eviction-set construction succeeds against conventional and
 // CEASER-family designs (with SAEs as the tell-tale) and fails against the
 // global-eviction designs.
-func evictionSets(sets int, seed uint64) {
+func evictionSets(sets int, seed uint64) error {
 	t := report.NewTable("Eviction-set construction across designs",
 		"design", "found", "set size", "SAEs observed", "attacker accesses")
 	designs := []struct {
@@ -159,4 +189,5 @@ func evictionSets(sets int, seed uint64) {
 	}
 	t.Render(os.Stdout)
 	fmt.Println()
+	return nil
 }

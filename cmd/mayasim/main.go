@@ -4,136 +4,292 @@
 //
 // Usage:
 //
-//	mayasim -experiment fig9 [-warmup 2000000] [-roi 1000000] [-seed 1] [-csv]
+//	mayasim -experiment fig9 [-warmup 2000000] [-roi 1000000] [-seed 1]
+//	        [-csv] [-checkpoint sweep.ckpt] [-timeout 10m] [-retries 2]
+//	        [-workers N] [-serial]
 //
-// Experiments: fig1, fig4, fig9, fig10, table7, table11, fitting, cores, all.
+// Experiments: fig1, fig4, fig9, fig10, table7, table11, fitting, cores,
+// llcsize, all.
+//
+// Every experiment is a sweep of independent cells executed through the
+// resilient harness: a panicking or failing cell is reported in the final
+// failure summary (and its table row reads FAILED) while sibling cells
+// complete. With -checkpoint, completed cells are appended to the named
+// file and an interrupted run (Ctrl-C, kill, timeout) can be rerun with
+// the same flags to resume, recomputing only the missing cells; resumed
+// runs render byte-identical tables to uninterrupted ones. -timeout
+// bounds each cell, not the whole run. The process exits 0 only when
+// every cell of every requested experiment completed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sort"
+	"syscall"
 
 	"mayacache/internal/experiments"
+	"mayacache/internal/faults"
+	"mayacache/internal/harness"
+	"mayacache/internal/metrics"
 	"mayacache/internal/report"
 )
 
+var validExperiments = []string{
+	"fig1", "fig4", "fig9", "fig10", "table7", "table11",
+	"fitting", "cores", "llcsize", "all",
+}
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		exp    = flag.String("experiment", "all", "experiment to run: fig1|fig4|fig9|fig10|table7|table11|fitting|cores|llcsize|all")
-		warmup = flag.Uint64("warmup", 2_000_000, "warmup instructions per core")
-		roi    = flag.Uint64("roi", 1_000_000, "measured instructions per core")
-		seed   = flag.Uint64("seed", 1, "experiment seed")
-		csv    = flag.Bool("csv", false, "emit CSV instead of tables")
-		serial = flag.Bool("serial", false, "disable parallel configuration runs")
+		exp        = flag.String("experiment", "all", "experiment to run: fig1|fig4|fig9|fig10|table7|table11|fitting|cores|llcsize|all")
+		warmup     = flag.Uint64("warmup", 2_000_000, "warmup instructions per core (must be positive)")
+		roi        = flag.Uint64("roi", 1_000_000, "measured instructions per core (must be positive)")
+		seed       = flag.Uint64("seed", 1, "experiment seed")
+		csv        = flag.Bool("csv", false, "emit CSV instead of tables")
+		serial     = flag.Bool("serial", false, "disable parallel configuration runs")
+		workers    = flag.Int("workers", 0, "worker-pool width (0 = all CPUs but one; implies parallel)")
+		timeout    = flag.Duration("timeout", 0, "per-cell timeout (0 disables)")
+		retries    = flag.Int("retries", 0, "retries for cells failing with transient errors")
+		checkpoint = flag.String("checkpoint", "", "JSONL checkpoint file: completed cells are appended and restored on rerun")
+		fault      = flag.String("fault", "", "inject a fault into matching cells: panic:<substr> | error:<substr> | transient:<substr>:<k>")
 	)
 	flag.Parse()
+
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "mayasim: "+format+"\n", args...)
+		return 2
+	}
+	if *warmup == 0 {
+		return fail("-warmup must be positive: a cold-cache ROI measures fill traffic, not steady state")
+	}
+	if *roi == 0 {
+		return fail("-roi must be positive: zero measured instructions produce no statistics")
+	}
+	if *workers < 0 {
+		return fail("-workers must be >= 0 (got %d)", *workers)
+	}
+	if *retries < 0 {
+		return fail("-retries must be >= 0 (got %d)", *retries)
+	}
+	if *timeout < 0 {
+		return fail("-timeout must be >= 0 (got %v)", *timeout)
+	}
+	if *serial && *workers > 1 {
+		return fail("-serial contradicts -workers %d: pick one", *workers)
+	}
+	if !isValidExperiment(*exp) {
+		msg := fmt.Sprintf("unknown experiment %q", *exp)
+		if sug := suggestExperiments(*exp); len(sug) > 0 {
+			msg += fmt.Sprintf(" (did you mean %v?)", sug)
+		}
+		return fail("%s; valid experiments: %v", msg, validExperiments)
+	}
+	hook, err := faults.ParseHook(*fault)
+	if err != nil {
+		return fail("%v", err)
+	}
+
+	var cp *harness.Checkpoint
+	if *checkpoint != "" {
+		cp, err = harness.OpenCheckpoint(*checkpoint)
+		if err != nil {
+			return fail("%v", err)
+		}
+		defer cp.Close()
+	}
+	poolWorkers := *workers
+	if *serial {
+		poolWorkers = 1
+	}
+	runner := harness.New(harness.Options{
+		Workers:     poolWorkers,
+		CellTimeout: *timeout,
+		Retries:     *retries,
+		Seed:        *seed,
+		Checkpoint:  cp,
+		PreRun:      hook,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	sc := experiments.Scale{WarmupInstr: *warmup, ROIInstr: *roi, Seed: *seed, Parallel: !*serial}
 	out := os.Stdout
 
-	emit := func(t *report.Table) {
+	emit := func(t *report.Table, incomplete int) {
 		if *csv {
 			t.CSV(out)
 		} else {
 			t.Render(out)
 		}
+		if incomplete > 0 {
+			fmt.Fprintf(out, "note: %d row(s) FAILED or missing; aggregates cover completed rows only\n", incomplete)
+		}
 		fmt.Fprintln(out)
 	}
 
 	var fig9Rows []experiments.Fig9Row
+	var fig9OK []bool
 	var fig10Rows []experiments.Fig10Row
+	var fig10OK []bool
 
 	runFig1 := func() {
-		rows := experiments.Fig1(sc)
+		rows, ok, _ := experiments.Fig1Sweep(ctx, runner, sc)
 		t := report.NewTable("Fig 1: % dead blocks inserted into a 2MB single-core LLC",
 			"benchmark", "suite", "baseline dead%", "mirage dead%")
-		for _, r := range rows {
-			t.AddRow(r.Bench, r.Suite, r.DeadBaseline, r.DeadMirage)
+		var complete []experiments.Fig1Row
+		for i, r := range rows {
+			if ok[i] {
+				t.AddRow(r.Bench, r.Suite, r.DeadBaseline, r.DeadMirage)
+				complete = append(complete, r)
+			} else {
+				t.AddRow(r.Bench, r.Suite, "FAILED", "FAILED")
+			}
 		}
-		ab, am := experiments.Fig1Average(rows)
-		t.AddRow("AVERAGE", "", ab, am)
-		emit(t)
+		if len(complete) > 0 {
+			ab, am := experiments.Fig1Average(complete)
+			t.AddRow("AVERAGE", "", ab, am)
+		}
+		emit(t, len(rows)-len(complete))
 	}
 	runFig4 := func() {
-		rows := experiments.Fig4(sc)
+		rows, ok, _ := experiments.Fig4Sweep(ctx, runner, sc)
 		t := report.NewTable("Fig 4: Maya performance vs reuse ways per skew (SPEC homogeneous, normalized WS)",
 			"reuse ways/skew", "normalized WS")
-		for _, r := range rows {
-			t.AddRow(r.ReuseWays, r.NormWS)
+		incomplete := 0
+		for i, r := range rows {
+			if ok[i] {
+				t.AddRow(r.ReuseWays, r.NormWS)
+			} else {
+				t.AddRow(r.ReuseWays, "FAILED")
+				incomplete++
+			}
 		}
-		emit(t)
+		emit(t, incomplete)
+	}
+	runFig9Sweep := func() {
+		if fig9Rows == nil {
+			fig9Rows, fig9OK, _ = experiments.Fig9Sweep(ctx, runner, sc)
+			sortFig9WithMask(fig9Rows, fig9OK)
+		}
 	}
 	runFig9 := func() {
-		fig9Rows = experiments.Fig9(sc)
-		experiments.SortFig9(fig9Rows)
+		runFig9Sweep()
 		t := report.NewTable("Fig 9: 8-core homogeneous mixes (weighted speedup normalized to baseline)",
 			"benchmark", "suite", "Mirage", "Maya", "base MPKI", "mirage MPKI", "maya MPKI")
-		for _, r := range fig9Rows {
-			t.AddRow(r.Bench, r.Suite, r.NormMirage, r.NormMaya, r.MPKIBase, r.MPKIMirage, r.MPKIMaya)
+		incomplete := 0
+		for i, r := range fig9Rows {
+			if fig9OK[i] {
+				t.AddRow(r.Bench, r.Suite, r.NormMirage, r.NormMaya, r.MPKIBase, r.MPKIMirage, r.MPKIMaya)
+			} else {
+				t.AddRow(r.Bench, r.Suite, "FAILED", "FAILED", "", "", "")
+				incomplete++
+			}
 		}
-		for _, s := range experiments.SummarizeFig9(fig9Rows) {
+		for _, s := range experiments.SummarizeFig9(maskRows(fig9Rows, fig9OK)) {
 			t.AddRow("GMEAN-"+s.Suite, "", s.NormMirage, s.NormMaya, "", "", "")
 		}
-		emit(t)
+		emit(t, incomplete)
+	}
+	runFig10Sweep := func() {
+		if fig10Rows == nil {
+			fig10Rows, fig10OK, _ = experiments.Fig10Sweep(ctx, runner, sc)
+		}
 	}
 	runFig10 := func() {
-		fig10Rows = experiments.Fig10(sc)
+		runFig10Sweep()
 		t := report.NewTable("Fig 10: 8-core heterogeneous mixes (weighted speedup normalized to baseline)",
 			"mix", "bin", "Mirage", "Maya")
-		for _, r := range fig10Rows {
-			t.AddRow(r.Mix, string(r.Bin), r.NormMirage, r.NormMaya)
+		incomplete := 0
+		for i, r := range fig10Rows {
+			if fig10OK[i] {
+				t.AddRow(r.Mix, string(r.Bin), r.NormMirage, r.NormMaya)
+			} else {
+				t.AddRow(r.Mix, string(r.Bin), "FAILED", "FAILED")
+				incomplete++
+			}
 		}
-		emit(t)
+		emit(t, incomplete)
 	}
 	runTable7 := func() {
-		if fig9Rows == nil {
-			fig9Rows = experiments.Fig9(sc)
-		}
-		if fig10Rows == nil {
-			fig10Rows = experiments.Fig10(sc)
-		}
+		runFig9Sweep()
+		runFig10Sweep()
 		t := report.NewTable("Table VII: average LLC MPKI", "workloads", "Baseline", "Mirage", "Maya")
-		for _, r := range experiments.Table7(fig9Rows, fig10Rows) {
+		for _, r := range experiments.Table7(maskRows(fig9Rows, fig9OK), maskRows(fig10Rows, fig10OK)) {
 			t.AddRow(r.Class, r.Baseline, r.Mirage, r.Maya)
 		}
-		emit(t)
+		emit(t, countFalse(fig9OK)+countFalse(fig10OK))
 	}
 	runTable11 := func() {
+		rows, ok, _ := experiments.Table11Sweep(ctx, runner, sc)
 		t := report.NewTable("Table XI: secure partitioning techniques (8-core, SPEC homogeneous)",
 			"technique", "performance %", "storage %")
-		for _, r := range experiments.Table11(sc) {
-			t.AddRow(r.Technique, r.PerfDelta, r.StorageOver)
+		incomplete := 0
+		for i, r := range rows {
+			if ok[i] {
+				t.AddRow(r.Technique, r.PerfDelta, r.StorageOver)
+			} else {
+				t.AddRow(r.Technique, "FAILED", r.StorageOver)
+				incomplete++
+			}
 		}
-		emit(t)
+		emit(t, incomplete)
 	}
 	runFitting := func() {
+		rows, ok, _ := experiments.FittingSweep(ctx, runner, sc)
 		t := report.NewTable("Section V-B: LLC-fitting benchmarks under Maya (normalized WS)",
 			"benchmark", "Maya/baseline")
-		rows := experiments.LLCFittingSensitivity(sc)
-		sum := 0.0
-		for _, r := range rows {
-			t.AddRow(r.Label, r.NormMaya)
-			sum += r.NormMaya
+		var vals []float64
+		for i, r := range rows {
+			if ok[i] {
+				t.AddRow(r.Label, r.NormMaya)
+				vals = append(vals, r.NormMaya)
+			} else {
+				t.AddRow(r.Label, "FAILED")
+			}
 		}
-		t.AddRow("AVERAGE", sum/float64(len(rows)))
-		emit(t)
+		if len(vals) > 0 {
+			t.AddRow("AVERAGE", metrics.Mean(vals))
+		}
+		emit(t, len(rows)-len(vals))
 	}
 	runCores := func() {
+		rows, ok, _ := experiments.CoreCountSweep(ctx, runner, sc, nil)
 		t := report.NewTable("Section V-B: core-count sensitivity (normalized WS)",
 			"system", "Maya/baseline")
-		for _, r := range experiments.CoreCountSensitivity(sc, nil) {
-			t.AddRow(r.Label, r.NormMaya)
+		incomplete := 0
+		for i, r := range rows {
+			if ok[i] {
+				t.AddRow(r.Label, r.NormMaya)
+			} else {
+				t.AddRow(r.Label, "FAILED")
+				incomplete++
+			}
 		}
-		emit(t)
+		emit(t, incomplete)
 	}
 	runLLCSize := func() {
+		rows, ok, _ := experiments.LLCSizeSweep(ctx, runner, sc, nil)
 		t := report.NewTable("Section V-B: LLC-size sensitivity (Maya data store, normalized WS)",
 			"configuration", "Maya/baseline")
-		for _, r := range experiments.LLCSizeSensitivity(sc, nil) {
-			t.AddRow(r.Label, r.NormMaya)
+		incomplete := 0
+		for i, r := range rows {
+			if ok[i] {
+				t.AddRow(r.Label, r.NormMaya)
+			} else {
+				t.AddRow(r.Label, "FAILED")
+				incomplete++
+			}
 		}
-		emit(t)
+		emit(t, incomplete)
 	}
 
 	switch *exp {
@@ -165,9 +321,131 @@ func main() {
 		runFitting()
 		runCores()
 		runLLCSize()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		flag.Usage()
-		os.Exit(2)
 	}
+
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "mayasim: interrupted; partial tables above")
+		if *checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "mayasim: rerun the same command to resume from %s\n", *checkpoint)
+		} else {
+			fmt.Fprintln(os.Stderr, "mayasim: rerun with -checkpoint FILE to make interrupted sweeps resumable")
+		}
+		return 1
+	}
+	if runner.Failed() {
+		runner.WriteFailureSummary(os.Stderr)
+		return 1
+	}
+	return 0
+}
+
+func isValidExperiment(name string) bool {
+	for _, v := range validExperiments {
+		if name == v {
+			return true
+		}
+	}
+	return false
+}
+
+// suggestExperiments returns valid experiment names within edit distance 2
+// of the (unknown) input, closest first.
+func suggestExperiments(name string) []string {
+	type cand struct {
+		name string
+		dist int
+	}
+	var cands []cand
+	for _, v := range validExperiments {
+		if d := editDistance(name, v); d <= 2 {
+			cands = append(cands, cand{v, d})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].name < cands[j].name
+	})
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = c.name
+	}
+	return out
+}
+
+// editDistance is the Levenshtein distance between a and b.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// sortFig9WithMask applies the Fig 9 display order (SPEC first, then by
+// name) to rows and its completeness mask together.
+func sortFig9WithMask(rows []experiments.Fig9Row, ok []bool) {
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ra, rb := rows[idx[a]], rows[idx[b]]
+		if ra.Suite != rb.Suite {
+			return ra.Suite == "SPEC"
+		}
+		return ra.Bench < rb.Bench
+	})
+	outRows := make([]experiments.Fig9Row, len(rows))
+	outOK := make([]bool, len(ok))
+	for i, j := range idx {
+		outRows[i] = rows[j]
+		outOK[i] = ok[j]
+	}
+	copy(rows, outRows)
+	copy(ok, outOK)
+}
+
+// maskRows filters rows down to the complete ones.
+func maskRows[T any](rows []T, ok []bool) []T {
+	out := make([]T, 0, len(rows))
+	for i, r := range rows {
+		if ok[i] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func countFalse(mask []bool) int {
+	n := 0
+	for _, b := range mask {
+		if !b {
+			n++
+		}
+	}
+	return n
 }

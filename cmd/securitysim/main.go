@@ -8,25 +8,38 @@
 //	securitysim -experiment fig7 [-buckets 16384] [-iters 100000000]
 //
 // Experiments: fig6, fig7, table1, table4, nondecoupled, all.
+//
+// Each experiment runs isolated under the resilient harness: a panic or
+// error in one experiment of an `-experiment all` run is reported in the
+// final failure summary (exit 1) while the others still produce their
+// tables.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"mayacache/internal/analytic"
 	"mayacache/internal/buckets"
+	"mayacache/internal/harness"
 	"mayacache/internal/report"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		exp     = flag.String("experiment", "all", "fig6|fig7|table1|table4|nondecoupled|all")
-		nb      = flag.Int("buckets", 16384, "buckets per skew (16384 = paper scale)")
-		iters   = flag.Uint64("iters", 20_000_000, "Monte-Carlo iterations")
-		seed    = flag.Uint64("seed", 1, "seed")
-		csv     = flag.Bool("csv", false, "emit CSV")
+		exp   = flag.String("experiment", "all", "fig6|fig7|table1|table4|nondecoupled|all")
+		nb    = flag.Int("buckets", 16384, "buckets per skew (16384 = paper scale)")
+		iters = flag.Uint64("iters", 20_000_000, "Monte-Carlo iterations")
+		seed  = flag.Uint64("seed", 1, "seed")
+		csv   = flag.Bool("csv", false, "emit CSV")
 	)
 	flag.Parse()
 
@@ -40,33 +53,54 @@ func main() {
 		fmt.Fprintln(out)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	runner := harness.New(harness.Options{Workers: 1})
+	// runExp isolates one experiment: panics and errors become structured
+	// failures on the shared runner instead of killing the process.
+	runExp := func(name string, fn func() error) {
+		_, _, _ = harness.RunCells(ctx, runner, name, []string{"-"}, func(context.Context, int) (struct{}, error) {
+			return struct{}{}, fn()
+		})
+	}
+
 	switch *exp {
 	case "fig6":
-		fig6(emit, *nb, *iters, *seed)
+		runExp("fig6", func() error { return fig6(emit, *nb, *iters, *seed) })
 	case "fig7":
-		fig7(emit, *nb, *iters, *seed)
+		runExp("fig7", func() error { return fig7(emit, *nb, *iters, *seed) })
 	case "table1":
-		table1(emit)
+		runExp("table1", func() error { return table1(emit) })
 	case "table4":
-		table4(emit)
+		runExp("table4", func() error { return table4(emit) })
 	case "nondecoupled":
-		nonDecoupled(emit, *nb, *iters, *seed)
+		runExp("nondecoupled", func() error { return nonDecoupled(emit, *nb, *iters, *seed) })
 	case "all":
-		fig6(emit, *nb, *iters, *seed)
-		fig7(emit, *nb, *iters, *seed)
-		table1(emit)
-		table4(emit)
-		nonDecoupled(emit, *nb, *iters, *seed)
+		runExp("fig6", func() error { return fig6(emit, *nb, *iters, *seed) })
+		runExp("fig7", func() error { return fig7(emit, *nb, *iters, *seed) })
+		runExp("table1", func() error { return table1(emit) })
+		runExp("table4", func() error { return table4(emit) })
+		runExp("nondecoupled", func() error { return nonDecoupled(emit, *nb, *iters, *seed) })
 	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "securitysim: unknown experiment %q (valid: fig6, fig7, table1, table4, nondecoupled, all)\n", *exp)
+		return 2
 	}
+
+	if runner.Failed() {
+		runner.WriteFailureSummary(os.Stderr)
+		return 1
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "securitysim: interrupted")
+		return 1
+	}
+	return 0
 }
 
 // fig6 measures iterations per bucket spill as capacity varies from 9 to
 // 13; 14 and 15 come from the analytical model (as in the paper, where
 // even 10^12 iterations see no spill).
-func fig6(emit func(*report.Table), nb int, iters, seed uint64) {
+func fig6(emit func(*report.Table), nb int, iters, seed uint64) error {
 	t := report.NewTable("Fig 6: iterations per bucket spill vs bucket capacity (Maya model)",
 		"capacity (ways/skew)", "iterations/spill", "source")
 	for _, capacity := range []int{9, 10, 11, 12, 13} {
@@ -82,18 +116,19 @@ func fig6(emit func(*report.Table), nb int, iters, seed uint64) {
 	}
 	d, err := analytic.Solve(9)
 	if err != nil {
-		panic(err)
+		return err
 	}
 	for _, capacity := range []int{14, 15} {
 		// Two installs per iteration in the Maya model.
 		t.AddRow(capacity, fmt.Sprintf("%.3g", d.InstallsPerSAE(capacity)/2), "analytical")
 	}
 	emit(t)
+	return nil
 }
 
 // fig7 compares the simulated occupancy distribution with the analytical
 // model.
-func fig7(emit func(*report.Table), nb int, iters, seed uint64) {
+func fig7(emit func(*report.Table), nb int, iters, seed uint64) error {
 	m := buckets.New(buckets.MayaDefault(nb, seed))
 	const samples = 200
 	chunk := iters / samples
@@ -107,7 +142,7 @@ func fig7(emit func(*report.Table), nb int, iters, seed uint64) {
 	sim := m.Histogram()
 	d, err := analytic.Solve(9)
 	if err != nil {
-		panic(err)
+		return err
 	}
 	t := report.NewTable("Fig 7: Pr(bucket has N balls) — simulated vs analytical",
 		"N", "simulated", "analytical")
@@ -119,12 +154,13 @@ func fig7(emit func(*report.Table), nb int, iters, seed uint64) {
 		t.AddRow(n, simv, fmt.Sprintf("%.4g", d.Pr(n)))
 	}
 	emit(t)
+	return nil
 }
 
 // table1 computes cache line installs per SAE across reuse/invalid way
 // configurations (analytical model; the paper's own table extrapolates the
 // same way for the large values).
-func table1(emit func(*report.Table)) {
+func table1(emit func(*report.Table)) error {
 	t := report.NewTable("Table I: installs per SAE vs reuse ways (analytical model)",
 		"reuse ways/skew", "5 invalid ways/skew", "6 invalid ways/skew")
 	for _, reuse := range []int{1, 3, 5, 7} {
@@ -133,17 +169,18 @@ func table1(emit func(*report.Table)) {
 			p := analytic.DesignPoint{BaseWays: 6, ReuseWays: reuse, InvalidWays: inv}
 			v, err := p.InstallsPerSAE()
 			if err != nil {
-				panic(err)
+				return err
 			}
 			row = append(row, analytic.FormatInstalls(v))
 		}
 		t.AddRow(row...)
 	}
 	emit(t)
+	return nil
 }
 
 // table4 sweeps the tag-store base associativity.
-func table4(emit func(*report.Table)) {
+func table4(emit func(*report.Table)) error {
 	t := report.NewTable("Table IV: installs per SAE vs tag-store associativity (analytical model)",
 		"invalid ways/skew", "8-ways (3+1)", "18-ways (6+3)", "36-ways (12+6)")
 	points := []analytic.DesignPoint{
@@ -158,19 +195,20 @@ func table4(emit func(*report.Table)) {
 			p.InvalidWays = inv
 			v, err := p.InstallsPerSAE()
 			if err != nil {
-				panic(err)
+				return err
 			}
 			row = append(row, analytic.FormatInstalls(v))
 		}
 		t.AddRow(row...)
 	}
 	emit(t)
+	return nil
 }
 
 // nonDecoupled evaluates the Section VI strawman: a conventional tag
 // geometry kept at 75% occupancy with load-aware fills and global random
 // eviction.
-func nonDecoupled(emit func(*report.Table), nb int, iters, seed uint64) {
+func nonDecoupled(emit func(*report.Table), nb int, iters, seed uint64) error {
 	t := report.NewTable("Section VI: non-decoupled 75%-threshold design",
 		"model", "installs per SAE")
 	m := buckets.New(buckets.ThresholdDefault(nb, seed))
@@ -183,8 +221,9 @@ func nonDecoupled(emit func(*report.Table), nb int, iters, seed uint64) {
 	}
 	d, err := analytic.Solve(12)
 	if err != nil {
-		panic(err)
+		return err
 	}
 	t.AddRow("analytical", analytic.FormatInstalls(d.InstallsPerSAE(16)))
 	emit(t)
+	return nil
 }

@@ -13,6 +13,7 @@
 package cachesim
 
 import (
+	"context"
 	"fmt"
 
 	"mayacache/internal/baseline"
@@ -24,6 +25,13 @@ import (
 // llcAuditPeriod is how often (in drive-loop steps) a mayacheck build
 // audits the shared LLC's structural invariants.
 const llcAuditPeriod = 1 << 16
+
+// cancelCheckPeriod is how often (in drive-loop steps) the simulation
+// polls its context for cancellation. Checking every step would put an
+// atomic load on the hot path; every 8K steps bounds the cancellation
+// latency to well under a millisecond of wall time while costing nothing
+// measurable.
+const cancelCheckPeriod = 1 << 13
 
 // auditor is implemented by LLC designs that can self-verify (Maya,
 // Mirage); the drive loop audits them periodically under -tags mayacheck.
@@ -183,12 +191,28 @@ func (r Results) IPCSum() float64 {
 // Run simulates warmup instructions per core without statistics, then
 // roi instructions per core with statistics, and returns the results.
 func (s *System) Run(warmup, roi uint64) Results {
+	res, err := s.RunCtx(context.Background(), warmup, roi)
+	if err != nil {
+		// Unreachable: the background context never cancels.
+		panic(fmt.Sprintf("cachesim: %v", err))
+	}
+	return res
+}
+
+// RunCtx is Run under a context: the drive loop polls ctx every
+// cancelCheckPeriod steps and abandons the simulation with ctx.Err() when
+// it is cancelled, which is how the experiment harness implements per-run
+// timeouts and Ctrl-C. A cancelled run returns zero Results; simulation
+// state is not rewound, so the System must not be reused afterwards.
+func (s *System) RunCtx(ctx context.Context, warmup, roi uint64) (Results, error) {
 	// Warmup phase.
 	for _, c := range s.cores {
 		c.target = warmup
 		c.done = warmup == 0
 	}
-	s.drive()
+	if err := s.drive(ctx); err != nil {
+		return Results{}, err
+	}
 	// ROI phase: reset stats, snapshot clocks.
 	s.llc.ResetStats()
 	s.dram.ResetCounters()
@@ -200,7 +224,9 @@ func (s *System) Run(warmup, roi uint64) Results {
 		c.target = c.retired + roi
 		c.done = false
 	}
-	s.drive()
+	if err := s.drive(ctx); err != nil {
+		return Results{}, err
+	}
 
 	res := Results{LLCStats: *s.llc.Stats()}
 	res.DRAMReads, res.DRAMWrites, res.DRAMRowHits, res.DRAMRowMisses = s.dram.Counters()
@@ -219,15 +245,21 @@ func (s *System) Run(warmup, roi uint64) Results {
 			IPC:          ipc,
 		})
 	}
-	return res
+	return res, nil
 }
 
 // drive interleaves cores by local clock until every core reaches target.
-func (s *System) drive() {
+// It returns ctx.Err() if the context is cancelled mid-phase.
+func (s *System) drive(ctx context.Context) error {
 	var steps uint64
 	for {
+		steps++
+		if steps%cancelCheckPeriod == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		if invariant.Enabled {
-			steps++
 			if invariant.Every(steps, llcAuditPeriod) {
 				if a, ok := s.llc.(auditor); ok {
 					invariant.CheckErr(a.Audit())
@@ -245,7 +277,7 @@ func (s *System) drive() {
 			}
 		}
 		if next == nil {
-			return
+			return nil
 		}
 		s.step(next)
 		if next.retired >= next.target {

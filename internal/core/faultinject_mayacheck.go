@@ -1,0 +1,44 @@
+//go:build mayacheck
+
+package core
+
+import "fmt"
+
+// CorruptTagBit is the fault-injection hook used by internal/faults to
+// prove the mayacheck audits detect tag-store corruption. It flips one
+// bit of the metadata of the first valid tag entry at or after index
+// (wrapping), choosing the field whose corruption the security argument
+// depends on catching:
+//
+//   - priority-1 entries get a FPTR bit flipped, breaking the FPTR/RPTR
+//     bijection between the tag and data stores;
+//   - priority-0 entries get a state bit flipped, desynchronizing the
+//     entry from p0List/validCnt bookkeeping.
+//
+// It exists only under -tags mayacheck; release builds compile it out, so
+// the hook cannot be reached from production simulations. It returns a
+// description of the flip, or "" when the cache holds no valid entry.
+func (m *Maya) CorruptTagBit(index int, bit uint) string {
+	n := len(m.tags)
+	if n == 0 {
+		return ""
+	}
+	if index < 0 {
+		index = -index
+	}
+	for off := 0; off < n; off++ {
+		ti := (index + off) % n
+		e := &m.tags[ti]
+		switch e.state {
+		case stP1:
+			mask := int32(1) << (bit % 31)
+			e.fptr ^= mask
+			return fmt.Sprintf("flipped FPTR bit %d of P1 tag %d", bit%31, ti)
+		case stP0:
+			mask := uint8(1) << (bit%2 + 1)
+			e.state ^= mask
+			return fmt.Sprintf("flipped state bit %d of P0 tag %d", bit%2+1, ti)
+		}
+	}
+	return ""
+}

@@ -1,20 +1,11 @@
 package experiments
 
 import (
-	"runtime"
 	"sort"
 
 	"mayacache/internal/metrics"
 	"mayacache/internal/trace"
 )
-
-func maxParallelism() int {
-	n := runtime.NumCPU() - 1
-	if n < 1 {
-		n = 1
-	}
-	return n
-}
 
 // ---------------------------------------------------------------- Fig 1
 

@@ -1,13 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"mayacache/internal/cachemodel"
 	"mayacache/internal/cachesim"
-	"mayacache/internal/metrics"
-	"mayacache/internal/trace"
+	"mayacache/internal/harness"
 )
 
 // Scale controls simulation effort. The paper runs 200M warmup + 200M ROI
@@ -30,20 +30,14 @@ func TinyScale() Scale {
 	return Scale{WarmupInstr: 300_000, ROIInstr: 200_000, Seed: 1}
 }
 
-// runMix simulates one workload assignment under one LLC.
+// runMix simulates one workload assignment under one LLC. It is the
+// non-context legacy entry point; harness-routed sweeps use runMixCtx.
 func runMix(benchNames []string, llc cachemodel.LLC, sc Scale) cachesim.Results {
-	gens := make([]trace.Generator, len(benchNames))
-	for i, b := range benchNames {
-		gens[i] = trace.MustGenerator(trace.MustLookup(b), i, sc.Seed)
+	res, err := runMixCtx(context.Background(), benchNames, llc, sc)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
 	}
-	sys := cachesim.New(cachesim.Config{
-		Cores: len(benchNames),
-		Core:  cachesim.DefaultCoreParams(),
-		LLC:   llc,
-		DRAM:  dramFor(len(benchNames)),
-		Seed:  sc.Seed,
-	}, gens)
-	return sys.Run(sc.WarmupInstr, sc.ROIInstr)
+	return res
 }
 
 // dramFor scales channels with core count (2 channels per 8 cores).
@@ -82,19 +76,10 @@ var (
 // AloneIPC returns the benchmark's single-core IPC on a private 2MB
 // baseline LLC — the denominator of the weighted-speedup metric.
 func AloneIPC(bench string, sc Scale) float64 {
-	k := aloneKey{bench, sc.WarmupInstr, sc.ROIInstr, sc.Seed}
-	aloneMu.Lock()
-	v, ok := aloneCache[k]
-	aloneMu.Unlock()
-	if ok {
-		return v
+	v, err := AloneIPCCtx(context.Background(), bench, sc)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
 	}
-	llc := NewLLC(DesignBaseline, LLCOptions{Cores: 1, Seed: sc.Seed})
-	res := runMix([]string{bench}, llc, sc)
-	v = res.Cores[0].IPC
-	aloneMu.Lock()
-	aloneCache[k] = v
-	aloneMu.Unlock()
 	return v
 }
 
@@ -111,48 +96,37 @@ type MixResult struct {
 // RunMixDesign simulates the benchmark assignment under the named design
 // and computes the weighted speedup against single-core baseline IPCs.
 func RunMixDesign(mixName string, benchNames []string, d Design, sc Scale) MixResult {
-	llc := NewLLC(d, LLCOptions{Cores: len(benchNames), Seed: sc.Seed, FastHash: true})
-	return RunMixLLC(mixName, benchNames, d, llc, sc)
+	res, err := RunMixDesignCtx(context.Background(), mixName, benchNames, d, sc)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return res
 }
 
 // RunMixLLC is RunMixDesign with a caller-supplied LLC instance (used for
 // configuration sweeps like Fig 4's reuse-way study).
 func RunMixLLC(mixName string, benchNames []string, d Design, llc cachemodel.LLC, sc Scale) MixResult {
-	res := runMix(benchNames, llc, sc)
-	ipcs := make([]float64, len(res.Cores))
-	alone := make([]float64, len(res.Cores))
-	for i, c := range res.Cores {
-		ipcs[i] = c.IPC
-		alone[i] = AloneIPC(benchNames[i], sc)
-	}
-	ws, err := metrics.WeightedSpeedup(ipcs, alone)
+	res, err := RunMixLLCCtx(context.Background(), mixName, benchNames, d, llc, sc)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))
 	}
-	return MixResult{
-		Mix: mixName, Design: d, WS: ws, MPKI: res.MPKI(),
-		IPCs: ipcs, LLCStats: res.LLCStats,
-	}
+	return res
 }
 
-// parallelFor runs f(i) for i in [0, n), optionally across CPUs.
+// parallelFor runs f(i) for i in [0, n), optionally across CPUs, through
+// the harness's bounded pool. Panics in f are recovered by the pool and
+// re-raised here, preserving the legacy fail-fast behavior for callers
+// that have not adopted the harness error path.
 func parallelFor(n int, parallel bool, f func(i int)) {
-	if !parallel {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
+	workers := 1
+	if parallel {
+		workers = harness.DefaultWorkers()
 	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallelism())
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			f(i)
-		}(i)
+	err := harness.ParallelFor(context.Background(), workers, n, func(_ context.Context, i int) error {
+		f(i)
+		return nil
+	})
+	if err != nil {
+		panic(err)
 	}
-	wg.Wait()
 }

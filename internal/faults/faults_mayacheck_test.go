@@ -1,0 +1,78 @@
+//go:build mayacheck
+
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"mayacache/internal/cachemodel"
+	"mayacache/internal/core"
+	"mayacache/internal/rng"
+)
+
+// Satellite requirement: mayacheck-tagged invariant audits must flag
+// injected tag-store corruption. The hook flips one bit of Maya tag-store
+// metadata (FPTR of a P1 entry or the state of a P0 entry); a clean Audit
+// afterwards would mean the invariant net has a hole.
+
+func filledMaya(t *testing.T, seed uint64) *core.Maya {
+	t.Helper()
+	m := core.New(core.Config{
+		SetsPerSkew: 64, Skews: 2, BaseWays: 4, ReuseWays: 2, InvalidWays: 3, Seed: seed,
+	})
+	r := rng.New(seed)
+	for i := 0; i < 30_000; i++ {
+		typ := cachemodel.Read
+		if r.Bool(0.3) {
+			typ = cachemodel.Writeback
+		}
+		m.Access(cachemodel.Access{Line: uint64(r.Intn(4096)), Type: typ})
+	}
+	if err := m.Audit(); err != nil {
+		t.Fatalf("pre-corruption audit failed: %v", err)
+	}
+	return m
+}
+
+func TestAuditFlagsFlippedTagBits(t *testing.T) {
+	for _, tc := range []struct {
+		index int
+		bit   uint
+	}{
+		{0, 0}, {7, 3}, {100, 17}, {999, 1},
+	} {
+		m := filledMaya(t, uint64(tc.index)+1)
+		desc, ok := FlipTagBit(m, tc.index, tc.bit)
+		if !ok {
+			t.Fatal("Maya exposes no corruption hook under mayacheck")
+		}
+		if desc == "" {
+			t.Fatal("nothing corrupted in a filled cache")
+		}
+		err := m.Audit()
+		if err == nil {
+			t.Fatalf("audit clean after %s", desc)
+		}
+		if !strings.Contains(err.Error(), "tag") && !strings.Contains(err.Error(), "FPTR") &&
+			!strings.Contains(err.Error(), "count") {
+			t.Logf("audit error (ok, just unexpected wording): %v", err)
+		}
+	}
+}
+
+func TestFlipTagBitOnEmptyCacheIsInert(t *testing.T) {
+	m := core.New(core.Config{
+		SetsPerSkew: 16, Skews: 2, BaseWays: 2, ReuseWays: 1, InvalidWays: 1, Seed: 1,
+	})
+	desc, ok := FlipTagBit(m, 3, 5)
+	if !ok {
+		t.Fatal("hook missing")
+	}
+	if desc != "" {
+		t.Fatalf("corrupted an empty cache: %s", desc)
+	}
+	if err := m.Audit(); err != nil {
+		t.Fatalf("empty cache audit: %v", err)
+	}
+}

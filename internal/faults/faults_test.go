@@ -1,0 +1,161 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+
+	"mayacache/internal/harness"
+	"mayacache/internal/rng"
+	"mayacache/internal/trace"
+)
+
+func testGen(t *testing.T) trace.Generator {
+	t.Helper()
+	g, err := trace.NewGenerator(trace.MustLookup("mcf"), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPanicAfterFiresExactlyAtN(t *testing.T) {
+	g := PanicAfter(testGen(t), 5)
+	for i := 0; i < 5; i++ {
+		g.Next()
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic at event 5")
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrInjected) {
+			t.Fatalf("panic value %v does not wrap ErrInjected", r)
+		}
+	}()
+	g.Next()
+}
+
+func TestCorruptLinePerturbsStreamSilently(t *testing.T) {
+	clean := testGen(t)
+	dirty := CorruptLine(testGen(t), 3, 0xdeadbeef)
+	for i := 0; i < 3; i++ {
+		c, d := clean.Next(), dirty.Next()
+		if c != d {
+			t.Fatalf("event %d corrupted before index 3", i)
+		}
+	}
+	for i := 3; i < 10; i++ {
+		c, d := clean.Next(), dirty.Next()
+		if d.Line != c.Line^0xdeadbeef {
+			t.Fatalf("event %d: line %x, want %x", i, d.Line, c.Line^0xdeadbeef)
+		}
+		if d.Gap != c.Gap || d.Write != c.Write {
+			t.Fatalf("event %d: non-line fields perturbed", i)
+		}
+	}
+}
+
+func TestCountdownBecomesClean(t *testing.T) {
+	c := NewCountdown("trace-read", 2)
+	for i := 0; i < 2; i++ {
+		err := c.Fire()
+		if err == nil || !harness.IsTransient(err) || !errors.Is(err, ErrInjected) {
+			t.Fatalf("firing %d: %v, want transient injected error", i, err)
+		}
+	}
+	if err := c.Fire(); err != nil {
+		t.Fatalf("countdown exhausted but still failing: %v", err)
+	}
+}
+
+func TestFailingRandPanicsOnDrawN(t *testing.T) {
+	f := &FailingRand{R: rng.New(1), At: 2}
+	f.Uint64()
+	f.Uint64()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("draw 2 did not fail")
+		}
+	}()
+	f.Uint64()
+}
+
+func TestPlanIsDeterministicAndSiteKeyed(t *testing.T) {
+	a := NewPlan(42, 0.5)
+	b := NewPlan(42, 0.5)
+	fired := 0
+	for i := uint64(0); i < 200; i++ {
+		if a.Fire("siteA", i) != b.Fire("siteA", i) {
+			t.Fatal("same seed, different decisions")
+		}
+		if a.Fire("siteA", i) {
+			fired++
+		}
+	}
+	if fired < 60 || fired > 140 {
+		t.Fatalf("p=0.5 fired %d/200", fired)
+	}
+	diff := 0
+	for i := uint64(0); i < 200; i++ {
+		if a.Fire("siteA", i) != a.Fire("siteB", i) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("sites share a decision stream")
+	}
+}
+
+func TestFlipTagBitNeedsAHook(t *testing.T) {
+	if _, ok := FlipTagBit(struct{}{}, 0, 0); ok {
+		t.Fatal("hookless value reported corruptible")
+	}
+}
+
+func TestParseHookSpecs(t *testing.T) {
+	if h, err := ParseHook(""); h != nil || err != nil {
+		t.Fatalf("empty spec: hook=%v err=%v", h != nil, err)
+	}
+	for _, bad := range []string{"panic", "panic:", "nope:x", "transient:x:zero", "transient:x:0"} {
+		if _, err := ParseHook(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+
+	h, err := ParseHook("error:bench=mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h("fig9|bench=lbm|seed=1"); err != nil {
+		t.Fatalf("non-matching cell failed: %v", err)
+	}
+	if err := h("fig9|bench=mcf|seed=1"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("matching cell: %v", err)
+	}
+
+	ph, err := ParseHook("panic:cell=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	perr := harness.Recover(func() error { return ph("exp|cell=1") })
+	if !errors.Is(perr, ErrInjected) {
+		t.Fatalf("panic hook through Recover: %v", perr)
+	}
+
+	th, err := ParseHook("transient:cell=2:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := th("exp|cell=2"); !harness.IsTransient(err) {
+			t.Fatalf("attempt %d: %v", i, err)
+		}
+	}
+	if err := th("exp|cell=2"); err != nil {
+		t.Fatalf("third attempt should pass: %v", err)
+	}
+	if err := th("exp|cell=3"); err != nil {
+		t.Fatalf("other cell affected: %v", err)
+	}
+}

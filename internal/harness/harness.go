@@ -1,0 +1,464 @@
+// Package harness is the resilient sweep-execution layer for the
+// experiment drivers. The paper's evaluation is reproduced as long
+// multi-seed, multi-configuration sweeps; a single panic anywhere in the
+// simulator previously tore down an entire `mayasim -experiment all` run
+// with no partial results. The harness turns each sweep cell — one
+// (mix, design, seed) simulation — into an isolated unit of work:
+//
+//   - panics inside a cell are recovered and converted into structured
+//     RunErrors (experiment, cell key, stack) instead of killing the
+//     process; sibling cells keep running;
+//   - every cell runs under a context.Context, so Ctrl-C cancellation and
+//     per-cell timeouts propagate through the bounded worker pool;
+//   - cells that fail with a transient error (see Transient) are retried
+//     with capped exponential backoff, jittered from internal/rng so retry
+//     schedules are deterministic given the harness seed;
+//   - completed cells are appended to a JSONL checkpoint file, so an
+//     interrupted sweep resumes without recomputing them — the values are
+//     JSON round-tripped both when written and when skipped, keeping
+//     resumed and uninterrupted runs byte-identical;
+//   - aggregation degrades gracefully: RunCells returns whatever cells
+//     completed plus a completeness mask, and the Runner carries a
+//     structured failure summary for the driver to render (and to exit
+//     nonzero on).
+//
+// The package is deliberately simulator-agnostic: cells are closures and
+// cell values are anything JSON-marshalable.
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"mayacache/internal/rng"
+)
+
+// RunError describes one failed sweep cell. It is the harness's error
+// taxonomy's terminal record: whatever went wrong inside the cell — a
+// panic (including invariant.Violation from mayacheck builds), a returned
+// error, or a per-cell timeout — is wrapped here with enough context to
+// re-run the cell in isolation.
+type RunError struct {
+	// Experiment is the sweep's name (e.g. "fig9").
+	Experiment string
+	// Cell identifies the failed cell within the sweep (its checkpoint
+	// key suffix, e.g. "bench=mcf|w=2000000|roi=1000000|seed=1").
+	Cell string
+	// Attempts is how many times the cell was tried (1 + retries).
+	Attempts int
+	// Err is the underlying failure. Panics are wrapped as
+	// "panic: <value>" errors; timeouts unwrap to context.DeadlineExceeded.
+	Err error
+	// Stack is the goroutine stack at the recovery point when the failure
+	// was a panic; nil for ordinary errors.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *RunError) Error() string {
+	return fmt.Sprintf("%s cell %s failed after %d attempt(s): %v", e.Experiment, e.Cell, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *RunError) Unwrap() error { return e.Err }
+
+// transientError marks an error as retryable. Injected transient faults
+// and other recoverable conditions wrap themselves with Transient so the
+// harness retries the cell instead of failing it.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return "transient: " + e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err so IsTransient reports true; the harness retries
+// cells failing with transient errors (up to Options.Retries). A nil err
+// returns nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err is (or wraps) a transient error.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// panicError carries a recovered panic value as an error. The original
+// value is preserved: if it was an error (e.g. invariant.Violation), it
+// unwraps to it.
+type panicError struct {
+	value any
+	stack []byte
+}
+
+func (e *panicError) Error() string { return fmt.Sprintf("panic: %v", e.value) }
+
+// Unwrap exposes panic values that are themselves errors.
+func (e *panicError) Unwrap() error {
+	if err, ok := e.value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Recover runs fn and converts a panic into a returned error carrying the
+// panic value and stack. It is the single recovery wrapper every
+// harness-routed run funnels through; constructor-geometry panics in the
+// simulator packages (core, mirage, baseline, cachesim, trace, ...) stay
+// panics at their sites and become RunErrors here.
+func Recover(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &panicError{value: r, stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// PanicStack returns the recovery-point stack if err came from a recovered
+// panic, or nil.
+func PanicStack(err error) []byte {
+	var p *panicError
+	if errors.As(err, &p) {
+		return p.stack
+	}
+	return nil
+}
+
+// DefaultWorkers is the worker-pool width used when Options.Workers is
+// zero: all CPUs but one, matching the experiment drivers' historical
+// parallelism.
+func DefaultWorkers() int {
+	n := runtime.NumCPU() - 1
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Options configures a Runner.
+type Options struct {
+	// Workers bounds cell parallelism. 0 selects DefaultWorkers; 1 runs
+	// cells serially (deterministic order).
+	Workers int
+	// CellTimeout is the per-cell deadline; 0 disables it. A timed-out
+	// cell fails with context.DeadlineExceeded (wrapped in a RunError);
+	// the simulator observes the cancellation cooperatively via
+	// cachesim.System.RunCtx, so the cell's goroutine exits promptly.
+	CellTimeout time.Duration
+	// Retries is how many times a cell failing with a Transient error is
+	// re-run (total attempts = Retries+1). Non-transient failures are
+	// never retried.
+	Retries int
+	// BackoffBase is the first retry delay; attempt k waits
+	// BackoffBase<<k plus uniform jitter in [0, BackoffBase). 0 defaults
+	// to 50ms. Delays are capped at BackoffCap.
+	BackoffBase time.Duration
+	// BackoffCap caps a single backoff delay; 0 defaults to 2s.
+	BackoffCap time.Duration
+	// Seed drives the backoff jitter stream (deterministic schedules).
+	Seed uint64
+	// Checkpoint, when non-nil, is consulted before running a cell and
+	// appended to after each completed cell.
+	Checkpoint *Checkpoint
+	// PreRun, when non-nil, runs inside the recovery wrapper immediately
+	// before every cell attempt. It exists for fault injection: a hook
+	// may panic or return an error (possibly Transient) to simulate a
+	// failing cell deterministically. A nil return proceeds to the run.
+	PreRun func(key string) error
+	// Sleep is the backoff sleeper; nil selects a context-aware
+	// time.After wait. Tests substitute instant sleeps.
+	Sleep func(ctx context.Context, d time.Duration)
+}
+
+// Runner executes sweeps and accumulates their failures. One Runner is
+// shared across all the sweeps of a driver invocation so the final
+// failure summary covers the whole run.
+type Runner struct {
+	opts Options
+
+	mu     sync.Mutex
+	jitter *rng.Rand
+	errs   []*RunError
+	cells  int // total cells attempted (excluding checkpoint skips)
+	skips  int // cells restored from the checkpoint
+}
+
+// New builds a Runner. Zero-valued fields of opts select defaults.
+func New(opts Options) *Runner {
+	if opts.Workers == 0 {
+		opts.Workers = DefaultWorkers()
+	}
+	if opts.BackoffBase == 0 {
+		opts.BackoffBase = 50 * time.Millisecond
+	}
+	if opts.BackoffCap == 0 {
+		opts.BackoffCap = 2 * time.Second
+	}
+	if opts.Sleep == nil {
+		opts.Sleep = func(ctx context.Context, d time.Duration) {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+			case <-t.C:
+			}
+		}
+	}
+	return &Runner{opts: opts, jitter: rng.New(opts.Seed ^ 0x6861726e657373)} // "harness"
+}
+
+// Options returns the runner's resolved options.
+func (r *Runner) Options() Options { return r.opts }
+
+// record appends a cell failure.
+func (r *Runner) record(e *RunError) {
+	r.mu.Lock()
+	r.errs = append(r.errs, e)
+	r.mu.Unlock()
+}
+
+// Failures returns the accumulated cell failures, sorted by experiment
+// then cell key (stable across worker schedules).
+func (r *Runner) Failures() []*RunError {
+	r.mu.Lock()
+	out := make([]*RunError, len(r.errs))
+	copy(out, r.errs)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Experiment != out[j].Experiment {
+			return out[i].Experiment < out[j].Experiment
+		}
+		return out[i].Cell < out[j].Cell
+	})
+	return out
+}
+
+// Failed reports whether any cell failed.
+func (r *Runner) Failed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.errs) > 0
+}
+
+// Stats returns (cells attempted, cells restored from checkpoint,
+// failures).
+func (r *Runner) Stats() (ran, restored, failed int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cells, r.skips, len(r.errs)
+}
+
+// WriteFailureSummary renders the structured failure summary. Stacks are
+// included only for panic failures, truncated to their first frames.
+func (r *Runner) WriteFailureSummary(w io.Writer) {
+	fails := r.Failures()
+	ran, restored, _ := r.Stats()
+	fmt.Fprintf(w, "FAILURE SUMMARY: %d of %d cell(s) failed (%d restored from checkpoint)\n",
+		len(fails), ran+restored, restored)
+	for _, f := range fails {
+		fmt.Fprintf(w, "  [%s] cell %s: %v (attempts: %d)\n", f.Experiment, f.Cell, f.Err, f.Attempts)
+		if len(f.Stack) > 0 {
+			fmt.Fprintf(w, "%s\n", indentStack(f.Stack, 24))
+		}
+	}
+}
+
+// indentStack trims a debug.Stack dump to at most maxLines and indents it.
+func indentStack(stack []byte, maxLines int) string {
+	lines := 0
+	end := len(stack)
+	for i, b := range stack {
+		if b == '\n' {
+			lines++
+			if lines == maxLines {
+				end = i
+				break
+			}
+		}
+	}
+	out := make([]byte, 0, end+4*lines)
+	out = append(out, ' ', ' ', ' ', ' ')
+	for _, b := range stack[:end] {
+		out = append(out, b)
+		if b == '\n' {
+			out = append(out, ' ', ' ', ' ', ' ')
+		}
+	}
+	return string(out)
+}
+
+// backoff returns the jittered delay before retry attempt k (0-based).
+func (r *Runner) backoff(k int) time.Duration {
+	d := r.opts.BackoffBase << uint(k)
+	if d > r.opts.BackoffCap || d <= 0 {
+		d = r.opts.BackoffCap
+	}
+	r.mu.Lock()
+	j := time.Duration(r.jitter.Float64() * float64(r.opts.BackoffBase))
+	r.mu.Unlock()
+	return d + j
+}
+
+// ParallelFor runs f(ctx, i) for i in [0, n) on at most workers
+// goroutines, recovering panics into errors. It stops launching new work
+// once ctx is cancelled (in-flight calls observe ctx cooperatively) and
+// returns the joined errors of all failed iterations plus ctx.Err() when
+// cancelled. It is the bounded pool underneath RunCells, exported for
+// drivers (multi-seed statistics) that need raw parallelism with panic
+// isolation but no checkpointing.
+func ParallelFor(ctx context.Context, workers, n int, f func(ctx context.Context, i int) error) error {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				break
+			}
+			i := i
+			errs[i] = Recover(func() error { return f(ctx, i) })
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				break
+			}
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				errs[i] = Recover(func() error { return f(ctx, i) })
+			}(i)
+		}
+		wg.Wait()
+	}
+	errs = append(errs, ctx.Err())
+	return errors.Join(errs...)
+}
+
+// RunCells executes one sweep: len(keys) cells, where cell i is identified
+// by experiment+"|"+keys[i] and produced by run(ctx, i). It returns the
+// cell values and a mask of which cells completed. For each cell it
+//
+//  1. restores the value from the checkpoint if present (no recompute);
+//  2. otherwise runs it in the bounded pool under panic recovery, the
+//     per-cell timeout, and transient-error retry with backoff;
+//  3. on success, appends the JSON round-tripped value to the checkpoint;
+//  4. on failure, records a RunError on the Runner.
+//
+// Cells cancelled by the parent context are neither completed nor
+// recorded as failures — they are simply missing from the mask, and a
+// later resume recomputes exactly them. RunCells returns ctx.Err() when
+// the parent context was cancelled, else nil.
+func RunCells[T any](ctx context.Context, r *Runner, experiment string, keys []string, run func(ctx context.Context, i int) (T, error)) ([]T, []bool, error) {
+	out := make([]T, len(keys))
+	ok := make([]bool, len(keys))
+	_ = ParallelFor(ctx, r.opts.Workers, len(keys), func(ctx context.Context, i int) error {
+		key := experiment + "|" + keys[i]
+		if r.opts.Checkpoint != nil {
+			if hit, err := r.opts.Checkpoint.Lookup(key, &out[i]); err != nil {
+				r.record(&RunError{Experiment: experiment, Cell: keys[i], Attempts: 1,
+					Err: fmt.Errorf("checkpoint entry unusable: %w", err)})
+				return nil
+			} else if hit {
+				ok[i] = true
+				r.mu.Lock()
+				r.skips++
+				r.mu.Unlock()
+				return nil
+			}
+		}
+		v, attempts, err := runOne(ctx, r, key, func(cctx context.Context) (T, error) { return run(cctx, i) })
+		if err != nil {
+			if ctx.Err() != nil && errors.Is(err, context.Canceled) {
+				return nil // cancelled, not failed: resumable
+			}
+			r.record(&RunError{Experiment: experiment, Cell: keys[i], Attempts: attempts,
+				Err: err, Stack: PanicStack(err)})
+			return nil
+		}
+		// JSON round-trip the value through the checkpoint encoding even
+		// when checkpointing is off, so resumed and fresh runs render
+		// byte-identically.
+		rt, rerr := roundTrip(v)
+		if rerr != nil {
+			r.record(&RunError{Experiment: experiment, Cell: keys[i], Attempts: attempts,
+				Err: fmt.Errorf("cell value not checkpointable: %w", rerr)})
+			return nil
+		}
+		if r.opts.Checkpoint != nil {
+			if werr := r.opts.Checkpoint.Record(key, rt); werr != nil {
+				r.record(&RunError{Experiment: experiment, Cell: keys[i], Attempts: attempts,
+					Err: fmt.Errorf("checkpoint write failed: %w", werr)})
+				return nil
+			}
+		}
+		out[i] = rt
+		ok[i] = true
+		return nil
+	})
+	return out, ok, ctx.Err()
+}
+
+// runOne executes a single cell with recovery, timeout, and retry.
+func runOne[T any](ctx context.Context, r *Runner, key string, run func(ctx context.Context) (T, error)) (T, int, error) {
+	var v T
+	var err error
+	attempts := 0
+	for {
+		attempts++
+		r.mu.Lock()
+		r.cells++
+		r.mu.Unlock()
+		v, err = attempt(ctx, r, key, run)
+		if err == nil {
+			return v, attempts, nil
+		}
+		if !IsTransient(err) || attempts > r.opts.Retries || ctx.Err() != nil {
+			return v, attempts, err
+		}
+		r.opts.Sleep(ctx, r.backoff(attempts-1))
+	}
+}
+
+// attempt is one recovered, deadline-bounded execution of a cell.
+func attempt[T any](ctx context.Context, r *Runner, key string, run func(ctx context.Context) (T, error)) (T, error) {
+	cctx := ctx
+	if r.opts.CellTimeout > 0 {
+		var cancel context.CancelFunc
+		cctx, cancel = context.WithTimeout(ctx, r.opts.CellTimeout)
+		defer cancel()
+	}
+	var v T
+	err := Recover(func() error {
+		if r.opts.PreRun != nil {
+			if herr := r.opts.PreRun(key); herr != nil {
+				return herr
+			}
+		}
+		var rerr error
+		v, rerr = run(cctx)
+		return rerr
+	})
+	// Surface a per-cell deadline as DeadlineExceeded even if the run
+	// wrapped it.
+	if err != nil && cctx.Err() != nil && ctx.Err() == nil {
+		err = fmt.Errorf("cell timed out after %v: %w", r.opts.CellTimeout, context.DeadlineExceeded)
+	}
+	return v, err
+}

@@ -1,0 +1,284 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// noSleep substitutes instant backoff waits in tests.
+func noSleep(opts Options) Options {
+	opts.Sleep = func(context.Context, time.Duration) {}
+	return opts
+}
+
+func keysN(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("cell=%d", i)
+	}
+	return keys
+}
+
+func TestRecoverConvertsPanics(t *testing.T) {
+	err := Recover(func() error { panic("boom") })
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want panic: boom", err)
+	}
+	if PanicStack(err) == nil {
+		t.Fatal("no stack captured")
+	}
+	sentinel := errors.New("inner cause")
+	err = Recover(func() error { panic(sentinel) })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("panic value that is an error must unwrap; got %v", err)
+	}
+	if err := Recover(func() error { return nil }); err != nil {
+		t.Fatalf("clean run returned %v", err)
+	}
+}
+
+func TestRunCellsIsolatesPanickingCell(t *testing.T) {
+	r := New(noSleep(Options{Workers: 4}))
+	vals, ok, err := RunCells(context.Background(), r, "exp", keysN(8),
+		func(_ context.Context, i int) (int, error) {
+			if i == 3 {
+				panic("injected cell failure")
+			}
+			return i * 10, nil
+		})
+	if err != nil {
+		t.Fatalf("RunCells: %v", err)
+	}
+	for i := range vals {
+		if i == 3 {
+			if ok[3] {
+				t.Fatal("panicking cell marked ok")
+			}
+			continue
+		}
+		if !ok[i] || vals[i] != i*10 {
+			t.Fatalf("sibling cell %d: ok=%v val=%d", i, ok[i], vals[i])
+		}
+	}
+	fails := r.Failures()
+	if len(fails) != 1 {
+		t.Fatalf("%d failures, want 1", len(fails))
+	}
+	f := fails[0]
+	if f.Experiment != "exp" || f.Cell != "cell=3" || !strings.Contains(f.Err.Error(), "injected") {
+		t.Fatalf("bad RunError: %+v", f)
+	}
+	if len(f.Stack) == 0 {
+		t.Fatal("panic failure has no stack")
+	}
+	var sb strings.Builder
+	r.WriteFailureSummary(&sb)
+	if !strings.Contains(sb.String(), "cell=3") || !strings.Contains(sb.String(), "1 of 8") {
+		t.Fatalf("summary missing cell: %q", sb.String())
+	}
+}
+
+func TestTransientRetrySucceeds(t *testing.T) {
+	var calls atomic.Int32
+	r := New(noSleep(Options{Workers: 1, Retries: 3, Seed: 7}))
+	vals, ok, err := RunCells(context.Background(), r, "exp", []string{"cell=0"},
+		func(_ context.Context, i int) (string, error) {
+			if calls.Add(1) <= 2 {
+				return "", Transient(errors.New("flaky"))
+			}
+			return "done", nil
+		})
+	if err != nil || !ok[0] || vals[0] != "done" {
+		t.Fatalf("retry did not recover: err=%v ok=%v vals=%v", err, ok, vals)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("%d attempts, want 3", calls.Load())
+	}
+	if r.Failed() {
+		t.Fatalf("runner recorded failures: %v", r.Failures())
+	}
+}
+
+func TestTransientRetryExhaustion(t *testing.T) {
+	r := New(noSleep(Options{Workers: 1, Retries: 2}))
+	_, ok, _ := RunCells(context.Background(), r, "exp", []string{"cell=0"},
+		func(context.Context, int) (int, error) {
+			return 0, Transient(errors.New("always flaky"))
+		})
+	if ok[0] {
+		t.Fatal("exhausted cell marked ok")
+	}
+	fails := r.Failures()
+	if len(fails) != 1 || fails[0].Attempts != 3 {
+		t.Fatalf("failures = %+v, want one with 3 attempts", fails)
+	}
+	if !IsTransient(fails[0].Err) {
+		t.Fatal("final error lost its transient marker")
+	}
+}
+
+func TestNonTransientNotRetried(t *testing.T) {
+	var calls atomic.Int32
+	r := New(noSleep(Options{Workers: 1, Retries: 5}))
+	_, _, _ = RunCells(context.Background(), r, "exp", []string{"cell=0"},
+		func(context.Context, int) (int, error) {
+			calls.Add(1)
+			return 0, errors.New("hard failure")
+		})
+	if calls.Load() != 1 {
+		t.Fatalf("non-transient error retried %d times", calls.Load())
+	}
+}
+
+func TestCellTimeout(t *testing.T) {
+	r := New(noSleep(Options{Workers: 1, CellTimeout: 10 * time.Millisecond}))
+	_, ok, _ := RunCells(context.Background(), r, "exp", []string{"cell=0"},
+		func(ctx context.Context, _ int) (int, error) {
+			<-ctx.Done() // cooperative simulator: observes the deadline
+			return 0, ctx.Err()
+		})
+	if ok[0] {
+		t.Fatal("timed-out cell marked ok")
+	}
+	fails := r.Failures()
+	if len(fails) != 1 || !errors.Is(fails[0].Err, context.DeadlineExceeded) {
+		t.Fatalf("failures = %+v, want DeadlineExceeded", fails)
+	}
+}
+
+func TestParentCancellationIsNotAFailure(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var completed atomic.Int32
+	r := New(noSleep(Options{Workers: 1}))
+	_, ok, err := RunCells(ctx, r, "exp", keysN(6),
+		func(ctx context.Context, i int) (int, error) {
+			if completed.Add(1) == 3 {
+				cancel() // simulate Ctrl-C after the third cell starts
+				return 0, ctx.Err()
+			}
+			if ctx.Err() != nil {
+				return 0, ctx.Err()
+			}
+			return i, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCells returned %v, want Canceled", err)
+	}
+	if r.Failed() {
+		t.Fatalf("cancelled cells recorded as failures: %v", r.Failures())
+	}
+	done := 0
+	for _, o := range ok {
+		if o {
+			done++
+		}
+	}
+	if done == 0 || done >= 6 {
+		t.Fatalf("expected partial completion, got %d/6", done)
+	}
+}
+
+func TestRunCellsSkipsCheckpointedCells(t *testing.T) {
+	ck := NewMemCheckpoint()
+	if err := ck.Record("exp|cell=1", 111); err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int32
+	r := New(noSleep(Options{Workers: 1, Checkpoint: ck}))
+	vals, ok, err := RunCells(context.Background(), r, "exp", keysN(3),
+		func(_ context.Context, i int) (int, error) {
+			ran.Add(1)
+			return i * 100, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 2 {
+		t.Fatalf("%d cells recomputed, want 2", ran.Load())
+	}
+	if !ok[1] || vals[1] != 111 {
+		t.Fatalf("checkpointed cell not restored: ok=%v val=%d", ok[1], vals[1])
+	}
+	if ck.Len() != 3 {
+		t.Fatalf("checkpoint holds %d cells, want 3", ck.Len())
+	}
+	_, restored, _ := r.Stats()
+	if restored != 1 {
+		t.Fatalf("restored = %d, want 1", restored)
+	}
+}
+
+func TestPreRunHookInjectsFailures(t *testing.T) {
+	r := New(noSleep(Options{Workers: 1, PreRun: func(key string) error {
+		if strings.Contains(key, "cell=2") {
+			panic("injected by hook")
+		}
+		return nil
+	}}))
+	_, ok, _ := RunCells(context.Background(), r, "exp", keysN(4),
+		func(_ context.Context, i int) (int, error) { return i, nil })
+	if ok[2] {
+		t.Fatal("hooked cell completed")
+	}
+	for _, i := range []int{0, 1, 3} {
+		if !ok[i] {
+			t.Fatalf("sibling %d did not complete", i)
+		}
+	}
+	if len(r.Failures()) != 1 {
+		t.Fatalf("failures: %v", r.Failures())
+	}
+}
+
+func TestParallelForRecoversAndJoins(t *testing.T) {
+	err := ParallelFor(context.Background(), 3, 5, func(_ context.Context, i int) error {
+		if i == 1 {
+			panic("pf boom")
+		}
+		if i == 4 {
+			return errors.New("pf err")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "pf boom") || !strings.Contains(err.Error(), "pf err") {
+		t.Fatalf("joined error = %v", err)
+	}
+	if err := ParallelFor(context.Background(), 2, 4, func(context.Context, int) error { return nil }); err != nil {
+		t.Fatalf("clean ParallelFor: %v", err)
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	r := New(Options{BackoffBase: 10 * time.Millisecond, BackoffCap: 35 * time.Millisecond, Seed: 1})
+	d0 := r.backoff(0)
+	d3 := r.backoff(3)
+	if d0 < 10*time.Millisecond || d0 >= 20*time.Millisecond {
+		t.Fatalf("first backoff %v outside [base, 2*base)", d0)
+	}
+	// attempt 3 would be 80ms; capped at 35ms plus jitter < 10ms.
+	if d3 < 35*time.Millisecond || d3 >= 45*time.Millisecond {
+		t.Fatalf("capped backoff %v outside [cap, cap+base)", d3)
+	}
+}
+
+func TestFailureOrderingIsStable(t *testing.T) {
+	r := New(noSleep(Options{Workers: 8}))
+	_, _, _ = RunCells(context.Background(), r, "exp", keysN(10),
+		func(_ context.Context, i int) (int, error) {
+			return 0, fmt.Errorf("fail %d", i)
+		})
+	fails := r.Failures()
+	if len(fails) != 10 {
+		t.Fatalf("%d failures", len(fails))
+	}
+	for i := 1; i < len(fails); i++ {
+		if fails[i-1].Cell > fails[i].Cell {
+			t.Fatalf("failures unsorted: %q > %q", fails[i-1].Cell, fails[i].Cell)
+		}
+	}
+}

@@ -65,14 +65,38 @@ func WriteEvents(w io.Writer, events []Event) error {
 	return gz.Close()
 }
 
-// ReadEvents deserializes a trace written by WriteEvents.
+// offsetReader counts decompressed bytes consumed from the underlying
+// stream so decode errors can point at the exact offset of the bad
+// record (offsets are within the decompressed payload, not the gzip
+// file, since that is where the varint framing lives).
+type offsetReader struct {
+	br  *bufio.Reader
+	off int64
+}
+
+func (o *offsetReader) ReadByte() (byte, error) {
+	b, err := o.br.ReadByte()
+	if err == nil {
+		o.off++
+	}
+	return b, err
+}
+
+func (o *offsetReader) Read(p []byte) (int, error) {
+	n, err := o.br.Read(p)
+	o.off += int64(n)
+	return n, err
+}
+
+// ReadEvents deserializes a trace written by WriteEvents. Decode errors
+// identify the failing event index and its decompressed byte offset.
 func ReadEvents(r io.Reader) ([]Event, error) {
 	gz, err := gzip.NewReader(r)
 	if err != nil {
 		return nil, fmt.Errorf("trace: %w", err)
 	}
 	defer gz.Close()
-	br := bufio.NewReader(gz)
+	br := &offsetReader{br: bufio.NewReader(gz)}
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
@@ -82,14 +106,14 @@ func ReadEvents(r io.Reader) ([]Event, error) {
 	}
 	version, err := br.ReadByte()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("trace: reading version at offset %d: %w", br.off, err)
 	}
 	if version != traceVersion {
 		return nil, fmt.Errorf("trace: unsupported version %d", version)
 	}
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("trace: reading event count at offset %d: %w", br.off, err)
 	}
 	const maxEvents = 1 << 30
 	if count > maxEvents {
@@ -107,17 +131,18 @@ func ReadEvents(r io.Reader) ([]Event, error) {
 	events := make([]Event, 0, prealloc)
 	var prev uint64
 	for i := uint64(0); i < count; i++ {
+		at := br.off
 		gap, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("trace: event %d gap: %w", i, err)
+			return nil, fmt.Errorf("trace: event %d gap at offset %d: %w", i, at, err)
 		}
 		delta, err := binary.ReadVarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("trace: event %d line: %w", i, err)
+			return nil, fmt.Errorf("trace: event %d line at offset %d: %w", i, at, err)
 		}
 		flags, err := br.ReadByte()
 		if err != nil {
-			return nil, fmt.Errorf("trace: event %d flags: %w", i, err)
+			return nil, fmt.Errorf("trace: event %d flags at offset %d: %w", i, at, err)
 		}
 		line := uint64(int64(prev) + delta)
 		events = append(events, Event{
@@ -147,12 +172,14 @@ type Replayer struct {
 	pos    int
 }
 
-// NewReplayer wraps events as a Generator. It panics on an empty slice.
-func NewReplayer(name string, events []Event) *Replayer {
+// NewReplayer wraps events as a Generator. An empty slice is an error:
+// a Replayer with nothing to replay could only panic later, mid-run,
+// inside Next.
+func NewReplayer(name string, events []Event) (*Replayer, error) {
 	if len(events) == 0 {
-		panic("trace: NewReplayer with no events")
+		return nil, fmt.Errorf("trace: replayer %q has no events", name)
 	}
-	return &Replayer{name: name, events: events}
+	return &Replayer{name: name, events: events}, nil
 }
 
 // Next implements Generator.

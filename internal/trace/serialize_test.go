@@ -81,9 +81,43 @@ func TestReadRejectsGarbage(t *testing.T) {
 	}
 }
 
+func TestDecodeErrorsCarryOffsets(t *testing.T) {
+	// A trace truncated mid-event must report which event failed and at
+	// which decompressed offset, so corrupt files are debuggable.
+	g := MustGenerator(MustLookup("mcf"), 0, 3)
+	events := Capture(g, 100)
+	var full bytes.Buffer
+	if err := WriteEvents(&full, events); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := ReadEvents(bytes.NewReader(full.Bytes()))
+	if err != nil || len(payload) != 100 {
+		t.Fatalf("sanity round trip: %v (%d events)", err, len(payload))
+	}
+	// Re-encode a shorter payload under the full count header by writing
+	// the full trace and chopping compressed bytes until decode fails.
+	raw := full.Bytes()
+	var decodeErr error
+	for cut := len(raw) - 1; cut > 0; cut-- {
+		if _, decodeErr = ReadEvents(bytes.NewReader(raw[:cut])); decodeErr != nil {
+			break
+		}
+	}
+	if decodeErr == nil {
+		t.Fatal("no truncation produced a decode error")
+	}
+	msg := decodeErr.Error()
+	if !bytes.Contains([]byte(msg), []byte("offset")) {
+		t.Fatalf("decode error lacks offset context: %v", msg)
+	}
+}
+
 func TestReplayerWrapsAround(t *testing.T) {
 	events := []Event{{Line: 1}, {Line: 2}}
-	r := NewReplayer("two", events)
+	r, err := NewReplayer("two", events)
+	if err != nil {
+		t.Fatal(err)
+	}
 	seq := []uint64{r.Next().Line, r.Next().Line, r.Next().Line}
 	if seq[0] != 1 || seq[1] != 2 || seq[2] != 1 {
 		t.Fatalf("replay sequence %v", seq)
@@ -94,10 +128,7 @@ func TestReplayerWrapsAround(t *testing.T) {
 }
 
 func TestReplayerRejectsEmpty(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("empty replayer accepted")
-		}
-	}()
-	NewReplayer("x", nil)
+	if _, err := NewReplayer("x", nil); err == nil {
+		t.Fatal("empty replayer accepted")
+	}
 }

@@ -46,7 +46,8 @@ func WriteTrace(w io.Writer, events []TraceEvent) error { return trace.WriteEven
 func ReadTrace(r io.Reader) ([]TraceEvent, error) { return trace.ReadEvents(r) }
 
 // NewTraceReplayer wraps recorded events as a generator (wrapping at the
-// end), usable as a custom workload via SystemConfig.
-func NewTraceReplayer(name string, events []TraceEvent) TraceGenerator {
+// end), usable as a custom workload via SystemConfig. An empty event
+// slice is an error.
+func NewTraceReplayer(name string, events []TraceEvent) (TraceGenerator, error) {
 	return trace.NewReplayer(name, events)
 }

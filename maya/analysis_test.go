@@ -36,7 +36,10 @@ func TestTraceCaptureReplayRoundTrip(t *testing.T) {
 	if len(back) != 1000 {
 		t.Fatalf("round trip returned %d events", len(back))
 	}
-	r := NewTraceReplayer("xz-replay", back)
+	r, err := NewTraceReplayer("xz-replay", back)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Next() != events[0] {
 		t.Fatal("replayer diverges from capture")
 	}
@@ -48,7 +51,10 @@ func TestReplayedTraceDrivesSystem(t *testing.T) {
 		t.Fatal(err)
 	}
 	events := CaptureTrace(g, 20_000)
-	replay := NewTraceReplayer("mcf-capture", events)
+	replay, err := NewTraceReplayer("mcf-capture", events)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Feed the replayed trace through a system via a custom LLC +
 	// manual construction: the public facade accepts workload names, so
 	// drive the cache directly here.
