@@ -32,11 +32,13 @@ check:
 # race runs the race detector over the multi-core simulator paths and the
 # concurrent sweep harness.
 race:
-	$(GO) test -race ./internal/cachesim/... ./internal/core/... ./internal/experiments/... ./internal/harness/... ./internal/faults/...
+	$(GO) test -race ./internal/cachesim/... ./internal/core/... ./internal/experiments/... ./internal/harness/... ./internal/faults/... ./internal/snapshot/...
 
 # e2e exercises mayasim end to end: fault isolation (one injected
-# panicking cell, nonzero exit, FAILED row) and checkpoint resume
-# (byte-identical tables). ci.sh runs the same smoke inline.
+# panicking cell, nonzero exit, FAILED row), checkpoint resume
+# (byte-identical tables), and SIGKILL-mid-ROI snapshot resume
+# (bit-exact continuation from durable cell state). ci.sh runs the same
+# smoke inline.
 e2e:
 	@TMP=$$(mktemp -d); trap 'rm -rf "$$TMP"' EXIT; \
 	$(GO) build -o "$$TMP/mayasim" ./cmd/mayasim; \
@@ -51,7 +53,17 @@ e2e:
 	"$$TMP/mayasim" -experiment cores -warmup 60000 -roi 30000 -serial \
 	    > "$$TMP/fresh.out"; \
 	cmp "$$TMP/resume.out" "$$TMP/fresh.out"; \
-	echo "e2e: resume byte-identical"
+	echo "e2e: resume byte-identical"; \
+	if "$$TMP/mayasim" -experiment cores -warmup 60000 -roi 30000 -serial \
+	    -checkpoint "$$TMP/kill.ckpt" -snapshot-dir "$$TMP/snaps" -snapshot-every 4096 \
+	    -fault killsnap:cores=16:4 > "$$TMP/kill.out" 2> "$$TMP/kill.err"; then \
+	  echo "e2e: killsnap run survived its own SIGKILL" >&2; exit 1; fi; \
+	test -n "$$(ls "$$TMP/snaps")"; \
+	"$$TMP/mayasim" -experiment cores -warmup 60000 -roi 30000 -serial \
+	    -checkpoint "$$TMP/kill.ckpt" -snapshot-dir "$$TMP/snaps" > "$$TMP/killresume.out"; \
+	cmp "$$TMP/killresume.out" "$$TMP/fresh.out"; \
+	test -z "$$(ls "$$TMP/snaps")"; \
+	echo "e2e: SIGKILL resume bit-exact"
 
 # fuzz-smoke gives each fuzz target a short budget — enough to catch
 # regressions in the PRINCE round-trip and trace-parser robustness without
@@ -61,6 +73,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzEncryptDecryptRoundTrip -fuzztime=10s ./internal/prince/
 	$(GO) test -run=^$$ -fuzz=FuzzReadEvents$$ -fuzztime=10s ./internal/trace/
 	$(GO) test -run=^$$ -fuzz=FuzzReadEventsRoundTrip -fuzztime=10s ./internal/trace/
+	$(GO) test -run=^$$ -fuzz=FuzzSnapshotDecode -fuzztime=10s ./internal/snapshot/
 
 # ci is the tier-1 verification gate.
 ci: build test vet check race e2e

@@ -17,7 +17,7 @@ echo "==> invariant-checked tests (-tags mayacheck)"
 go test -tags mayacheck ./internal/core/... ./internal/mirage/... ./internal/buckets/... ./internal/cachesim/... ./internal/faults/...
 
 echo "==> race detector (multi-core simulator paths)"
-go test -race ./internal/cachesim/... ./internal/core/... ./internal/experiments/... ./internal/harness/... ./internal/faults/...
+go test -race ./internal/cachesim/... ./internal/core/... ./internal/experiments/... ./internal/harness/... ./internal/faults/... ./internal/snapshot/...
 
 echo "==> e2e: fault isolation + checkpoint resume (mayasim)"
 TMP=$(mktemp -d)
@@ -39,5 +39,21 @@ grep -q "FAILURE SUMMARY" "$TMP/fault.err"
 "$TMP/mayasim" -experiment cores -warmup 60000 -roi 30000 -serial \
     > "$TMP/fresh.out"
 cmp "$TMP/resume.out" "$TMP/fresh.out"
+
+echo "==> e2e: SIGKILL mid-ROI + snapshot resume (mayasim)"
+# The killsnap injector SIGKILLs the process after the 4th durable state
+# save of the cores=16 cell — mid-ROI, with no unwind or cleanup. The
+# rerun must restore the interrupted cell's exact simulator state from
+# its snapshot and render tables byte-identical to the uninterrupted run.
+if "$TMP/mayasim" -experiment cores -warmup 60000 -roi 30000 -serial \
+    -checkpoint "$TMP/kill.ckpt" -snapshot-dir "$TMP/snaps" -snapshot-every 4096 \
+    -fault killsnap:cores=16:4 > "$TMP/kill.out" 2> "$TMP/kill.err"; then
+  echo "ci: killsnap run survived its own SIGKILL" >&2; exit 1
+fi
+test -n "$(ls "$TMP/snaps")"  # a mid-run cell snapshot is durable
+"$TMP/mayasim" -experiment cores -warmup 60000 -roi 30000 -serial \
+    -checkpoint "$TMP/kill.ckpt" -snapshot-dir "$TMP/snaps" > "$TMP/killresume.out"
+cmp "$TMP/killresume.out" "$TMP/fresh.out"
+test -z "$(ls "$TMP/snaps")"  # completed cells discard their snapshots
 
 echo "ci: all green"

@@ -7,6 +7,7 @@
 //	mayasim -experiment fig9 [-warmup 2000000] [-roi 1000000] [-seed 1]
 //	        [-csv] [-checkpoint sweep.ckpt] [-timeout 10m] [-retries 2]
 //	        [-workers N] [-serial]
+//	        [-snapshot-dir DIR] [-snapshot-every N]
 //
 // Experiments: fig1, fig4, fig9, fig10, table7, table11, fitting, cores,
 // llcsize, all.
@@ -18,24 +19,42 @@
 // file and an interrupted run (Ctrl-C, kill, timeout) can be rerun with
 // the same flags to resume, recomputing only the missing cells; resumed
 // runs render byte-identical tables to uninterrupted ones. -timeout
-// bounds each cell, not the whole run. The process exits 0 only when
-// every cell of every requested experiment completed.
+// bounds each cell, not the whole run.
+//
+// With -snapshot-dir, resume becomes intra-cell: each in-flight cell
+// keeps a durable, CRC-checked state file under the directory, refreshed
+// every -snapshot-every simulator steps, and the first SIGINT/SIGTERM
+// makes running cells save their exact simulator state and stop instead
+// of discarding progress (a second signal cancels immediately). A rerun
+// with the same flags restores each saved cell mid-simulation and
+// produces bit-identical results to an uninterrupted run. Snapshots are
+// bound to their configuration: a rerun with a different seed, scale, or
+// geometry rejects the stale state and exits 2 naming the mismatched
+// field.
+//
+// Exit status: 0 when every cell of every requested experiment completed
+// (including runs resumed from snapshots); 1 when interrupted or when
+// cells failed; 2 on flag misuse or when the only failures were stale
+// snapshots incompatible with the requested configuration.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"sort"
 	"syscall"
+	"time"
 
 	"mayacache/internal/experiments"
 	"mayacache/internal/faults"
 	"mayacache/internal/harness"
 	"mayacache/internal/metrics"
 	"mayacache/internal/report"
+	"mayacache/internal/snapshot"
 )
 
 var validExperiments = []string{
@@ -59,7 +78,9 @@ func run() int {
 		timeout    = flag.Duration("timeout", 0, "per-cell timeout (0 disables)")
 		retries    = flag.Int("retries", 0, "retries for cells failing with transient errors")
 		checkpoint = flag.String("checkpoint", "", "JSONL checkpoint file: completed cells are appended and restored on rerun")
-		fault      = flag.String("fault", "", "inject a fault into matching cells: panic:<substr> | error:<substr> | transient:<substr>:<k>")
+		fault      = flag.String("fault", "", "inject a fault into matching cells: panic:<substr> | error:<substr> | transient:<substr>:<k> | killsnap:<substr>:<n>")
+		snapDir    = flag.String("snapshot-dir", "", "directory for durable mid-cell simulator state; enables intra-cell resume and snapshot-on-signal")
+		snapEvery  = flag.Uint64("snapshot-every", 0, "periodic auto-snapshot cadence in simulator steps (requires -snapshot-dir; 0 saves only on signal)")
 	)
 	flag.Parse()
 
@@ -92,9 +113,27 @@ func run() int {
 		}
 		return fail("%s; valid experiments: %v", msg, validExperiments)
 	}
-	hook, err := faults.ParseHook(*fault)
+	if *snapEvery > 0 && *snapDir == "" {
+		return fail("-snapshot-every %d without -snapshot-dir: periodic snapshots need somewhere durable to live", *snapEvery)
+	}
+	killHook, err := faults.KillOnSave(*fault, nil)
 	if err != nil {
 		return fail("%v", err)
+	}
+	if killHook != nil && *snapDir == "" {
+		return fail("-fault %s fires on snapshot saves; it needs -snapshot-dir (and usually -snapshot-every)", *fault)
+	}
+	var hook func(key string) error
+	if killHook == nil {
+		hook, err = faults.ParseHook(*fault)
+		if err != nil {
+			return fail("%v", err)
+		}
+	}
+	if *snapDir != "" {
+		if err := os.MkdirAll(*snapDir, 0o755); err != nil {
+			return fail("creating -snapshot-dir: %v", err)
+		}
 	}
 
 	var cp *harness.Checkpoint
@@ -109,17 +148,43 @@ func run() int {
 	if *serial {
 		poolWorkers = 1
 	}
+	var trig *snapshot.Trigger
+	if *snapDir != "" {
+		trig = new(snapshot.Trigger)
+	}
 	runner := harness.New(harness.Options{
-		Workers:     poolWorkers,
-		CellTimeout: *timeout,
-		Retries:     *retries,
-		Seed:        *seed,
-		Checkpoint:  cp,
-		PreRun:      hook,
+		Workers:         poolWorkers,
+		CellTimeout:     *timeout,
+		Retries:         *retries,
+		Seed:            *seed,
+		Checkpoint:      cp,
+		PreRun:          hook,
+		SnapshotDir:     *snapDir,
+		SnapshotEvery:   *snapEvery,
+		SnapshotTrigger: trig,
+		SnapshotOnSave:  killHook,
 	})
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		<-sigc
+		if trig != nil {
+			// First signal: deadline-stop. Running cells save their exact
+			// simulator state and return; unlaunched cells are skipped. The
+			// context is cancelled only after a grace period (or a second,
+			// impatient signal) so the saves can complete.
+			fmt.Fprintln(os.Stderr, "mayasim: signal received; saving cell snapshots (signal again to cancel immediately)")
+			trig.Fire()
+			grace := time.AfterFunc(30*time.Second, cancel)
+			<-sigc
+			grace.Stop()
+		}
+		cancel()
+	}()
 
 	sc := experiments.Scale{WarmupInstr: *warmup, ROIInstr: *roi, Seed: *seed, Parallel: !*serial}
 	out := os.Stdout
@@ -323,20 +388,47 @@ func run() int {
 		runLLCSize()
 	}
 
-	if ctx.Err() != nil {
+	if ctx.Err() != nil || trig.Fired() {
 		fmt.Fprintln(os.Stderr, "mayasim: interrupted; partial tables above")
-		if *checkpoint != "" {
+		switch {
+		case trig.Fired() && *checkpoint != "":
+			fmt.Fprintf(os.Stderr, "mayasim: cell snapshots saved under %s; rerun the same command to resume mid-cell from %s\n", *snapDir, *checkpoint)
+		case *checkpoint != "":
 			fmt.Fprintf(os.Stderr, "mayasim: rerun the same command to resume from %s\n", *checkpoint)
-		} else {
+		default:
 			fmt.Fprintln(os.Stderr, "mayasim: rerun with -checkpoint FILE to make interrupted sweeps resumable")
 		}
 		return 1
 	}
 	if runner.Failed() {
 		runner.WriteFailureSummary(os.Stderr)
+		if field, only := mismatchOnly(runner.Failures()); only {
+			fmt.Fprintf(os.Stderr, "mayasim: all failures are stale-snapshot mismatches (field %q): the saved state was taken under a different configuration; rerun with the original flags, or delete the snapshot files and checkpoint entries to recompute\n", field)
+			return 2
+		}
 		return 1
 	}
 	return 0
+}
+
+// mismatchOnly reports whether every recorded failure unwraps to a
+// snapshot.MismatchError — a run that found only incompatible saved state
+// and did no wrong otherwise — and names the first mismatched field.
+func mismatchOnly(fails []*harness.RunError) (string, bool) {
+	if len(fails) == 0 {
+		return "", false
+	}
+	field := ""
+	for _, f := range fails {
+		var mm *snapshot.MismatchError
+		if !errors.As(f.Err, &mm) {
+			return "", false
+		}
+		if field == "" {
+			field = mm.Field
+		}
+	}
+	return field, true
 }
 
 func isValidExperiment(name string) bool {

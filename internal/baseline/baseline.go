@@ -49,6 +49,7 @@ type SetAssoc struct {
 	ways    int
 	entries []entry // sets*ways
 	pol     policy
+	polR    *rng.Rand // the one RNG shared by the policy tree
 	hasher  cachemodel.IndexHasher
 	stats   cachemodel.Stats
 	wbBuf   []cachemodel.WritebackOut
@@ -62,12 +63,14 @@ func New(cfg Config) *SetAssoc {
 	if cfg.Ways <= 0 {
 		panic("baseline: Ways must be positive")
 	}
+	polR := rng.New(cfg.Seed ^ 0xba5e)
 	c := &SetAssoc{
 		cfg:     cfg,
 		sets:    cfg.Sets,
 		ways:    cfg.Ways,
 		entries: make([]entry, cfg.Sets*cfg.Ways),
-		pol:     newPolicy(cfg.Replacement, cfg.Sets, cfg.Ways, rng.New(cfg.Seed^0xba5e)),
+		pol:     newPolicy(cfg.Replacement, cfg.Sets, cfg.Ways, polR),
+		polR:    polR,
 		hasher:  cfg.Hasher,
 	}
 	if c.hasher == nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mayacache/internal/rng"
+	"mayacache/internal/snapshot"
 )
 
 // ReplacementKind selects the replacement policy of a set-associative cache.
@@ -54,6 +55,10 @@ type policy interface {
 	victim(set int) int
 	// kind reports the policy's identity.
 	kind() ReplacementKind
+	// saveState/restoreState serialize the policy's mutable metadata.
+	// The shared policy RNG is owned (and serialized) by SetAssoc.
+	saveState(e *snapshot.Encoder)
+	restoreState(d *snapshot.Decoder)
 }
 
 func newPolicy(k ReplacementKind, sets, ways int, r *rng.Rand) policy {
@@ -103,6 +108,28 @@ func (p *lruPolicy) victim(set int) int {
 }
 
 func (p *lruPolicy) kind() ReplacementKind { return LRU }
+
+func (p *lruPolicy) saveState(e *snapshot.Encoder) {
+	e.U64(p.clock)
+	e.Count(len(p.stamp))
+	for _, s := range p.stamp {
+		e.U64(s)
+	}
+}
+
+func (p *lruPolicy) restoreState(d *snapshot.Decoder) {
+	p.clock = d.U64()
+	if !d.FixedCount(len(p.stamp), "lru stamps") {
+		return
+	}
+	for i := range p.stamp {
+		p.stamp[i] = d.U64()
+		if p.stamp[i] > p.clock {
+			d.Fail("lru stamps", "stamp %d ahead of clock %d", p.stamp[i], p.clock)
+			return
+		}
+	}
+}
 
 // rripPolicy implements SRRIP (and BRRIP when bimodal) with 2-bit RRPVs.
 type rripPolicy struct {
@@ -160,6 +187,25 @@ func (p *rripPolicy) kind() ReplacementKind {
 	return SRRIP
 }
 
+func (p *rripPolicy) saveState(e *snapshot.Encoder) {
+	e.Count(len(p.rrpv))
+	for _, v := range p.rrpv {
+		e.U8(v)
+	}
+}
+
+func (p *rripPolicy) restoreState(d *snapshot.Decoder) {
+	if !d.FixedCount(len(p.rrpv), "rrip rrpv") {
+		return
+	}
+	for i := range p.rrpv {
+		p.rrpv[i] = d.U8()
+		if p.rrpv[i] > rrpvMax {
+			d.Fail("rrip rrpv", "value %d exceeds %d", p.rrpv[i], rrpvMax)
+			return
+		}
+	}
+}
 // drripPolicy duels SRRIP against BRRIP using leader sets and a saturating
 // PSEL counter, as in the original DRRIP proposal.
 type drripPolicy struct {
@@ -238,6 +284,23 @@ func (p *drripPolicy) victim(set int) int {
 
 func (p *drripPolicy) kind() ReplacementKind { return DRRIP }
 
+// saveState serializes both duelling sub-policies and PSEL; the leader-set
+// assignment is a pure function of the geometry and is not serialized.
+func (p *drripPolicy) saveState(e *snapshot.Encoder) {
+	p.srrip.saveState(e)
+	p.brrip.saveState(e)
+	e.Int(p.psel)
+}
+
+func (p *drripPolicy) restoreState(d *snapshot.Decoder) {
+	p.srrip.restoreState(d)
+	p.brrip.restoreState(d)
+	p.psel = d.Int()
+	if d.Err() == nil && (p.psel < 0 || p.psel > p.pselMax) {
+		d.Fail("drrip psel", "value %d out of [0,%d]", p.psel, p.pselMax)
+	}
+}
+
 // randomPolicy evicts a uniform random way.
 type randomPolicy struct {
 	ways int
@@ -250,3 +313,7 @@ func (p *randomPolicy) fill(int, int) {}
 func (p *randomPolicy) victim(int) int { return p.r.Intn(p.ways) }
 
 func (p *randomPolicy) kind() ReplacementKind { return RandomRepl }
+
+// randomPolicy's only state is the shared RNG, serialized by SetAssoc.
+func (p *randomPolicy) saveState(*snapshot.Encoder)    {}
+func (p *randomPolicy) restoreState(*snapshot.Decoder) {}

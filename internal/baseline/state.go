@@ -1,0 +1,52 @@
+package baseline
+
+import (
+	"mayacache/internal/snapshot"
+)
+
+// SaveState implements snapshot.Stateful: entries, the policy metadata,
+// and the single RNG the policy tree shares.
+func (c *SetAssoc) SaveState(e *snapshot.Encoder) {
+	e.RNG(c.polR)
+	snapshot.SaveHasherEpoch(e, c.hasher)
+	c.stats.SaveState(e)
+	e.Count(len(c.entries))
+	for i := range c.entries {
+		en := &c.entries[i]
+		e.U64(en.line)
+		e.U8(en.sdid)
+		e.U8(en.core)
+		e.Bool(en.valid)
+		e.Bool(en.dirty)
+		e.Bool(en.reused)
+	}
+	c.pol.saveState(e)
+}
+
+// RestoreState implements snapshot.Stateful on a freshly constructed
+// SetAssoc with identical configuration.
+func (c *SetAssoc) RestoreState(d *snapshot.Decoder) error {
+	d.RNG(c.polR)
+	snapshot.RestoreHasherEpoch(d, c.hasher)
+	if err := c.stats.RestoreState(d); err != nil {
+		return err
+	}
+	if d.FixedCount(len(c.entries), "baseline entries") {
+		for i := range c.entries {
+			en := &c.entries[i]
+			en.line = d.U64()
+			en.sdid = d.U8()
+			en.core = d.U8()
+			en.valid = d.Bool()
+			en.dirty = d.Bool()
+			en.reused = d.Bool()
+			if d.Err() != nil {
+				break
+			}
+		}
+	}
+	c.pol.restoreState(d)
+	return d.Err()
+}
+
+var _ snapshot.Stateful = (*SetAssoc)(nil)

@@ -47,6 +47,16 @@ func (h *XorHasher) Rekey() {
 	h.installKeys()
 }
 
+// Epoch returns the number of rekeys performed.
+func (h *XorHasher) Epoch() uint64 { return h.epoch }
+
+// RestoreEpoch sets the epoch and reinstalls the matching keys; keys are a
+// pure function of (seed, epoch), mirroring prince.Randomizer.
+func (h *XorHasher) RestoreEpoch(epoch uint64) {
+	h.epoch = epoch
+	h.installKeys()
+}
+
 // Skews returns the skew count.
 func (h *XorHasher) Skews() int { return len(h.keys) }
 

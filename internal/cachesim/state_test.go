@@ -1,0 +1,318 @@
+package cachesim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"mayacache/internal/baseline"
+	"mayacache/internal/cachemodel"
+	"mayacache/internal/ceaser"
+	maya "mayacache/internal/core"
+	"mayacache/internal/mirage"
+	"mayacache/internal/snapshot"
+	"mayacache/internal/trace"
+)
+
+// snapDesigns enumerates one representative configuration per LLC design;
+// each factory call returns a brand-new instance so runs are independent.
+var snapDesigns = []struct {
+	name string
+	mk   func() cachemodel.LLC
+}{
+	{"maya", func() cachemodel.LLC {
+		return maya.New(maya.Config{
+			SetsPerSkew: 256, Skews: 2, BaseWays: 6, ReuseWays: 3, InvalidWays: 6,
+			Seed: 9, Hasher: cachemodel.NewXorHasher(2, 8, 9),
+		})
+	}},
+	{"mirage", func() cachemodel.LLC {
+		return mirage.New(mirage.Config{
+			SetsPerSkew: 256, Skews: 2, BaseWays: 8, ExtraWays: 6,
+			Seed: 9, Hasher: cachemodel.NewXorHasher(2, 8, 9),
+		})
+	}},
+	{"baseline", func() cachemodel.LLC {
+		return baseline.New(baseline.Config{Sets: 512, Ways: 16, Replacement: baseline.DRRIP, Seed: 9})
+	}},
+	{"ceaser", func() cachemodel.LLC {
+		return ceaser.New(ceaser.Config{Sets: 512, Ways: 16, Variant: ceaser.CEASERS, RemapPeriod: 5000, Seed: 9})
+	}},
+}
+
+// snapSystem builds a two-core system (mcf + xz) around the given LLC.
+func snapSystem(llc cachemodel.LLC) *System {
+	params := DefaultCoreParams()
+	params.Prefetch = PrefetchConfig{Degree: 2} // exercise prefetcher state
+	gens := []trace.Generator{
+		trace.MustGenerator(trace.MustLookup("mcf"), 0, 5),
+		trace.MustGenerator(trace.MustLookup("xz"), 1, 5),
+	}
+	return New(Config{Cores: 2, Core: params, LLC: llc, DRAM: DefaultDRAMConfig(), Seed: 5}, gens)
+}
+
+const (
+	snapWarmup = 20000
+	snapROI    = 60000
+)
+
+// captureMidROI runs a system with auto-snapshotting until the first save
+// taken in the ROI phase, captures those bytes, and aborts the run.
+func captureMidROI(t *testing.T, sys *System) []byte {
+	t.Helper()
+	errCaptured := errors.New("captured")
+	var state []byte
+	sys.SetAutoSnapshot(&AutoSnapshot{
+		Every: 4096,
+		Save: func(data []byte) error {
+			snap, err := snapshot.Decode(data)
+			if err != nil {
+				t.Fatalf("auto-snapshot does not decode: %v", err)
+			}
+			if snap.Header.Phase != snapshot.PhaseROI {
+				return nil // keep running until the ROI
+			}
+			state = data
+			return errCaptured
+		},
+	})
+	if _, err := sys.RunCtx(context.Background(), snapWarmup, snapROI); !errors.Is(err, errCaptured) {
+		t.Fatalf("interrupted run returned %v", err)
+	}
+	if state == nil {
+		t.Fatal("no mid-ROI snapshot captured")
+	}
+	return state
+}
+
+// TestResumeBitExact is the tentpole acceptance test: for every LLC
+// design, a run snapshotted mid-ROI, restored into a fresh process-worth
+// of state, and finished must produce Results byte-identical (JSON) to an
+// uninterrupted run.
+func TestResumeBitExact(t *testing.T) {
+	for _, d := range snapDesigns {
+		t.Run(d.name, func(t *testing.T) {
+			full, err := snapSystem(d.mk()).RunCtx(context.Background(), snapWarmup, snapROI)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			state := captureMidROI(t, snapSystem(d.mk()))
+
+			resumed := snapSystem(d.mk())
+			if err := resumed.RestoreState(state); err != nil {
+				t.Fatalf("RestoreState: %v", err)
+			}
+			res, err := resumed.ResumeCtx(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			fullJSON, _ := json.Marshal(full)
+			resJSON, _ := json.Marshal(res)
+			if !bytes.Equal(fullJSON, resJSON) {
+				t.Fatalf("resumed results differ from uninterrupted run:\n full   %s\n resumed %s", fullJSON, resJSON)
+			}
+		})
+	}
+}
+
+// TestSnapshotTimingDoesNotPerturb: taking periodic snapshots must be
+// invisible to the simulation — a run that saves every 2048 steps yields
+// the same results as one that never saves.
+func TestSnapshotTimingDoesNotPerturb(t *testing.T) {
+	quiet, err := snapSystem(snapDesigns[0].mk()).RunCtx(context.Background(), snapWarmup, snapROI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := snapSystem(snapDesigns[0].mk())
+	saves := 0
+	noisy.SetAutoSnapshot(&AutoSnapshot{
+		Every: 2048,
+		Save:  func([]byte) error { saves++; return nil },
+	})
+	res, err := noisy.RunCtx(context.Background(), snapWarmup, snapROI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saves == 0 {
+		t.Fatal("periodic snapshots never fired")
+	}
+	a, _ := json.Marshal(quiet)
+	b, _ := json.Marshal(res)
+	if !bytes.Equal(a, b) {
+		t.Fatal("snapshotting perturbed the simulation")
+	}
+}
+
+// TestTriggerWritesDeadlineSnapshot: firing the trigger makes the run
+// save once more and stop with ErrStopped, and the saved state resumes to
+// the uninterrupted answer.
+func TestTriggerWritesDeadlineSnapshot(t *testing.T) {
+	full, err := snapSystem(snapDesigns[0].mk()).RunCtx(context.Background(), snapWarmup, snapROI)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var trig snapshot.Trigger
+	trig.Fire() // fired before the run: first poll must stop it
+	var state []byte
+	sys := snapSystem(snapDesigns[0].mk())
+	sys.SetAutoSnapshot(&AutoSnapshot{
+		Trigger: &trig,
+		Save:    func(data []byte) error { state = data; return nil },
+	})
+	if _, err := sys.RunCtx(context.Background(), snapWarmup, snapROI); !errors.Is(err, snapshot.ErrStopped) {
+		t.Fatalf("triggered run returned %v, want ErrStopped", err)
+	}
+	if state == nil {
+		t.Fatal("no deadline snapshot written")
+	}
+
+	resumed := snapSystem(snapDesigns[0].mk())
+	if err := resumed.RestoreState(state); err != nil {
+		t.Fatal(err)
+	}
+	res, err := resumed.ResumeCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(full)
+	b, _ := json.Marshal(res)
+	if !bytes.Equal(a, b) {
+		t.Fatal("deadline-snapshot resume diverged from uninterrupted run")
+	}
+}
+
+// TestRestoreRejectsForeignRuns: each identity field mismatch must be a
+// MismatchError naming that field, checked before any section decodes.
+func TestRestoreRejectsForeignRuns(t *testing.T) {
+	state := captureMidROI(t, snapSystem(snapDesigns[0].mk()))
+
+	expectMismatch := func(t *testing.T, sys *System, field string) {
+		t.Helper()
+		err := sys.RestoreState(state)
+		var mm *snapshot.MismatchError
+		if !errors.As(err, &mm) {
+			t.Fatalf("got %v, want MismatchError", err)
+		}
+		if mm.Field != field {
+			t.Fatalf("mismatch field %q, want %q", mm.Field, field)
+		}
+	}
+
+	t.Run("seed", func(t *testing.T) {
+		sys := snapSystem(snapDesigns[0].mk())
+		sys.cfg.Seed++
+		expectMismatch(t, sys, "seed")
+	})
+	t.Run("design", func(t *testing.T) {
+		expectMismatch(t, snapSystem(snapDesigns[2].mk()), "design")
+	})
+	t.Run("workloads", func(t *testing.T) {
+		params := DefaultCoreParams()
+		params.Prefetch = PrefetchConfig{Degree: 2}
+		gens := []trace.Generator{
+			trace.MustGenerator(trace.MustLookup("lbm"), 0, 5),
+			trace.MustGenerator(trace.MustLookup("xz"), 1, 5),
+		}
+		sys := New(Config{Cores: 2, Core: params, LLC: snapDesigns[0].mk(), DRAM: DefaultDRAMConfig(), Seed: 5}, gens)
+		expectMismatch(t, sys, "workloads")
+	})
+	t.Run("geometry", func(t *testing.T) {
+		sys := snapSystem(snapDesigns[0].mk())
+		sys.cfg.Core.L2Sets *= 2
+		expectMismatch(t, sys, "geometry")
+	})
+}
+
+// TestRestoreRejectsCorruptState: truncations and bit flips surface as
+// structured errors, never panics or silent acceptance.
+func TestRestoreRejectsCorruptState(t *testing.T) {
+	state := captureMidROI(t, snapSystem(snapDesigns[0].mk()))
+	for _, n := range []int{0, 7, 64, len(state) / 2, len(state) - 1} {
+		if err := snapSystem(snapDesigns[0].mk()).RestoreState(state[:n]); err == nil {
+			t.Fatalf("truncation at %d accepted", n)
+		}
+	}
+	for _, pos := range []int{9, 40, 200, len(state) / 2, len(state) - 2} {
+		bad := append([]byte(nil), state...)
+		bad[pos] ^= 0x10
+		if err := snapSystem(snapDesigns[0].mk()).RestoreState(bad); err == nil {
+			t.Fatalf("bit flip at %d accepted", pos)
+		}
+	}
+}
+
+// TestRunResumableCellProtocol drives the full cell lifecycle: fresh run
+// interrupted by a trigger fired from the OnSave hook, then a resumed run
+// in a "new process" (fresh cell, fresh system) completing to the
+// uninterrupted answer, then a third call served from the recorded result.
+func TestRunResumableCellProtocol(t *testing.T) {
+	full, err := snapSystem(snapDesigns[0].mk()).RunCtx(context.Background(), snapWarmup, snapROI)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), snapshot.CellFileName("cell"))
+	var trig snapshot.Trigger
+	cell, err := snapshot.OpenCell(snapshot.CellSpec{
+		Path: path, Every: 4096, Trigger: &trig,
+		OnSave: func(saves int) {
+			if saves >= 3 {
+				trig.Fire()
+			}
+		},
+	}, "cell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunResumable(context.Background(), snapSystem(snapDesigns[0].mk()), cell, "mix", snapWarmup, snapROI)
+	if !errors.Is(err, snapshot.ErrStopped) {
+		t.Fatalf("interrupted RunResumable returned %v, want ErrStopped", err)
+	}
+
+	cell2, err := snapshot.OpenCell(snapshot.CellSpec{Path: path}, "cell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell2.SystemState("mix") == nil {
+		t.Fatal("reopened cell has no in-progress state")
+	}
+	res, err := RunResumable(context.Background(), snapSystem(snapDesigns[0].mk()), cell2, "mix", snapWarmup, snapROI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(full)
+	b, _ := json.Marshal(res)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("resumed cell run differs:\n full   %s\n resumed %s", a, b)
+	}
+
+	// Completed sub-runs are served from the record without simulating:
+	// hand RunResumable a system that would panic if driven.
+	cell3, err := snapshot.OpenCell(snapshot.CellSpec{Path: path}, "cell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := RunResumable(context.Background(), snapSystem(snapDesigns[0].mk()), cell3, "mix", snapWarmup, snapROI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := json.Marshal(cached)
+	if !bytes.Equal(a, c) {
+		t.Fatal("cached result differs from live result")
+	}
+}
+
+// TestResumeCtxRequiresState guards the misuse of resuming a system that
+// never ran and never restored.
+func TestResumeCtxRequiresState(t *testing.T) {
+	sys := snapSystem(snapDesigns[0].mk())
+	if _, err := sys.ResumeCtx(context.Background()); err == nil {
+		t.Fatal("ResumeCtx on a fresh system succeeded")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"mayacache/internal/baseline"
 	"mayacache/internal/cachemodel"
 	"mayacache/internal/invariant"
+	"mayacache/internal/snapshot"
 	"mayacache/internal/trace"
 )
 
@@ -112,7 +113,31 @@ type System struct {
 	cores []*core
 	llc   cachemodel.LLC
 	dram  *DRAM
+
+	// Run-progress state: which phase the current run is in and its
+	// per-core instruction budgets. Serialized by EncodeState so a
+	// restored System can resume mid-phase.
+	warmup, roi uint64
+	phase       uint8 // snapshot.PhaseWarmup or snapshot.PhaseROI
+	started     bool  // a run is in progress (RunCtx began or RestoreState succeeded)
+
+	auto *AutoSnapshot
 }
+
+// AutoSnapshot configures in-run state capture. The drive loop saves the
+// encoded System every Every steps (0 disables periodic saves) and, when
+// Trigger fires, writes one final snapshot and stops with
+// snapshot.ErrStopped.
+type AutoSnapshot struct {
+	Every   uint64
+	Trigger *snapshot.Trigger
+	// Save persists one encoded snapshot; a failure aborts the run.
+	Save func(state []byte) error
+}
+
+// SetAutoSnapshot installs (or, with nil, removes) auto-snapshotting for
+// subsequent RunCtx/ResumeCtx calls.
+func (s *System) SetAutoSnapshot(a *AutoSnapshot) { s.auto = a }
 
 // New assembles a system; workloads must have exactly cfg.Cores
 // generators (one per core).
@@ -205,15 +230,44 @@ func (s *System) Run(warmup, roi uint64) Results {
 // timeouts and Ctrl-C. A cancelled run returns zero Results; simulation
 // state is not rewound, so the System must not be reused afterwards.
 func (s *System) RunCtx(ctx context.Context, warmup, roi uint64) (Results, error) {
-	// Warmup phase.
+	s.warmup, s.roi = warmup, roi
+	s.phase = snapshot.PhaseWarmup
+	s.started = true
 	for _, c := range s.cores {
 		c.target = warmup
 		c.done = warmup == 0
 	}
+	return s.runFrom(ctx)
+}
+
+// ResumeCtx continues a run restored by RestoreState from wherever the
+// snapshot was taken — mid-warmup or mid-ROI — and returns the final
+// results. Calling it on a System that has neither run nor been restored
+// is an error.
+func (s *System) ResumeCtx(ctx context.Context) (Results, error) {
+	if !s.started {
+		return Results{}, fmt.Errorf("cachesim: ResumeCtx before RunCtx or RestoreState")
+	}
+	return s.runFrom(ctx)
+}
+
+// runFrom drives the remaining phases of the current run.
+func (s *System) runFrom(ctx context.Context) (Results, error) {
+	if s.phase == snapshot.PhaseWarmup {
+		if err := s.drive(ctx); err != nil {
+			return Results{}, err
+		}
+		s.beginROI()
+	}
 	if err := s.drive(ctx); err != nil {
 		return Results{}, err
 	}
-	// ROI phase: reset stats, snapshot clocks.
+	return s.collect(), nil
+}
+
+// beginROI transitions warmup → ROI: reset stats, snapshot clocks.
+func (s *System) beginROI() {
+	s.phase = snapshot.PhaseROI
 	s.llc.ResetStats()
 	s.dram.ResetCounters()
 	for _, c := range s.cores {
@@ -221,13 +275,12 @@ func (s *System) RunCtx(ctx context.Context, warmup, roi uint64) (Results, error
 		c.l2.ResetStats()
 		c.roiStartClock = c.clock
 		c.roiStartRetired = c.retired
-		c.target = c.retired + roi
+		c.target = c.retired + s.roi
 		c.done = false
 	}
-	if err := s.drive(ctx); err != nil {
-		return Results{}, err
-	}
+}
 
+func (s *System) collect() Results {
 	res := Results{LLCStats: *s.llc.Stats()}
 	res.DRAMReads, res.DRAMWrites, res.DRAMRowHits, res.DRAMRowMisses = s.dram.Counters()
 	for _, c := range s.cores {
@@ -245,17 +298,32 @@ func (s *System) RunCtx(ctx context.Context, warmup, roi uint64) (Results, error
 			IPC:          ipc,
 		})
 	}
-	return res, nil
+	return res
 }
 
 // drive interleaves cores by local clock until every core reaches target.
-// It returns ctx.Err() if the context is cancelled mid-phase.
+// It returns ctx.Err() if the context is cancelled mid-phase, and
+// snapshot.ErrStopped if the auto-snapshot trigger fired (after writing
+// the deadline snapshot).
 func (s *System) drive(ctx context.Context) error {
 	var steps uint64
 	for {
 		steps++
 		if steps%cancelCheckPeriod == 0 {
+			// The trigger outranks plain cancellation: a deadline stop
+			// must persist its snapshot before the context unwinds.
+			if s.auto != nil && s.auto.Trigger.Fired() {
+				if err := s.saveAuto(); err != nil {
+					return err
+				}
+				return snapshot.ErrStopped
+			}
 			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if s.auto != nil && s.auto.Every > 0 && steps%s.auto.Every == 0 {
+			if err := s.saveAuto(); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"mayacache/internal/cachemodel"
+	"mayacache/internal/rng"
+	"mayacache/internal/snapshot"
+)
+
+func driveAccesses(llc cachemodel.LLC, r *rng.Rand, n int) {
+	for i := 0; i < n; i++ {
+		t := cachemodel.Read
+		if r.Bool(0.3) {
+			t = cachemodel.Writeback
+		}
+		llc.Access(cachemodel.Access{
+			Line: r.Uint64n(4096),
+			SDID: uint8(r.Intn(2)),
+			Core: uint8(r.Intn(2)),
+			Type: t,
+		})
+	}
+}
+
+// TestMayaStateRoundTrip drives a Maya cache to an interior state, saves,
+// restores into a fresh instance, and requires the two to stay in
+// lockstep: identical stats and identical re-encoded state after a long
+// shared continuation. Encoded-state equality is the strongest check —
+// it covers the RNG words, the dense list order, and every tag bit.
+func TestMayaStateRoundTrip(t *testing.T) {
+	orig := New(smallConfig(7))
+	driveAccesses(orig, rng.New(99), 20000)
+
+	var e snapshot.Encoder
+	orig.SaveState(&e)
+	fresh := New(smallConfig(7))
+	if err := fresh.RestoreState(snapshot.NewDecoder(e.Data())); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	if err := fresh.Audit(); err != nil {
+		t.Fatalf("restored state fails audit: %v", err)
+	}
+
+	driveAccesses(orig, rng.New(1234), 20000)
+	driveAccesses(fresh, rng.New(1234), 20000)
+	if *orig.Stats() != *fresh.Stats() {
+		t.Fatalf("stats diverged after resume:\n orig %+v\nfresh %+v", *orig.Stats(), *fresh.Stats())
+	}
+	var eo, ef snapshot.Encoder
+	orig.SaveState(&eo)
+	fresh.SaveState(&ef)
+	if !bytes.Equal(eo.Data(), ef.Data()) {
+		t.Fatal("encoded states diverged after resume")
+	}
+}
+
+// TestMayaRestoreRejectsDamage checks that truncations and a different
+// geometry produce errors, never panics, and leave no audit-invalid state
+// in use.
+func TestMayaRestoreRejectsDamage(t *testing.T) {
+	orig := New(smallConfig(7))
+	driveAccesses(orig, rng.New(3), 5000)
+	var e snapshot.Encoder
+	orig.SaveState(&e)
+	data := e.Data()
+
+	for _, n := range []int{0, 1, 8, 32, len(data) / 2, len(data) - 1} {
+		fresh := New(smallConfig(7))
+		if err := fresh.RestoreState(snapshot.NewDecoder(data[:n])); err == nil {
+			t.Fatalf("truncation at %d accepted", n)
+		}
+	}
+	other := smallConfig(7)
+	other.SetsPerSkew = 128
+	if err := New(other).RestoreState(snapshot.NewDecoder(data)); err == nil {
+		t.Fatal("foreign geometry accepted")
+	}
+}

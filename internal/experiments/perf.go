@@ -33,7 +33,7 @@ func TinyScale() Scale {
 // runMix simulates one workload assignment under one LLC. It is the
 // non-context legacy entry point; harness-routed sweeps use runMixCtx.
 func runMix(benchNames []string, llc cachemodel.LLC, sc Scale) cachesim.Results {
-	res, err := runMixCtx(context.Background(), benchNames, llc, sc)
+	res, err := runMixCtx(context.Background(), "mix|"+llc.Name(), benchNames, llc, sc)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))
 	}

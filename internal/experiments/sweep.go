@@ -8,6 +8,7 @@ import (
 	"mayacache/internal/cachesim"
 	"mayacache/internal/harness"
 	"mayacache/internal/metrics"
+	"mayacache/internal/snapshot"
 	"mayacache/internal/trace"
 )
 
@@ -27,7 +28,12 @@ func scaleKey(sc Scale) string {
 
 // runMixCtx simulates one workload assignment under one LLC, honoring
 // ctx cancellation and returning trace/construction failures as errors.
-func runMixCtx(ctx context.Context, benchNames []string, llc cachemodel.LLC, sc Scale) (cachesim.Results, error) {
+// sub names this sub-run within its sweep cell ("mix|<design>",
+// "alone|<bench>"); when the harness attached a snapshot.Cell to ctx the
+// run goes through cachesim.RunResumable, so completed sub-runs are
+// served from the cell record, an interrupted one resumes mid-simulation,
+// and deadline stops persist state before returning snapshot.ErrStopped.
+func runMixCtx(ctx context.Context, sub string, benchNames []string, llc cachemodel.LLC, sc Scale) (cachesim.Results, error) {
 	gens := make([]trace.Generator, len(benchNames))
 	for i, b := range benchNames {
 		p, err := trace.Lookup(b)
@@ -47,7 +53,7 @@ func runMixCtx(ctx context.Context, benchNames []string, llc cachemodel.LLC, sc 
 		DRAM:  dramFor(len(benchNames)),
 		Seed:  sc.Seed,
 	}, gens)
-	return sys.RunCtx(ctx, sc.WarmupInstr, sc.ROIInstr)
+	return cachesim.RunResumable(ctx, sys, snapshot.CellFrom(ctx), sub, sc.WarmupInstr, sc.ROIInstr)
 }
 
 // AloneIPCCtx is AloneIPC under a context; failed computations are not
@@ -61,7 +67,7 @@ func AloneIPCCtx(ctx context.Context, bench string, sc Scale) (float64, error) {
 		return v, nil
 	}
 	llc := NewLLC(DesignBaseline, LLCOptions{Cores: 1, Seed: sc.Seed})
-	res, err := runMixCtx(ctx, []string{bench}, llc, sc)
+	res, err := runMixCtx(ctx, "alone|"+bench, []string{bench}, llc, sc)
 	if err != nil {
 		return 0, err
 	}
@@ -82,7 +88,7 @@ func RunMixDesignCtx(ctx context.Context, mixName string, benchNames []string, d
 // RunMixLLCCtx is RunMixLLC under a context, returning errors instead of
 // panicking.
 func RunMixLLCCtx(ctx context.Context, mixName string, benchNames []string, d Design, llc cachemodel.LLC, sc Scale) (MixResult, error) {
-	res, err := runMixCtx(ctx, benchNames, llc, sc)
+	res, err := runMixCtx(ctx, "mix|"+llc.Name(), benchNames, llc, sc)
 	if err != nil {
 		return MixResult{}, err
 	}
@@ -114,11 +120,13 @@ func Fig1Sweep(ctx context.Context, r *harness.Runner, sc Scale) ([]Fig1Row, []b
 	}
 	rows, ok, err := harness.RunCells(ctx, r, "fig1", keys, func(cctx context.Context, i int) (Fig1Row, error) {
 		b := benches[i]
-		base, err := runMixCtx(cctx, []string{b}, NewLLC(DesignBaseline, LLCOptions{Cores: 1, Seed: sc.Seed}), sc)
+		baseLLC := NewLLC(DesignBaseline, LLCOptions{Cores: 1, Seed: sc.Seed})
+		base, err := runMixCtx(cctx, "mix|"+baseLLC.Name(), []string{b}, baseLLC, sc)
 		if err != nil {
 			return Fig1Row{}, err
 		}
-		mir, err := runMixCtx(cctx, []string{b}, NewLLC(DesignMirage, LLCOptions{Cores: 1, Seed: sc.Seed, FastHash: true}), sc)
+		mirLLC := NewLLC(DesignMirage, LLCOptions{Cores: 1, Seed: sc.Seed, FastHash: true})
+		mir, err := runMixCtx(cctx, "mix|"+mirLLC.Name(), []string{b}, mirLLC, sc)
 		if err != nil {
 			return Fig1Row{}, err
 		}

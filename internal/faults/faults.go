@@ -17,6 +17,7 @@ package faults
 import (
 	"errors"
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -169,6 +170,43 @@ func (p *Plan) Fire(site string, i uint64) bool {
 	return r.Float64() < p.prob
 }
 
+// KillOnSave compiles a "killsnap:<substr>:<n>" fault specification into
+// a harness SnapshotOnSave hook: after the n-th durable state save
+// (1-based) of any cell whose key contains substr, the hook invokes kill
+// exactly once. A nil kill selects the real fault — SIGKILL delivered to
+// the current process — which models losing the machine mid-ROI with no
+// chance to flush, unwind, or run deferred cleanup; the snapshot/resume
+// machinery must recover from exactly what was already durable. Tests
+// substitute a recording kill func. A spec of a different kind (or an
+// empty one) returns a nil hook and no error, so callers can probe for
+// killsnap before handing the spec to ParseHook.
+func KillOnSave(spec string, kill func()) (func(key string, saves int), error) {
+	if !strings.HasPrefix(spec, "killsnap:") {
+		return nil, nil
+	}
+	parts := strings.SplitN(spec, ":", 3)
+	if len(parts) != 3 || parts[1] == "" {
+		return nil, fmt.Errorf("faults: bad spec %q (want killsnap:<substr>:<n>)", spec)
+	}
+	n, err := strconv.Atoi(parts[2])
+	if err != nil || n < 1 {
+		return nil, fmt.Errorf("faults: bad killsnap save count %q (want a positive integer)", parts[2])
+	}
+	substr := parts[1]
+	if kill == nil {
+		kill = func() {
+			p, _ := os.FindProcess(os.Getpid())
+			_ = p.Kill() // SIGKILL: no unwind, no deferred cleanup
+		}
+	}
+	var once sync.Once
+	return func(key string, saves int) {
+		if saves >= n && strings.Contains(key, substr) {
+			once.Do(kill)
+		}
+	}, nil
+}
+
 // ParseHook compiles a CLI fault specification into a harness PreRun
 // hook. Specifications:
 //
@@ -177,7 +215,9 @@ func (p *Plan) Fire(site string, i uint64) bool {
 //	transient:<substr>:<k>  fail matching cells' first k attempts with a
 //	                        retryable error (exercises backoff + retry)
 //
-// An empty spec returns a nil hook.
+// The fourth kind, killsnap:<substr>:<n>, is not a PreRun hook — it rides
+// the snapshot-save path; compile it with KillOnSave before calling
+// ParseHook. An empty spec returns a nil hook.
 func ParseHook(spec string) (func(key string) error, error) {
 	if spec == "" {
 		return nil, nil

@@ -1,0 +1,106 @@
+package faults
+
+import (
+	"context"
+	"testing"
+
+	"mayacache/internal/harness"
+	"mayacache/internal/snapshot"
+)
+
+// TestKillOnSaveFiresOnceAtThreshold: the hook kills exactly once, only
+// for keys containing the substring, and only at or after save n.
+func TestKillOnSaveFiresOnceAtThreshold(t *testing.T) {
+	kills := 0
+	hook, err := KillOnSave("killsnap:fig9:3", func() { kills++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hook == nil {
+		t.Fatal("killsnap spec compiled to a nil hook")
+	}
+	hook("fig9|bench=mcf", 1)
+	hook("fig9|bench=mcf", 2)
+	if kills != 0 {
+		t.Fatalf("killed before the save threshold (kills=%d)", kills)
+	}
+	hook("fig1|bench=mcf", 9) // wrong cell: never killed
+	if kills != 0 {
+		t.Fatal("killed a cell not matching the substring")
+	}
+	hook("fig9|bench=mcf", 3)
+	if kills != 1 {
+		t.Fatalf("threshold save did not kill (kills=%d)", kills)
+	}
+	hook("fig9|bench=mcf", 4)
+	hook("fig9|bench=xz", 3)
+	if kills != 1 {
+		t.Fatalf("kill fired more than once (kills=%d)", kills)
+	}
+}
+
+// TestKillOnSaveIgnoresOtherSpecs: non-killsnap specs are not this
+// injector's business — nil hook, nil error, so ParseHook can take over.
+func TestKillOnSaveIgnoresOtherSpecs(t *testing.T) {
+	for _, spec := range []string{"", "panic:fig9", "error:mcf", "transient:a:2"} {
+		hook, err := KillOnSave(spec, func() {})
+		if err != nil || hook != nil {
+			t.Fatalf("KillOnSave(%q): hook present=%v err=%v; want nil, nil", spec, hook != nil, err)
+		}
+	}
+}
+
+// TestKillOnSaveRejectsBadSpecs: malformed killsnap specs are errors, not
+// silently inert hooks.
+func TestKillOnSaveRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"killsnap:", "killsnap:x", "killsnap::3",
+		"killsnap:x:0", "killsnap:x:-1", "killsnap:x:abc",
+	} {
+		if _, err := KillOnSave(spec, func() {}); err == nil {
+			t.Fatalf("KillOnSave(%q) accepted a malformed spec", spec)
+		}
+	}
+}
+
+// TestKillOnSaveThroughHarness wires the injector the way mayasim does —
+// harness Options.SnapshotOnSave — and checks it observes durable cell
+// saves with the cell key and cumulative count.
+func TestKillOnSaveThroughHarness(t *testing.T) {
+	var killedAt int
+	hook, err := KillOnSave("killsnap:k=1:2", func() { killedAt = -1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := harness.New(harness.Options{
+		Workers:        1,
+		SnapshotDir:    t.TempDir(),
+		SnapshotOnSave: hook,
+	})
+	_, _, err = harness.RunCells(context.Background(), r, "exp", []string{"k=1"},
+		func(ctx context.Context, i int) (int, error) {
+			cell := snapshot.CellFrom(ctx)
+			if cell == nil {
+				t.Fatal("no cell on context")
+			}
+			for s := 1; s <= 3; s++ {
+				if err := cell.SaveSystem("sub", []byte{byte(s)}); err != nil {
+					return 0, err
+				}
+				if killedAt == -1 {
+					killedAt = s
+					break
+				}
+			}
+			return 0, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Failed() {
+		t.Fatalf("cell failed: %v", r.Failures()[0])
+	}
+	if killedAt != 2 {
+		t.Fatalf("kill fired at save %d, want 2", killedAt)
+	}
+}

@@ -13,7 +13,7 @@ import (
 //
 //	{"format":"maya-checkpoint","version":1}
 //	{"key":"fig9|bench=mcf|w=2000000|roi=1000000|seed=1","value":{...}}
-//	{"key":"fig9|bench=lbm|w=2000000|roi=1000000|seed=1","value":{...}}
+//	{"key":"fig9|bench=lbm|w=2000000|roi=1000000|seed=1","snapshot":"snaps/cell-....snap"}
 //	...
 //
 // One line per completed cell, flushed to the OS after each record, so a
@@ -21,6 +21,15 @@ import (
 // (crash mid-write) is tolerated on load and will be recomputed. Cell
 // keys embed the sweep scale (warmup/roi/seed), so a checkpoint written
 // at one scale is silently inapplicable — not corrupting — at another.
+//
+// "snapshot" lines record where a cell's mid-run state file lives; a later
+// "value" line for the same key supersedes it (the cell completed). The
+// header line and the file itself are fsynced so a machine crash right
+// after a record cannot leave a checkpoint that loses acknowledged cells.
+//
+// The file is guarded by an exclusive advisory lock for the lifetime of
+// the Checkpoint: two sweeps appending to one checkpoint would interleave
+// corruptly, so the second opener fails fast instead.
 
 const (
 	checkpointFormat  = "maya-checkpoint"
@@ -33,51 +42,66 @@ type checkpointHeader struct {
 }
 
 type checkpointEntry struct {
-	Key   string          `json:"key"`
-	Value json.RawMessage `json:"value"`
+	Key      string          `json:"key"`
+	Value    json.RawMessage `json:"value,omitempty"`
+	Snapshot string          `json:"snapshot,omitempty"`
 }
 
 // Checkpoint is a concurrency-safe map of completed cell keys to their
-// JSON-encoded values, mirrored to an append-only file.
+// JSON-encoded values (plus in-progress cells' snapshot paths), mirrored
+// to an append-only file.
 type Checkpoint struct {
 	mu        sync.Mutex
 	path      string
 	cells     map[string]json.RawMessage
-	f         *os.File // nil for in-memory checkpoints
-	hasHeader bool     // header line already present in the file
+	snaps     map[string]string // in-progress cell -> snapshot file path
+	f         *os.File          // nil for in-memory checkpoints
+	lock      *fileLock         // held while f is open
+	hasHeader bool              // header line already present in the file
 }
 
 // NewMemCheckpoint returns a checkpoint with no backing file (used by
 // tests and by drivers that want skip-bookkeeping without persistence).
 func NewMemCheckpoint() *Checkpoint {
-	return &Checkpoint{cells: map[string]json.RawMessage{}}
+	return &Checkpoint{cells: map[string]json.RawMessage{}, snaps: map[string]string{}}
 }
 
 // OpenCheckpoint loads the checkpoint at path (creating it if absent) and
-// opens it for appending. Unknown headers and undecodable lines are
-// errors — except a truncated final line, which is discarded.
+// opens it for appending under an exclusive advisory lock. Unknown
+// headers and undecodable lines are errors — except a truncated final
+// line, which is discarded. A checkpoint already locked by another
+// process is an error.
 func OpenCheckpoint(path string) (*Checkpoint, error) {
-	c := &Checkpoint{path: path, cells: map[string]json.RawMessage{}}
+	c := &Checkpoint{path: path, cells: map[string]json.RawMessage{}, snaps: map[string]string{}}
+	lock, err := acquireLock(path)
+	if err != nil {
+		return nil, err
+	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
+		_ = lock.release()
 		return nil, fmt.Errorf("harness: opening checkpoint: %w", err)
 	}
 	validEnd, err := c.load(f)
 	if err != nil {
 		_ = f.Close()
+		_ = lock.release()
 		return nil, err
 	}
 	// Drop a crash-truncated partial record before appending, so the next
 	// Record starts on a clean line boundary.
 	if err := f.Truncate(validEnd); err != nil {
 		_ = f.Close()
+		_ = lock.release()
 		return nil, fmt.Errorf("harness: trimming checkpoint tail: %w", err)
 	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
 		_ = f.Close()
+		_ = lock.release()
 		return nil, fmt.Errorf("harness: seeking checkpoint end: %w", err)
 	}
 	c.f = f
+	c.lock = lock
 	return c, nil
 }
 
@@ -124,7 +148,8 @@ func (c *Checkpoint) load(f *os.File) (int64, error) {
 			continue
 		}
 		var e checkpointEntry
-		if derr := json.Unmarshal(line, &e); derr != nil || e.Key == "" {
+		if derr := json.Unmarshal(line, &e); derr != nil || e.Key == "" ||
+			(len(e.Value) == 0 && e.Snapshot == "") {
 			// A decode failure on the final line is a crash-truncated
 			// record: drop it (the cell will be recomputed). Anywhere
 			// else it is corruption.
@@ -133,7 +158,13 @@ func (c *Checkpoint) load(f *os.File) (int64, error) {
 			}
 			return 0, fmt.Errorf("harness: checkpoint %s line %d is corrupt", c.path, lineNo)
 		}
-		c.cells[e.Key] = e.Value
+		if len(e.Value) > 0 {
+			// A completed cell supersedes any earlier snapshot record.
+			c.cells[e.Key] = e.Value
+			delete(c.snaps, e.Key)
+		} else {
+			c.snaps[e.Key] = e.Snapshot
+		}
 		validEnd = lineEnd
 		start = nextStart
 	}
@@ -157,34 +188,74 @@ func (c *Checkpoint) Lookup(key string, v any) (bool, error) {
 	return true, nil
 }
 
-// Record stores key -> v and appends it to the backing file.
+// Record stores key -> v and appends it to the backing file, superseding
+// any in-progress snapshot record for the key.
 func (c *Checkpoint) Record(key string, v any) error {
 	raw, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("harness: encoding checkpoint value for %q: %w", key, err)
 	}
-	line, err := json.Marshal(checkpointEntry{Key: key, Value: raw})
-	if err != nil {
-		return fmt.Errorf("harness: encoding checkpoint entry for %q: %w", key, err)
-	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.f != nil {
-		if !c.hasHeader {
-			hdr, herr := json.Marshal(checkpointHeader{Format: checkpointFormat, Version: checkpointVersion})
-			if herr != nil {
-				return herr
-			}
-			if _, werr := c.f.Write(append(hdr, '\n')); werr != nil {
-				return fmt.Errorf("harness: writing checkpoint header: %w", werr)
-			}
-			c.hasHeader = true
-		}
-		if _, werr := c.f.Write(append(line, '\n')); werr != nil {
-			return fmt.Errorf("harness: appending checkpoint entry: %w", werr)
-		}
+	if err := c.appendLocked(checkpointEntry{Key: key, Value: raw}); err != nil {
+		return err
 	}
 	c.cells[key] = raw
+	delete(c.snaps, key)
+	return nil
+}
+
+// RecordSnapshot durably notes that the cell identified by key has an
+// in-progress state file at path, so a resumed sweep knows to continue it
+// mid-cell. A later Record for the same key supersedes the note.
+func (c *Checkpoint) RecordSnapshot(key, path string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, done := c.cells[key]; done {
+		return fmt.Errorf("harness: snapshot recorded for completed cell %q", key)
+	}
+	if err := c.appendLocked(checkpointEntry{Key: key, Snapshot: path}); err != nil {
+		return err
+	}
+	c.snaps[key] = path
+	return nil
+}
+
+// SnapshotPath returns the recorded in-progress snapshot path for key.
+func (c *Checkpoint) SnapshotPath(key string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.snaps[key]
+	return p, ok
+}
+
+// appendLocked writes one entry line, emitting (and fsyncing) the header
+// first on a fresh file. The header sync guarantees no future append can
+// land in a file whose first line is not yet durable.
+func (c *Checkpoint) appendLocked(e checkpointEntry) error {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("harness: encoding checkpoint entry for %q: %w", e.Key, err)
+	}
+	if c.f == nil {
+		return nil
+	}
+	if !c.hasHeader {
+		hdr, herr := json.Marshal(checkpointHeader{Format: checkpointFormat, Version: checkpointVersion})
+		if herr != nil {
+			return herr
+		}
+		if _, werr := c.f.Write(append(hdr, '\n')); werr != nil {
+			return fmt.Errorf("harness: writing checkpoint header: %w", werr)
+		}
+		if serr := c.f.Sync(); serr != nil {
+			return fmt.Errorf("harness: syncing checkpoint header: %w", serr)
+		}
+		c.hasHeader = true
+	}
+	if _, werr := c.f.Write(append(line, '\n')); werr != nil {
+		return fmt.Errorf("harness: appending checkpoint entry: %w", werr)
+	}
 	return nil
 }
 
@@ -208,15 +279,25 @@ func (c *Checkpoint) Keys() []string {
 	return keys
 }
 
-// Close releases the backing file (in-memory checkpoints are a no-op).
+// Close syncs and releases the backing file and its lock (in-memory
+// checkpoints are a no-op).
 func (c *Checkpoint) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.f == nil {
 		return nil
 	}
-	err := c.f.Close()
+	err := c.f.Sync()
+	if cerr := c.f.Close(); err == nil {
+		err = cerr
+	}
 	c.f = nil
+	if c.lock != nil {
+		if lerr := c.lock.release(); err == nil {
+			err = lerr
+		}
+		c.lock = nil
+	}
 	return err
 }
 

@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"sort"
@@ -38,6 +39,7 @@ import (
 	"time"
 
 	"mayacache/internal/rng"
+	"mayacache/internal/snapshot"
 )
 
 // RunError describes one failed sweep cell. It is the harness's error
@@ -179,6 +181,25 @@ type Options struct {
 	// Sleep is the backoff sleeper; nil selects a context-aware
 	// time.After wait. Tests substitute instant sleeps.
 	Sleep func(ctx context.Context, d time.Duration)
+
+	// SnapshotDir, when non-empty, enables mid-cell snapshot/resume: each
+	// cell gets a durable snapshot.Cell file under this directory
+	// (attached to the cell's context for the experiment layer), periodic
+	// auto-snapshots every SnapshotEvery simulator steps, and a deadline
+	// stop when SnapshotTrigger fires. A cell that stops with
+	// snapshot.ErrStopped is not a failure: its snapshot path is recorded
+	// in the checkpoint and the next sweep resumes it mid-run.
+	SnapshotDir string
+	// SnapshotEvery is the periodic auto-snapshot cadence in simulator
+	// steps (0 disables periodic saves; deadline saves still fire).
+	SnapshotEvery uint64
+	// SnapshotTrigger, when fired, makes running cells save their state
+	// and stop; cells not yet launched are skipped (left resumable).
+	SnapshotTrigger *snapshot.Trigger
+	// SnapshotOnSave, when non-nil, observes every durable cell-state
+	// write with the cell key and the cell's cumulative save count (the
+	// kill-mid-run fault injector's hook).
+	SnapshotOnSave func(key string, saves int)
 }
 
 // Runner executes sweeps and accumulates their failures. One Runner is
@@ -383,10 +404,36 @@ func RunCells[T any](ctx context.Context, r *Runner, experiment string, keys []s
 				return nil
 			}
 		}
-		v, attempts, err := runOne(ctx, r, key, func(cctx context.Context) (T, error) { return run(cctx, i) })
+		// A fired deadline trigger means the sweep is shutting down:
+		// leave unstarted cells for the resumed sweep instead of racing
+		// the shutdown.
+		if r.opts.SnapshotTrigger.Fired() {
+			return nil
+		}
+		cell, cerr := r.openCell(key)
+		if cerr != nil {
+			r.record(&RunError{Experiment: experiment, Cell: keys[i], Attempts: 1, Err: cerr})
+			return nil
+		}
+		v, attempts, err := runOne(ctx, r, key, func(cctx context.Context) (T, error) {
+			if cell != nil {
+				cctx = snapshot.WithCell(cctx, cell)
+			}
+			return run(cctx, i)
+		})
 		if err != nil {
 			if ctx.Err() != nil && errors.Is(err, context.Canceled) {
 				return nil // cancelled, not failed: resumable
+			}
+			if errors.Is(err, snapshot.ErrStopped) {
+				// Deadline stop: the cell state is durable. Note its
+				// location so the resumed sweep continues mid-cell.
+				if cell != nil && r.opts.Checkpoint != nil {
+					if werr := r.opts.Checkpoint.RecordSnapshot(key, cell.Path()); werr != nil {
+						r.record(&RunError{Experiment: experiment, Cell: keys[i], Attempts: attempts, Err: werr})
+					}
+				}
+				return nil
 			}
 			r.record(&RunError{Experiment: experiment, Cell: keys[i], Attempts: attempts,
 				Err: err, Stack: PanicStack(err)})
@@ -408,11 +455,49 @@ func RunCells[T any](ctx context.Context, r *Runner, experiment string, keys []s
 				return nil
 			}
 		}
+		if cell != nil {
+			// The checkpoint now holds the cell's value; its mid-run
+			// state file is obsolete.
+			if derr := cell.Discard(); derr != nil {
+				r.record(&RunError{Experiment: experiment, Cell: keys[i], Attempts: attempts, Err: derr})
+				return nil
+			}
+		}
 		out[i] = rt
 		ok[i] = true
 		return nil
 	})
 	return out, ok, ctx.Err()
+}
+
+// openCell opens (or resumes) the durable mid-cell state for key, honoring
+// a snapshot path recorded in the checkpoint by an interrupted sweep.
+// Snapshotting disabled returns (nil, nil).
+func (r *Runner) openCell(key string) (*snapshot.Cell, error) {
+	if r.opts.SnapshotDir == "" {
+		return nil, nil
+	}
+	path := filepath.Join(r.opts.SnapshotDir, snapshot.CellFileName(key))
+	if r.opts.Checkpoint != nil {
+		if p, ok := r.opts.Checkpoint.SnapshotPath(key); ok {
+			path = p
+		}
+	}
+	var onSave func(int)
+	if r.opts.SnapshotOnSave != nil {
+		hook := r.opts.SnapshotOnSave
+		onSave = func(saves int) { hook(key, saves) }
+	}
+	cell, err := snapshot.OpenCell(snapshot.CellSpec{
+		Path:    path,
+		Every:   r.opts.SnapshotEvery,
+		Trigger: r.opts.SnapshotTrigger,
+		OnSave:  onSave,
+	}, key)
+	if err != nil {
+		return nil, fmt.Errorf("opening cell snapshot: %w", err)
+	}
+	return cell, nil
 }
 
 // runOne executes a single cell with recovery, timeout, and retry.

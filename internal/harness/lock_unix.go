@@ -1,0 +1,39 @@
+//go:build unix
+
+package harness
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// fileLock is an exclusive advisory lock guarding a checkpoint file. On
+// unix it is a non-blocking flock(2) on a ".lock" sidecar — the sidecar
+// (rather than the checkpoint itself) is locked so the checkpoint can be
+// truncated and reopened without disturbing lock state. The sidecar is
+// left in place on release: removing it would race with a concurrent
+// opener holding the old inode.
+type fileLock struct {
+	f *os.File
+}
+
+func acquireLock(path string) (*fileLock, error) {
+	f, err := os.OpenFile(path+".lock", os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("harness: opening checkpoint lock: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("harness: checkpoint %s is locked by another process: %w", path, err)
+	}
+	return &fileLock{f: f}, nil
+}
+
+func (l *fileLock) release() error {
+	err := syscall.Flock(int(l.f.Fd()), syscall.LOCK_UN)
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,75 @@
+package mirage
+
+import (
+	"bytes"
+	"testing"
+
+	"mayacache/internal/cachemodel"
+	"mayacache/internal/rng"
+	"mayacache/internal/snapshot"
+)
+
+func driveAccesses(llc cachemodel.LLC, r *rng.Rand, n int) {
+	for i := 0; i < n; i++ {
+		t := cachemodel.Read
+		if r.Bool(0.3) {
+			t = cachemodel.Writeback
+		}
+		llc.Access(cachemodel.Access{
+			Line: r.Uint64n(4096),
+			SDID: uint8(r.Intn(2)),
+			Core: uint8(r.Intn(2)),
+			Type: t,
+		})
+	}
+}
+
+// TestMirageStateRoundTrip mirrors the Maya round-trip test: save at an
+// interior state, restore into a fresh instance, continue both, and
+// require identical stats and identical re-encoded state.
+func TestMirageStateRoundTrip(t *testing.T) {
+	orig := New(smallConfig(11))
+	driveAccesses(orig, rng.New(5), 20000)
+
+	var e snapshot.Encoder
+	orig.SaveState(&e)
+	fresh := New(smallConfig(11))
+	if err := fresh.RestoreState(snapshot.NewDecoder(e.Data())); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	if err := fresh.Audit(); err != nil {
+		t.Fatalf("restored state fails audit: %v", err)
+	}
+
+	driveAccesses(orig, rng.New(42), 20000)
+	driveAccesses(fresh, rng.New(42), 20000)
+	if *orig.Stats() != *fresh.Stats() {
+		t.Fatalf("stats diverged after resume:\n orig %+v\nfresh %+v", *orig.Stats(), *fresh.Stats())
+	}
+	var eo, ef snapshot.Encoder
+	orig.SaveState(&eo)
+	fresh.SaveState(&ef)
+	if !bytes.Equal(eo.Data(), ef.Data()) {
+		t.Fatal("encoded states diverged after resume")
+	}
+}
+
+// TestMirageRestoreRejectsDamage checks truncated and foreign-geometry
+// state is refused without panicking.
+func TestMirageRestoreRejectsDamage(t *testing.T) {
+	orig := New(smallConfig(11))
+	driveAccesses(orig, rng.New(5), 5000)
+	var e snapshot.Encoder
+	orig.SaveState(&e)
+	data := e.Data()
+	for _, n := range []int{0, 8, len(data) / 2, len(data) - 1} {
+		if err := New(smallConfig(11)).RestoreState(snapshot.NewDecoder(data[:n])); err == nil {
+			t.Fatalf("truncation at %d accepted", n)
+		}
+	}
+	other := smallConfig(11)
+	other.BaseWays++
+	if err := New(other).RestoreState(snapshot.NewDecoder(data)); err == nil {
+		t.Fatal("foreign geometry accepted")
+	}
+}

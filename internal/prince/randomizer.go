@@ -60,6 +60,15 @@ func (r *Randomizer) Rekey() {
 // Epoch returns the number of rekeys performed.
 func (r *Randomizer) Epoch() uint64 { return r.epoch }
 
+// RestoreEpoch sets the epoch and reinstalls the matching keys. Keys are
+// a pure function of (seed, epoch), so restoring the epoch recorded in a
+// snapshot reproduces the exact index mapping the saved cache state was
+// built under.
+func (r *Randomizer) RestoreEpoch(epoch uint64) {
+	r.epoch = epoch
+	r.installKeys()
+}
+
 // LatencyCycles is the lookup latency the paper charges for a 12-round
 // PRINCE in the address path.
 const LatencyCycles = 3

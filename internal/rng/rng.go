@@ -13,7 +13,10 @@
 // package prince.
 package rng
 
-import "math/bits"
+import (
+	"errors"
+	"math/bits"
+)
 
 // SplitMix64 advances the given state and returns the next value of the
 // splitmix64 sequence. It is used for seeding and for cheap one-off hashes.
@@ -57,6 +60,27 @@ func (r *Rand) Seed(seed uint64) {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
+}
+
+// State is the full internal state of a Rand: the four xoshiro256** words.
+// It is a plain value so snapshot layers can serialize it without reaching
+// into unexported fields.
+type State [4]uint64
+
+// Save returns a copy of the generator's current state. A generator
+// restored from the returned State produces exactly the same stream of
+// draws as the original from this point on.
+func (r *Rand) Save() State { return State(r.s) }
+
+// Restore overwrites the generator state with a previously saved State.
+// The all-zero state is the one fixed point xoshiro256** can never leave,
+// so it is rejected: it can only arise from corrupt or forged snapshots.
+func (r *Rand) Restore(st State) error {
+	if st[0]|st[1]|st[2]|st[3] == 0 {
+		return errors.New("rng: refusing to restore all-zero state")
+	}
+	r.s = st
+	return nil
 }
 
 // Uint64 returns the next 64 bits of the stream.

@@ -1,0 +1,315 @@
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync/atomic"
+)
+
+// Container format (little-endian, see DESIGN.md §7):
+//
+//	magic   "MAYASNAP"                  8 bytes
+//	version u16                          format revision, currently 1
+//	header  u32 len | payload | u32 CRC  encoded Header
+//	count   u16                          number of sections
+//	section u16 name len | name
+//	        u32 payload len | payload | u32 CRC
+//
+// Every variable-length field is validated against the remaining input
+// before allocation, and every payload carries its own CRC-32 (IEEE) so
+// torn writes and bit rot surface as CorruptError, never as a plausible
+// but wrong simulator state.
+const (
+	magic   = "MAYASNAP"
+	Version = 1
+
+	maxSections    = 256
+	maxSectionName = 256
+	maxHeaderStr   = 4096
+)
+
+// Phase identifies which run phase a System snapshot was taken in.
+const (
+	PhaseWarmup uint8 = iota
+	PhaseROI
+)
+
+// ErrNotSnapshot reports input that does not begin with the snapshot magic.
+var ErrNotSnapshot = errors.New("snapshot: not a snapshot (bad magic)")
+
+// ErrStopped is returned by a run that halted deliberately after writing a
+// deadline snapshot (SIGTERM, fault injection, tests). It marks the cell
+// resumable rather than failed.
+var ErrStopped = errors.New("snapshot: run stopped after deadline snapshot")
+
+// VersionError reports a container whose format revision this binary does
+// not understand.
+type VersionError struct {
+	Got uint16
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("snapshot: unsupported format version %d (want %d)", e.Got, Version)
+}
+
+// CorruptError reports structurally invalid or integrity-failing bytes:
+// truncation, CRC mismatch, out-of-range counts or indices.
+type CorruptError struct {
+	At     string
+	Detail string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("snapshot: corrupt %s: %s", e.At, e.Detail)
+}
+
+// MismatchError reports a well-formed snapshot that belongs to a different
+// run: the named field (seed, design, geometry, cores, workloads, cell
+// key, phase …) disagrees with the configuration trying to restore it.
+type MismatchError struct {
+	Field string
+	Want  string
+	Got   string
+}
+
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf("snapshot: %s mismatch: snapshot has %s, run has %s", e.Field, e.Got, e.Want)
+}
+
+// Stateful is implemented by simulator components whose mutable state can
+// be serialized and restored bit-exactly. RestoreState is called on a
+// freshly constructed component with identical configuration; it must
+// validate everything it reads (lengths, index ranges, enum values) and
+// return an error — never panic — on inconsistent input.
+type Stateful interface {
+	SaveState(e *Encoder)
+	RestoreState(d *Decoder) error
+}
+
+// EpochHasher is implemented by index randomizers whose full mutable state
+// is a remap epoch (keys derive deterministically from seed and epoch).
+// Hashers without it are treated as stateless: saved as epoch 0 and
+// rejected on restore if a nonzero epoch appears.
+type EpochHasher interface {
+	Epoch() uint64
+	RestoreEpoch(epoch uint64)
+}
+
+// SaveHasherEpoch records h's remap epoch, or 0 for stateless hashers.
+func SaveHasherEpoch(e *Encoder, h any) {
+	var epoch uint64
+	if eh, ok := h.(EpochHasher); ok {
+		epoch = eh.Epoch()
+	}
+	e.U64(epoch)
+}
+
+// RestoreHasherEpoch applies a recorded epoch to h. A nonzero epoch on a
+// hasher that cannot be rekeyed means the snapshot was taken under a
+// different index mapping than this run can reproduce, so it is rejected.
+func RestoreHasherEpoch(d *Decoder, h any) {
+	epoch := d.U64()
+	if d.Err() != nil {
+		return
+	}
+	if eh, ok := h.(EpochHasher); ok {
+		eh.RestoreEpoch(epoch)
+		return
+	}
+	if epoch != 0 {
+		d.Fail("hasher", "epoch %d recorded for a stateless hasher", epoch)
+	}
+}
+
+// Trigger is a one-shot broadcast flag: cmd/mayasim fires it on SIGTERM
+// and every running System polls it, writes a deadline snapshot, and
+// returns ErrStopped. It is safe for concurrent use.
+type Trigger struct {
+	fired atomic.Bool
+}
+
+// Fire sets the trigger. Idempotent.
+func (t *Trigger) Fire() { t.fired.Store(true) }
+
+// Fired reports whether Fire has been called.
+func (t *Trigger) Fired() bool { return t != nil && t.fired.Load() }
+
+// Header identifies what a snapshot contains and the run it belongs to,
+// so loads can reject foreign state before touching any section. It holds
+// no timestamps: identical runs must produce identical headers.
+type Header struct {
+	Kind      string    // container kind, e.g. "mayasim/system/v1"
+	CellKey   string    // sweep cell key for cell containers
+	Seed      uint64    // experiment seed
+	Design    string    // LLC design name
+	Workloads string    // comma-joined per-core generator names
+	Cores     int       // core count
+	Geometry  [6]uint64 // design geometry words (writer-defined packing)
+	Warmup    uint64    // warmup instructions per core
+	ROI       uint64    // ROI instructions per core
+	Phase     uint8     // PhaseWarmup or PhaseROI at capture time
+	Progress  uint64    // total retired instructions at capture (informational)
+}
+
+func (h *Header) encode(e *Encoder) {
+	e.Str(h.Kind)
+	e.Str(h.CellKey)
+	e.U64(h.Seed)
+	e.Str(h.Design)
+	e.Str(h.Workloads)
+	e.Int(h.Cores)
+	for _, g := range h.Geometry {
+		e.U64(g)
+	}
+	e.U64(h.Warmup)
+	e.U64(h.ROI)
+	e.U8(h.Phase)
+	e.U64(h.Progress)
+}
+
+func (h *Header) decode(d *Decoder) error {
+	h.Kind = d.Str(maxHeaderStr)
+	h.CellKey = d.Str(maxHeaderStr)
+	h.Seed = d.U64()
+	h.Design = d.Str(maxHeaderStr)
+	h.Workloads = d.Str(maxHeaderStr)
+	h.Cores = d.Int()
+	for i := range h.Geometry {
+		h.Geometry[i] = d.U64()
+	}
+	h.Warmup = d.U64()
+	h.ROI = d.U64()
+	h.Phase = d.U8()
+	h.Progress = d.U64()
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	if h.Cores < 0 {
+		return &CorruptError{At: "header", Detail: fmt.Sprintf("negative core count %d", h.Cores)}
+	}
+	if h.Phase > PhaseROI {
+		return &CorruptError{At: "header", Detail: fmt.Sprintf("invalid phase %d", h.Phase)}
+	}
+	return nil
+}
+
+// sectionCRC covers both the section name and its payload so a corrupted
+// name cannot silently re-home an intact payload.
+func sectionCRC(name string, payload []byte) uint32 {
+	h := crc32.NewIEEE()
+	_, _ = h.Write([]byte(name)) // crc32 digest writes never fail
+	_, _ = h.Write(payload)
+	return h.Sum32()
+}
+
+// Snapshot is a decoded (or under-construction) container: a Header plus
+// named, CRC-protected sections in a stable order.
+type Snapshot struct {
+	Header   Header
+	names    []string
+	sections map[string][]byte
+}
+
+// NewSnapshot returns an empty container with the given header.
+func NewSnapshot(h Header) *Snapshot {
+	return &Snapshot{Header: h, sections: make(map[string][]byte)}
+}
+
+// Add appends a named section. Adding a duplicate name panics: section
+// names are fixed at the call sites, so a duplicate is a programming error.
+func (s *Snapshot) Add(name string, payload []byte) {
+	if len(name) == 0 || len(name) > maxSectionName {
+		panic("snapshot: invalid section name")
+	}
+	if _, dup := s.sections[name]; dup {
+		panic("snapshot: duplicate section " + name)
+	}
+	s.names = append(s.names, name)
+	s.sections[name] = payload
+}
+
+// Section returns the named payload, or nil if absent.
+func (s *Snapshot) Section(name string) []byte { return s.sections[name] }
+
+// Names returns the section names in container order.
+func (s *Snapshot) Names() []string { return s.names }
+
+// Encode serializes the container.
+func (s *Snapshot) Encode() []byte {
+	var e Encoder
+	e.b = append(e.b, magic...)
+	e.U16(Version)
+
+	var he Encoder
+	s.Header.encode(&he)
+	e.Bytes(he.Data())
+	e.U32(crc32.ChecksumIEEE(he.Data()))
+
+	e.U16(uint16(len(s.names)))
+	for _, name := range s.names {
+		e.U16(uint16(len(name)))
+		e.b = append(e.b, name...)
+		payload := s.sections[name]
+		e.Bytes(payload)
+		e.U32(sectionCRC(name, payload))
+	}
+	return e.Data()
+}
+
+// Decode parses and integrity-checks a container. It returns
+// ErrNotSnapshot for foreign bytes, a VersionError for unknown revisions,
+// and CorruptError for truncation, CRC failures, or structural damage. It
+// never panics and never allocates beyond the input size.
+func Decode(data []byte) (*Snapshot, error) {
+	d := NewDecoder(data)
+	got := d.take(len(magic), "magic")
+	if got == nil || string(got) != magic {
+		return nil, ErrNotSnapshot
+	}
+	if v := d.U16(); d.err == nil && v != Version {
+		return nil, &VersionError{Got: v}
+	}
+
+	headerBytes := d.Bytes(len(data))
+	headerCRC := d.U32()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if crc32.ChecksumIEEE(headerBytes) != headerCRC {
+		return nil, &CorruptError{At: "header", Detail: "CRC mismatch"}
+	}
+	s := &Snapshot{sections: make(map[string][]byte)}
+	if err := s.Header.decode(NewDecoder(headerBytes)); err != nil {
+		return nil, err
+	}
+
+	count := int(d.U16())
+	if count > maxSections {
+		return nil, &CorruptError{At: "sections", Detail: fmt.Sprintf("count %d exceeds limit %d", count, maxSections)}
+	}
+	for i := 0; i < count; i++ {
+		nameLen := int(d.U16())
+		if nameLen == 0 || nameLen > maxSectionName {
+			d.failf("section name", "length %d out of range", nameLen)
+		}
+		name := string(d.take(nameLen, "section name"))
+		payload := d.Bytes(len(data))
+		crc := d.U32()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if sectionCRC(name, payload) != crc {
+			return nil, &CorruptError{At: "section " + name, Detail: "CRC mismatch"}
+		}
+		if _, dup := s.sections[name]; dup {
+			return nil, &CorruptError{At: "section " + name, Detail: "duplicate section"}
+		}
+		s.names = append(s.names, name)
+		s.sections[name] = payload
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

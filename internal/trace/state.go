@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"mayacache/internal/snapshot"
+)
+
+// SaveState implements snapshot.Stateful for the synthetic generator. The
+// Zipf sampler holds only parameters precomputed from the profile plus
+// the shared RNG, so the RNG words and the walk positions are the entire
+// mutable state.
+func (g *gen) SaveState(e *snapshot.Encoder) {
+	e.RNG(g.r)
+	e.U64(g.scanPos)
+	e.U64(g.streamPos)
+	e.U64(g.stridePos)
+	e.U64(g.curLine)
+	e.Bool(g.curWrite)
+	e.Int(g.repeatsLeft)
+}
+
+// RestoreState implements snapshot.Stateful on a generator freshly built
+// from the same profile, core ID, and seed.
+func (g *gen) RestoreState(d *snapshot.Decoder) error {
+	d.RNG(g.r)
+	g.scanPos = d.U64()
+	g.streamPos = d.U64()
+	g.stridePos = d.U64()
+	g.curLine = d.U64()
+	g.curWrite = d.Bool()
+	g.repeatsLeft = d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if g.p.ScanLines > 0 && g.scanPos >= uint64(g.p.ScanLines) {
+		return &snapshot.CorruptError{At: "trace gen", Detail: "scanPos out of range"}
+	}
+	if g.p.StrideCount > 0 && g.stridePos >= uint64(g.p.StrideCount) {
+		return &snapshot.CorruptError{At: "trace gen", Detail: "stridePos out of range"}
+	}
+	if g.repeatsLeft < 0 || g.repeatsLeft >= maxIntTrace(g.p.LineRepeat, 1) {
+		return &snapshot.CorruptError{At: "trace gen", Detail: "repeatsLeft out of range"}
+	}
+	return nil
+}
+
+func maxIntTrace(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SaveState implements snapshot.Stateful for the replayer: the event list
+// reloads from its source file, so the position is the whole state.
+func (r *Replayer) SaveState(e *snapshot.Encoder) {
+	e.Int(r.pos)
+}
+
+// RestoreState implements snapshot.Stateful on a Replayer rebuilt over
+// the same events.
+func (r *Replayer) RestoreState(d *snapshot.Decoder) error {
+	pos := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if pos < 0 || pos >= len(r.events) {
+		return &snapshot.CorruptError{At: "trace replayer", Detail: "position out of range"}
+	}
+	r.pos = pos
+	return nil
+}
+
+var (
+	_ snapshot.Stateful = (*gen)(nil)
+	_ snapshot.Stateful = (*Replayer)(nil)
+)
