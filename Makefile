@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check race e2e fuzz-smoke ci clean
+.PHONY: all build test vet check race e2e bench fuzz-smoke ci clean
 
 all: build
 
@@ -65,6 +65,16 @@ e2e:
 	test -z "$$(ls "$$TMP/snaps")"; \
 	echo "e2e: SIGKILL resume bit-exact"
 
+# bench runs the continuous benchmark suite in quick mode and writes
+# BENCH.json: per-design LLC access-path microbenchmarks (ns/access,
+# allocs/access, B/access) plus a 4-core macro mix (events/sec). The
+# numbers are pinned and seed-deterministic, so comparing BENCH.json
+# across commits on the same machine tracks simulator performance; the
+# run also re-exercises the zero-alloc and golden-fixture guards via the
+# bench package's init paths. Drop -quick for the full-length suite.
+bench:
+	$(GO) run ./cmd/mayabench -quick -out BENCH.json
+
 # fuzz-smoke gives each fuzz target a short budget — enough to catch
 # regressions in the PRINCE round-trip and trace-parser robustness without
 # stalling CI. Corpus crashers live under testdata/fuzz and replay in
@@ -76,7 +86,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzSnapshotDecode -fuzztime=10s ./internal/snapshot/
 
 # ci is the tier-1 verification gate.
-ci: build test vet check race e2e
+ci: build test vet check race e2e bench
 
 clean:
 	$(GO) clean ./...

@@ -56,4 +56,11 @@ test -n "$(ls "$TMP/snaps")"  # a mid-run cell snapshot is durable
 cmp "$TMP/killresume.out" "$TMP/fresh.out"
 test -z "$(ls "$TMP/snaps")"  # completed cells discard their snapshots
 
+echo "==> bench: continuous benchmark suite (quick)"
+# The quick suite doubles as a smoke test of the bench pipeline itself:
+# it must build every design through the registry, run the pinned micro
+# and macro workloads, and emit a parseable BENCH.json.
+go run ./cmd/mayabench -quick -out "$TMP/BENCH.json"
+test -s "$TMP/BENCH.json"
+
 echo "ci: all green"

@@ -1,0 +1,61 @@
+// Command mayabench runs the simulator's continuous benchmark suite and
+// writes a machine-readable report.
+//
+// Usage:
+//
+//	mayabench [-quick] [-out BENCH.json] [-seed 1]
+//
+// The suite measures the cost of *simulating* each registered LLC design
+// (Maya, Mirage, Baseline, CEASER-S), not the designs' architectural
+// behavior: per-design access-path microbenchmarks (ns/access,
+// allocs/access, bytes/access) and a 4-core mixed-workload macro run
+// (trace events per second). Workloads are pinned and seed-deterministic
+// so numbers are comparable across commits on the same machine.
+//
+// -quick shrinks instruction budgets ~5x for CI smoke runs. A summary is
+// printed to stdout; the full report goes to -out as indented JSON.
+//
+// Exit status: 0 on success, 1 when any benchmark fails, 2 on flag
+// misuse.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mayacache/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink instruction budgets ~5x (CI smoke run)")
+	out := flag.String("out", "BENCH.json", "path for the JSON report")
+	seed := flag.Uint64("seed", 1, "seed for all benchmark randomness")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "mayabench: unexpected arguments %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	r, err := bench.Run(bench.Options{Quick: *quick, Seed: *seed})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mayabench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := r.WriteJSON(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "mayabench: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%-10s %12s %14s %14s\n", "design", "ns/access", "allocs/access", "B/access")
+	for _, m := range r.Micro {
+		fmt.Printf("%-10s %12.1f %14.4f %14.1f\n", m.Design, m.NsPerAccess, m.AllocsPerAccess, m.BytesPerAccess)
+	}
+	fmt.Println()
+	fmt.Printf("%-10s %14s %10s %8s\n", "design", "events/sec", "events", "IPCsum")
+	for _, m := range r.Macro {
+		fmt.Printf("%-10s %14.0f %10d %8.3f\n", m.Design, m.EventsPerSec, m.Events, m.IPCSum)
+	}
+	fmt.Printf("\nreport written to %s\n", *out)
+}

@@ -34,7 +34,9 @@
 //
 // Exit status: 0 when every cell of every requested experiment completed
 // (including runs resumed from snapshots); 1 when interrupted or when
-// cells failed; 2 on flag misuse or when the only failures were stale
+// cells failed; 2 on usage errors — flag misuse, invalid cache
+// configurations (errors wrapping cachemodel.ErrBadConfig, meaning no
+// simulation ran for those cells), or when the only failures were stale
 // snapshots incompatible with the requested configuration.
 package main
 
@@ -49,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"mayacache/internal/cachemodel"
 	"mayacache/internal/experiments"
 	"mayacache/internal/faults"
 	"mayacache/internal/harness"
@@ -406,9 +409,29 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "mayasim: all failures are stale-snapshot mismatches (field %q): the saved state was taken under a different configuration; rerun with the original flags, or delete the snapshot files and checkpoint entries to recompute\n", field)
 			return 2
 		}
+		if badConfigOnly(runner.Failures()) {
+			fmt.Fprintln(os.Stderr, "mayasim: all failures are invalid cache configurations (cachemodel.ErrBadConfig): no simulation ran for those cells; fix the configuration and rerun")
+			return 2
+		}
 		return 1
 	}
 	return 0
+}
+
+// badConfigOnly reports whether every recorded failure unwraps to
+// cachemodel.ErrBadConfig — a run whose only problem was asking for an
+// unbuildable cache, which is usage error (exit 2), not a simulation
+// failure (exit 1).
+func badConfigOnly(fails []*harness.RunError) bool {
+	if len(fails) == 0 {
+		return false
+	}
+	for _, f := range fails {
+		if !errors.Is(f.Err, cachemodel.ErrBadConfig) {
+			return false
+		}
+	}
+	return true
 }
 
 // mismatchOnly reports whether every recorded failure unwraps to a

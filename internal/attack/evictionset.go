@@ -37,7 +37,7 @@ func BuildEvictionSet(c cachemodel.LLC, victimLine uint64, candidates int, budge
 		victimSDID   = 3
 	)
 	var res EvictionSetResult
-	startSAEs := c.Stats().SAEs
+	startSAEs := c.StatsSnapshot().SAEs
 
 	access := func(line uint64, sdid uint8) cachemodel.Result {
 		res.AccessesUsed++
@@ -72,7 +72,7 @@ func BuildEvictionSet(c cachemodel.LLC, victimLine uint64, candidates int, budge
 	}
 
 	if res.AccessesUsed > budget || !conflicts(pool) {
-		res.SAEsObserved = c.Stats().SAEs - startSAEs
+		res.SAEsObserved = c.StatsSnapshot().SAEs - startSAEs
 		return res
 	}
 
@@ -126,7 +126,7 @@ func BuildEvictionSet(c cachemodel.LLC, victimLine uint64, candidates int, budge
 	if len(set) <= maxUsefulSet && conflicts(set) && conflicts(set) {
 		res.Found = true
 	}
-	res.SAEsObserved = c.Stats().SAEs - startSAEs
+	res.SAEsObserved = c.StatsSnapshot().SAEs - startSAEs
 	return res
 }
 
@@ -143,7 +143,7 @@ func BuildEvictionSetFlushAssisted(c cachemodel.LLC, victimLine uint64, candidat
 		victimSDID   = 3
 	)
 	var res EvictionSetResult
-	startSAEs := c.Stats().SAEs
+	startSAEs := c.StatsSnapshot().SAEs
 
 	pool := make([]uint64, candidates)
 	base := uint64(1) << 26
@@ -177,7 +177,7 @@ func BuildEvictionSetFlushAssisted(c cachemodel.LLC, victimLine uint64, candidat
 	}
 
 	if res.AccessesUsed > budget || !conflicts(pool) {
-		res.SAEsObserved = c.Stats().SAEs - startSAEs
+		res.SAEsObserved = c.StatsSnapshot().SAEs - startSAEs
 		return res
 	}
 	const chunkCount = 17
@@ -221,6 +221,6 @@ func BuildEvictionSetFlushAssisted(c cachemodel.LLC, victimLine uint64, candidat
 	if len(set) <= maxUsefulSet && conflicts(set) && conflicts(set) {
 		res.Found = true
 	}
-	res.SAEsObserved = c.Stats().SAEs - startSAEs
+	res.SAEsObserved = c.StatsSnapshot().SAEs - startSAEs
 	return res
 }

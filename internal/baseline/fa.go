@@ -40,15 +40,28 @@ type faEntry struct {
 
 // NewFullyAssociative creates a fully-associative cache with the given
 // number of line entries. If matchSDID is true, tags match on (line, SDID).
+//
+// Deprecated: use NewFullyAssociativeChecked, which reports configuration
+// errors instead of crashing.
 func NewFullyAssociative(capacity int, seed uint64, matchSDID bool) *FullyAssociative {
+	c, err := NewFullyAssociativeChecked(capacity, seed, matchSDID)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NewFullyAssociativeChecked creates a fully-associative cache, returning
+// an error wrapping cachemodel.ErrBadConfig when capacity is invalid.
+func NewFullyAssociativeChecked(capacity int, seed uint64, matchSDID bool) (*FullyAssociative, error) {
 	if capacity <= 0 {
-		panic("baseline: FullyAssociative capacity must be positive")
+		return nil, cachemodel.BadConfigf("baseline: FullyAssociative capacity must be positive, got %d", capacity)
 	}
 	// Slot and usedPos fields are int32; every index below is < capacity.
 	if capacity > math.MaxInt32 {
-		panic("baseline: FullyAssociative capacity overflows int32 slot indices")
+		return nil, cachemodel.BadConfigf("baseline: FullyAssociative capacity %d overflows int32 slot indices", capacity)
 	}
-	return &FullyAssociative{
+	c := &FullyAssociative{
 		capacity: capacity,
 		index:    make(map[faKey]int32, capacity),
 		slots:    make([]faEntry, capacity),
@@ -56,6 +69,7 @@ func NewFullyAssociative(capacity int, seed uint64, matchSDID bool) *FullyAssoci
 		r:        rng.New(seed ^ 0xfa),
 		matchSD:  matchSDID,
 	}
+	return c, nil
 }
 
 func (c *FullyAssociative) key(line uint64, sdid uint8) faKey {
@@ -179,7 +193,12 @@ func (c *FullyAssociative) Probe(line uint64, sdid uint8) (bool, bool) {
 // LookupPenalty implements cachemodel.LLC.
 func (c *FullyAssociative) LookupPenalty() int { return 0 }
 
+// StatsSnapshot implements cachemodel.LLC.
+func (c *FullyAssociative) StatsSnapshot() cachemodel.Stats { return c.stats }
+
 // Stats implements cachemodel.LLC.
+//
+// Deprecated: use StatsSnapshot; the pointer aliases live counters.
 func (c *FullyAssociative) Stats() *cachemodel.Stats { return &c.stats }
 
 // ResetStats implements cachemodel.LLC.

@@ -98,9 +98,10 @@ func (p *lruPolicy) fill(set, way int) { p.hit(set, way) }
 
 func (p *lruPolicy) victim(set int) int {
 	base := set * p.ways
-	best, bestStamp := 0, p.stamp[base]
-	for w := 1; w < p.ways; w++ {
-		if s := p.stamp[base+w]; s < bestStamp {
+	row := p.stamp[base : base+p.ways]
+	best, bestStamp := 0, row[0]
+	for w := 1; w < len(row); w++ {
+		if s := row[w]; s < bestStamp {
 			best, bestStamp = w, s
 		}
 	}
@@ -168,14 +169,15 @@ func (p *rripPolicy) fill(set, way int) {
 
 func (p *rripPolicy) victim(set int) int {
 	base := set * p.ways
+	row := p.rrpv[base : base+p.ways]
 	for {
-		for w := 0; w < p.ways; w++ {
-			if p.rrpv[base+w] == rrpvMax {
+		for w := range row {
+			if row[w] == rrpvMax {
 				return w
 			}
 		}
-		for w := 0; w < p.ways; w++ {
-			p.rrpv[base+w]++
+		for w := range row {
+			row[w]++
 		}
 	}
 }

@@ -5,20 +5,22 @@ import (
 )
 
 // SaveState implements snapshot.Stateful: entries, the policy metadata,
-// and the single RNG the policy tree shares.
+// and the single RNG the policy tree shares. The wire format is field-wise
+// (line, sdid, core, valid, dirty, reused per way) regardless of the packed
+// in-memory layout, so snapshots stay compatible across storage changes.
 func (c *SetAssoc) SaveState(e *snapshot.Encoder) {
 	e.RNG(c.polR)
 	snapshot.SaveHasherEpoch(e, c.hasher)
 	c.stats.SaveState(e)
-	e.Count(len(c.entries))
-	for i := range c.entries {
-		en := &c.entries[i]
-		e.U64(en.line)
-		e.U8(en.sdid)
-		e.U8(en.core)
-		e.Bool(en.valid)
-		e.Bool(en.dirty)
-		e.Bool(en.reused)
+	e.Count(len(c.meta))
+	for i := range c.meta {
+		mv := c.meta[i]
+		e.U64(c.lineArr[i])
+		e.U8(metaSDID(mv))
+		e.U8(metaCore(mv))
+		e.Bool(mv&metaValid != 0)
+		e.Bool(mv&metaDirty != 0)
+		e.Bool(mv&metaReused != 0)
 	}
 	c.pol.saveState(e)
 }
@@ -31,21 +33,34 @@ func (c *SetAssoc) RestoreState(d *snapshot.Decoder) error {
 	if err := c.stats.RestoreState(d); err != nil {
 		return err
 	}
-	if d.FixedCount(len(c.entries), "baseline entries") {
-		for i := range c.entries {
-			en := &c.entries[i]
-			en.line = d.U64()
-			en.sdid = d.U8()
-			en.core = d.U8()
-			en.valid = d.Bool()
-			en.dirty = d.Bool()
-			en.reused = d.Bool()
+	if d.FixedCount(len(c.meta), "baseline entries") {
+		for i := range c.meta {
+			line := d.U64()
+			sdid := d.U8()
+			core := d.U8()
+			valid := d.Bool()
+			dirty := d.Bool()
+			reused := d.Bool()
 			if d.Err() != nil {
 				break
 			}
+			c.lineArr[i] = line
+			c.meta[i] = packMeta(sdid, core, valid, dirty, reused)
 		}
 	}
 	c.pol.restoreState(d)
+	if d.Err() == nil {
+		// validCnt is derived from the valid bits; rebuild rather than
+		// serialize it.
+		for i := range c.validCnt {
+			c.validCnt[i] = 0
+		}
+		for i := range c.meta {
+			if c.meta[i]&metaValid != 0 {
+				c.validCnt[i/c.ways]++
+			}
+		}
+	}
 	return d.Err()
 }
 

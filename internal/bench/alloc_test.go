@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"testing"
+
+	"mayacache/internal/cachemodel"
+)
+
+// TestAccessPathZeroAlloc asserts the steady-state access path of every
+// design performs zero heap allocations. The simulator's throughput is
+// dominated by LLC.Access; a single allocation per access roughly doubles
+// its cost and adds GC pressure across billion-access sweeps, so any
+// regression here fails loudly. Warmup fills the structures and grows the
+// reusable writeback/candidate buffers first, because those one-time
+// growths are allowed.
+func TestAccessPathZeroAlloc(t *testing.T) {
+	for _, design := range Designs() {
+		t.Run(design, func(t *testing.T) {
+			llc, err := cachemodel.Build(design, cachemodel.BuildOptions{
+				Cores: 1,
+				Seed:  1,
+			})
+			if err != nil {
+				t.Fatalf("Build(%q): %v", design, err)
+			}
+			const streamLen = 1 << 15
+			stream, err := accessStream(streamLen, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 2*streamLen; i++ {
+				llc.Access(stream[i%streamLen])
+			}
+			var i int
+			avg := testing.AllocsPerRun(streamLen, func() {
+				llc.Access(stream[i%streamLen])
+				i++
+			})
+			if avg != 0 {
+				t.Errorf("%s: %.4f allocs/access in steady state, want 0", design, avg)
+			}
+		})
+	}
+}

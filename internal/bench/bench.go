@@ -1,0 +1,260 @@
+// Package bench is the simulator's continuous benchmark suite: pinned,
+// seed-deterministic workloads that measure the cost of simulating each
+// LLC design, not the simulated designs themselves.
+//
+// Two tiers:
+//
+//   - Micro: a single-threaded stream of LLC accesses against one design,
+//     reporting ns/access, allocs/access, and bytes/access. The access
+//     path of every design is required to be allocation-free in steady
+//     state (see alloc_test.go), so nonzero allocs here is a regression.
+//   - Macro: the full multi-core system simulation (per-core L1D/L2,
+//     shared LLC, DRAM) over a fixed 4-core SPEC/GAP mix, reporting
+//     end-to-end trace events per second.
+//
+// Every workload is pinned: profiles, seeds, core counts, and instruction
+// budgets are fixed constants, so numbers are comparable across commits on
+// the same machine. cmd/mayabench runs the suite and emits BENCH.json.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"mayacache/internal/cachemodel"
+	"mayacache/internal/cachesim"
+	"mayacache/internal/trace"
+
+	// Designs self-register with the cachemodel registry from init.
+	_ "mayacache/internal/baseline"
+	_ "mayacache/internal/ceaser"
+	_ "mayacache/internal/core"
+	_ "mayacache/internal/mirage"
+)
+
+// Designs are the registry names benchmarked by Run, in report order.
+func Designs() []string {
+	return []string{"Maya", "Mirage", "Baseline", "CEASER-S"}
+}
+
+// DefaultMix is the pinned macro workload: one SPEC/GAP profile per core.
+func DefaultMix() []string {
+	return []string{"mcf", "lbm", "cc", "xz"}
+}
+
+// Options selects the suite's size. The zero value is the full suite.
+type Options struct {
+	// Quick shrinks every instruction budget ~5x for CI.
+	Quick bool
+	// Seed drives all randomness; 0 means the pinned default (1).
+	Seed uint64
+}
+
+// MicroResult is one design's access-path measurement.
+type MicroResult struct {
+	Design          string  `json:"design"`
+	Accesses        uint64  `json:"accesses"`
+	NsPerAccess     float64 `json:"ns_per_access"`
+	AllocsPerAccess float64 `json:"allocs_per_access"`
+	BytesPerAccess  float64 `json:"bytes_per_access"`
+}
+
+// MacroResult is one design's full-system throughput measurement.
+type MacroResult struct {
+	Design       string   `json:"design"`
+	Mix          []string `json:"mix"`
+	WarmupInstrs uint64   `json:"warmup_instrs"`
+	ROIInstrs    uint64   `json:"roi_instrs"`
+	Events       uint64   `json:"events"`
+	Seconds      float64  `json:"seconds"`
+	EventsPerSec float64  `json:"events_per_sec"`
+	IPCSum       float64  `json:"ipc_sum"`
+}
+
+// Report is the machine-readable output of a suite run (BENCH.json).
+type Report struct {
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	Quick     bool          `json:"quick"`
+	Seed      uint64        `json:"seed"`
+	Micro     []MicroResult `json:"micro"`
+	Macro     []MacroResult `json:"macro"`
+}
+
+// buildLLC constructs a design through the registry at the bench's pinned
+// geometry. FastHash keeps micro/macro numbers about simulator overhead
+// rather than PRINCE throughput; the golden fixtures use the real hasher.
+func buildLLC(design string, cores int, seed uint64, fastHash bool) (cachemodel.LLC, error) {
+	return cachemodel.Build(design, cachemodel.BuildOptions{
+		Cores:    cores,
+		Seed:     seed,
+		FastHash: fastHash,
+	})
+}
+
+// accessStream precomputes a deterministic single-core access sequence
+// from the pinned "mcf" profile (pointer-chasing heavy: a hit/miss mixture
+// with writebacks).
+func accessStream(n int, seed uint64) ([]cachemodel.Access, error) {
+	p, err := trace.Lookup("mcf")
+	if err != nil {
+		return nil, err
+	}
+	g, err := trace.NewGenerator(p, 0, seed)
+	if err != nil {
+		return nil, err
+	}
+	accs := make([]cachemodel.Access, n)
+	for i := range accs {
+		ev := g.Next()
+		typ := cachemodel.Read
+		if ev.Write {
+			typ = cachemodel.Writeback
+		}
+		accs[i] = cachemodel.Access{Line: ev.Line, Type: typ}
+	}
+	return accs, nil
+}
+
+// RunMicro measures one design's access path over `accesses` operations
+// after a full warmup pass, reporting wall time and allocation deltas.
+func RunMicro(design string, accesses uint64, seed uint64) (MicroResult, error) {
+	llc, err := buildLLC(design, 1, seed, true)
+	if err != nil {
+		return MicroResult{}, err
+	}
+	const streamLen = 1 << 16
+	stream, err := accessStream(streamLen, seed)
+	if err != nil {
+		return MicroResult{}, err
+	}
+	// Warmup: fill the structures and grow any reusable buffers so the
+	// timed region is steady-state.
+	for i := 0; i < 2*streamLen; i++ {
+		llc.Access(stream[i%streamLen])
+	}
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := uint64(0); i < accesses; i++ {
+		llc.Access(stream[i%streamLen])
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	return MicroResult{
+		Design:          design,
+		Accesses:        accesses,
+		NsPerAccess:     float64(elapsed.Nanoseconds()) / float64(accesses),
+		AllocsPerAccess: float64(after.Mallocs-before.Mallocs) / float64(accesses),
+		BytesPerAccess:  float64(after.TotalAlloc-before.TotalAlloc) / float64(accesses),
+	}, nil
+}
+
+// countingGen wraps a generator and counts the events it produced, which
+// is the macro throughput denominator.
+type countingGen struct {
+	g trace.Generator
+	n uint64
+}
+
+func (c *countingGen) Next() trace.Event { c.n++; return c.g.Next() }
+func (c *countingGen) Name() string      { return c.g.Name() }
+
+// RunMacro measures one design's full-system simulation throughput over
+// the given mix.
+func RunMacro(design string, mix []string, warmup, roi, seed uint64) (MacroResult, error) {
+	llc, err := buildLLC(design, len(mix), seed, true)
+	if err != nil {
+		return MacroResult{}, err
+	}
+	gens := make([]trace.Generator, len(mix))
+	counters := make([]*countingGen, len(mix))
+	for i, name := range mix {
+		p, err := trace.Lookup(name)
+		if err != nil {
+			return MacroResult{}, err
+		}
+		g, err := trace.NewGenerator(p, i, seed)
+		if err != nil {
+			return MacroResult{}, err
+		}
+		counters[i] = &countingGen{g: g}
+		gens[i] = counters[i]
+	}
+	sys := cachesim.New(cachesim.Config{
+		Cores: len(mix),
+		Core:  cachesim.DefaultCoreParams(),
+		LLC:   llc,
+		DRAM:  cachesim.DefaultDRAMConfig(),
+		Seed:  seed,
+	}, gens)
+	start := time.Now()
+	res := sys.Run(warmup, roi)
+	elapsed := time.Since(start)
+	var events uint64
+	for _, c := range counters {
+		events += c.n
+	}
+	return MacroResult{
+		Design:       design,
+		Mix:          mix,
+		WarmupInstrs: warmup,
+		ROIInstrs:    roi,
+		Events:       events,
+		Seconds:      elapsed.Seconds(),
+		EventsPerSec: float64(events) / elapsed.Seconds(),
+		IPCSum:       res.IPCSum(),
+	}, nil
+}
+
+// Run executes the full suite and assembles the report.
+func Run(opts Options) (*Report, error) {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	microAccesses := uint64(2_000_000)
+	warmup, roi := uint64(1_000_000), uint64(1_000_000)
+	if opts.Quick {
+		microAccesses = 400_000
+		warmup, roi = 100_000, 200_000
+	}
+	r := &Report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Quick:     opts.Quick,
+		Seed:      seed,
+	}
+	for _, d := range Designs() {
+		m, err := RunMicro(d, microAccesses, seed)
+		if err != nil {
+			return nil, fmt.Errorf("micro %s: %w", d, err)
+		}
+		r.Micro = append(r.Micro, m)
+	}
+	for _, d := range Designs() {
+		m, err := RunMacro(d, DefaultMix(), warmup, roi, seed)
+		if err != nil {
+			return nil, fmt.Errorf("macro %s: %w", d, err)
+		}
+		r.Macro = append(r.Macro, m)
+	}
+	return r, nil
+}
+
+// WriteJSON writes the report as indented JSON to path.
+func (r *Report) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

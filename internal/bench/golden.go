@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"mayacache/internal/cachemodel"
+	"mayacache/internal/cachesim"
+	"mayacache/internal/trace"
+)
+
+// GoldenRun executes the pinned golden workload for one design: a 2-core
+// mcf+xz mix with the real PRINCE hasher, seed 42, 20k warmup and 50k ROI
+// instructions per core. The returned Results, marshaled to JSON, are the
+// design's golden fixture (testdata/golden_*.json): hot-path optimizations
+// must keep them byte-identical, because any drift means the optimization
+// changed observable behavior — a different victim, RNG draw order, or
+// float arithmetic — not just its speed.
+func GoldenRun(design string) (cachesim.Results, error) {
+	const (
+		seed   = 42
+		warmup = 20_000
+		roi    = 50_000
+	)
+	mix := []string{"mcf", "xz"}
+	llc, err := cachemodel.Build(design, cachemodel.BuildOptions{
+		Cores: len(mix),
+		Seed:  seed,
+	})
+	if err != nil {
+		return cachesim.Results{}, err
+	}
+	gens := make([]trace.Generator, len(mix))
+	for i, name := range mix {
+		p, err := trace.Lookup(name)
+		if err != nil {
+			return cachesim.Results{}, err
+		}
+		gens[i], err = trace.NewGenerator(p, i, seed)
+		if err != nil {
+			return cachesim.Results{}, err
+		}
+	}
+	sys := cachesim.New(cachesim.Config{
+		Cores: len(mix),
+		Core:  cachesim.DefaultCoreParams(),
+		LLC:   llc,
+		DRAM:  cachesim.DefaultDRAMConfig(),
+		Seed:  seed,
+	}, gens)
+	return sys.Run(warmup, roi), nil
+}

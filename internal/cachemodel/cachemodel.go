@@ -84,6 +84,11 @@ func (r Result) Miss() bool { return !r.DataHit }
 // LLC is the interface all last-level cache designs implement.
 type LLC interface {
 	// Access performs one transaction and mutates the cache.
+	//
+	// Aliasing rule: the returned Result.Writebacks slice aliases a
+	// scratch buffer owned by the design. It is valid only until the next
+	// call to Access or Flush on the same cache; callers that need the
+	// victims longer must copy them out before touching the cache again.
 	Access(Access) Result
 	// Flush invalidates (line, sdid) if present, returning whether a tag
 	// was invalidated. It models clflush from the owning domain.
@@ -94,8 +99,16 @@ type LLC interface {
 	// to the non-secure baseline (e.g. 4 for Maya and Mirage: 3 cycles of
 	// PRINCE plus 1 cycle of tag-to-data indirection).
 	LookupPenalty() int
-	// Stats exposes the design's counters. The pointer stays valid for
-	// the cache's lifetime.
+	// StatsSnapshot returns the design's counters by value. The snapshot
+	// is decoupled from the cache: later accesses do not mutate it, so it
+	// can be stored in results or compared across points in time.
+	StatsSnapshot() Stats
+	// Stats exposes the design's live counters. The pointer stays valid
+	// for the cache's lifetime and observes every subsequent access.
+	//
+	// Deprecated: the escaping pointer invites aliasing bugs (a stored
+	// *Stats silently keeps counting). Use StatsSnapshot for reading;
+	// Stats remains for the few callers that genuinely want a live view.
 	Stats() *Stats
 	// ResetStats zeroes the counters (used after warmup).
 	ResetStats()

@@ -43,6 +43,13 @@ type DRAM struct {
 	cfg      DRAMConfig
 	banks    []bank
 	chanFree []uint64
+	// Power-of-two fast paths for route(), set at construction when the
+	// geometry allows (the default config does): x%n == x&(n-1) and
+	// x/n == x>>log2(n), sparing two hardware divides per request.
+	bankMask uint64 // len(banks)-1 when a power of two, else 0
+	chanMask int    // Channels-1 when a power of two, else 0
+	rowShift uint   // log2(RowLines) when a power of two
+	pow2     bool
 	// Stats.
 	reads, writes, rowHits, rowMisses uint64
 }
@@ -52,11 +59,21 @@ func NewDRAM(cfg DRAMConfig) *DRAM {
 	if cfg.Channels <= 0 || cfg.BanksPerChannel <= 0 || cfg.RowLines <= 0 {
 		panic("cachesim: invalid DRAM configuration")
 	}
-	return &DRAM{
+	d := &DRAM{
 		cfg:      cfg,
 		banks:    make([]bank, cfg.Channels*cfg.BanksPerChannel),
 		chanFree: make([]uint64, cfg.Channels),
 	}
+	nb := len(d.banks)
+	if nb&(nb-1) == 0 && cfg.Channels&(cfg.Channels-1) == 0 && cfg.RowLines&(cfg.RowLines-1) == 0 {
+		d.pow2 = true
+		d.bankMask = uint64(nb - 1)
+		d.chanMask = cfg.Channels - 1
+		for n := cfg.RowLines; n > 1; n >>= 1 {
+			d.rowShift++
+		}
+	}
+	return d
 }
 
 // route maps a line address to (channel, bank index, row). The bank index
@@ -64,9 +81,13 @@ func NewDRAM(cfg DRAMConfig) *DRAM {
 // does) so that concurrent streams with identical low bits spread across
 // banks instead of thrashing one.
 func (d *DRAM) route(line uint64) (int, int, uint64) {
-	nb := uint64(len(d.banks))
 	chunk := line >> 2 // 4-line (256B) bank stripes
-	bankIdx := int((chunk ^ (line >> 12) ^ (line >> 24)) % nb)
+	mixed := chunk ^ (line >> 12) ^ (line >> 24)
+	if d.pow2 {
+		bankIdx := int(mixed & d.bankMask)
+		return bankIdx & d.chanMask, bankIdx, line >> d.rowShift
+	}
+	bankIdx := int(mixed % uint64(len(d.banks)))
 	ch := bankIdx % d.cfg.Channels
 	row := line / uint64(d.cfg.RowLines)
 	return ch, bankIdx, row

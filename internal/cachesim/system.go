@@ -15,6 +15,7 @@ package cachesim
 import (
 	"context"
 	"fmt"
+	"math/bits"
 
 	"mayacache/internal/baseline"
 	"mayacache/internal/cachemodel"
@@ -281,7 +282,7 @@ func (s *System) beginROI() {
 }
 
 func (s *System) collect() Results {
-	res := Results{LLCStats: *s.llc.Stats()}
+	res := Results{LLCStats: s.llc.StatsSnapshot()}
 	res.DRAMReads, res.DRAMWrites, res.DRAMRowHits, res.DRAMRowMisses = s.dram.Counters()
 	for _, c := range s.cores {
 		instr := c.retired - c.roiStartRetired
@@ -308,49 +309,64 @@ func (s *System) collect() Results {
 func (s *System) drive(ctx context.Context) error {
 	var steps uint64
 	for {
-		steps++
-		if steps%cancelCheckPeriod == 0 {
-			// The trigger outranks plain cancellation: a deadline stop
-			// must persist its snapshot before the context unwinds.
-			if s.auto != nil && s.auto.Trigger.Fired() {
-				if err := s.saveAuto(); err != nil {
-					return err
-				}
-				return snapshot.ErrStopped
-			}
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-		}
-		if s.auto != nil && s.auto.Every > 0 && steps%s.auto.Every == 0 {
-			if err := s.saveAuto(); err != nil {
-				return err
-			}
-		}
-		if invariant.Enabled {
-			if invariant.Every(steps, llcAuditPeriod) {
-				if a, ok := s.llc.(auditor); ok {
-					invariant.CheckErr(a.Audit())
-				}
-			}
-		}
-		// Pick the laggard core still running.
-		var next *core
-		for _, c := range s.cores {
+		// Pick the laggard core still running (first core in index order
+		// with the strictly smallest clock) and the runner-up threshold:
+		// the clock/index the laggard must stay under to remain selected.
+		var next, ru *core
+		nextIdx, ruIdx := -1, -1
+		for i, c := range s.cores {
 			if c.done {
 				continue
 			}
-			if next == nil || c.clock < next.clock {
-				next = c
+			switch {
+			case next == nil || c.clock < next.clock:
+				ru, ruIdx = next, nextIdx
+				next, nextIdx = c, i
+			case ru == nil || c.clock < ru.clock:
+				ru, ruIdx = c, i
 			}
 		}
 		if next == nil {
 			return nil
 		}
-		s.step(next)
-		if next.retired >= next.target {
-			next.drain()
-			next.done = true
+		// Step the laggard until a rescan would pick a different core:
+		// other cores' clocks don't change while next runs, so next stays
+		// selected while its clock is below the runner-up's (or equal,
+		// when next has the lower index — the tie-break the scan applies).
+		// With no runner-up left, next runs to completion.
+		for ru == nil || next.clock < ru.clock || (next.clock == ru.clock && nextIdx < ruIdx) {
+			steps++
+			if steps%cancelCheckPeriod == 0 {
+				// The trigger outranks plain cancellation: a deadline stop
+				// must persist its snapshot before the context unwinds.
+				if s.auto != nil && s.auto.Trigger.Fired() {
+					if err := s.saveAuto(); err != nil {
+						return err
+					}
+					return snapshot.ErrStopped
+				}
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if s.auto != nil && s.auto.Every > 0 && steps%s.auto.Every == 0 {
+				if err := s.saveAuto(); err != nil {
+					return err
+				}
+			}
+			if invariant.Enabled {
+				if invariant.Every(steps, llcAuditPeriod) {
+					if a, ok := s.llc.(auditor); ok {
+						invariant.CheckErr(a.Audit())
+					}
+				}
+			}
+			s.step(next)
+			if next.retired >= next.target {
+				next.drain()
+				next.done = true
+				break
+			}
 		}
 	}
 }
@@ -359,11 +375,17 @@ func (s *System) drive(ctx context.Context) error {
 func (s *System) step(c *core) {
 	ev := c.gen.Next()
 	// Gap instructions cost gap/retireWidth cycles (the narrower of
-	// issue/retire bounds steady-state throughput).
+	// issue/retire bounds steady-state throughput). subIssue is always
+	// non-negative, so shift/mask equals div/mod for power-of-two widths.
 	width := s.cfg.Core.RetireWidth
 	c.subIssue += int(ev.Gap)
-	c.clock += uint64(c.subIssue / width)
-	c.subIssue %= width
+	if width&(width-1) == 0 {
+		c.clock += uint64(c.subIssue >> uint(bits.TrailingZeros(uint(width))))
+		c.subIssue &= width - 1
+	} else {
+		c.clock += uint64(c.subIssue / width)
+		c.subIssue %= width
+	}
 	c.retired += uint64(ev.Gap) + 1
 
 	lat, longMiss := s.memAccess(c, ev)

@@ -87,15 +87,34 @@ type Cache struct {
 	fills     uint64
 	stats     cachemodel.Stats
 	wbBuf     []cachemodel.WritebackOut
+
+	// skewIdx caches each skew's set index from the most recent lookup;
+	// the miss path installs right after a failed lookup of the same line,
+	// so it can reuse the indices instead of re-running the randomizer.
+	// Derived scratch state — not serialized by SaveState.
+	skewIdx []int32
 }
 
-// New constructs the selected variant.
+// New constructs the selected variant, panicking on invalid geometry.
+//
+// Deprecated: use NewChecked, which reports configuration errors instead
+// of crashing; New remains for callers with statically known-good configs.
 func New(cfg Config) *Cache {
+	c, err := NewChecked(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NewChecked constructs the selected variant, returning an error wrapping
+// cachemodel.ErrBadConfig when the geometry is invalid.
+func NewChecked(cfg Config) (*Cache, error) {
 	if cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0 {
-		panic(fmt.Sprintf("ceaser: Sets must be a positive power of two, got %d", cfg.Sets))
+		return nil, cachemodel.BadConfigf("ceaser: Sets must be a positive power of two, got %d", cfg.Sets)
 	}
 	if cfg.Ways <= 0 {
-		panic("ceaser: Ways must be positive")
+		return nil, cachemodel.BadConfigf("ceaser: Ways must be positive, got %d", cfg.Ways)
 	}
 	c := &Cache{cfg: cfg, sets: cfg.Sets, ways: cfg.Ways, r: rng.New(cfg.Seed ^ 0xcea5e4)}
 	switch cfg.Variant {
@@ -103,20 +122,21 @@ func New(cfg Config) *Cache {
 		c.skews, c.waysPerSk = 1, cfg.Ways
 	case CEASERS:
 		if cfg.Ways%2 != 0 {
-			panic("ceaser: CEASER-S needs an even way count")
+			return nil, cachemodel.BadConfigf("ceaser: CEASER-S needs an even way count, got %d", cfg.Ways)
 		}
 		c.skews, c.waysPerSk = 2, cfg.Ways/2
 	case ScatterCache:
 		c.skews, c.waysPerSk = cfg.Ways, 1
 	default:
-		panic("ceaser: unknown variant")
+		return nil, cachemodel.BadConfigf("ceaser: unknown variant %d", uint8(cfg.Variant))
 	}
 	c.entries = make([]entry, cfg.Sets*cfg.Ways)
+	c.skewIdx = make([]int32, c.skews)
 	c.hasher = cfg.Hasher
 	if c.hasher == nil {
 		c.hasher = prince.NewRandomizer(c.skews, log2(cfg.Sets), cfg.Seed)
 	}
-	return c
+	return c, nil
 }
 
 func log2(n int) uint {
@@ -128,20 +148,19 @@ func log2(n int) uint {
 	return b
 }
 
-// slot returns the entry index for (skew, set, wayInSkew).
-func (c *Cache) slot(skew, set, way int) int {
-	return set*c.ways + skew*c.waysPerSk + way
-}
-
-// lookup finds (line, sdid), returning the entry index or -1.
+// lookup finds (line, sdid), returning the entry index or -1. It caches
+// each skew's set index in skewIdx so the install path that immediately
+// follows a miss can skip re-running the randomizer.
 func (c *Cache) lookup(line uint64, sdid uint8) int {
 	for skew := 0; skew < c.skews; skew++ {
 		set := c.hasher.Index(skew, line)
-		for w := 0; w < c.waysPerSk; w++ {
-			i := c.slot(skew, set, w)
-			e := &c.entries[i]
+		c.skewIdx[skew] = int32(set)
+		base := set*c.ways + skew*c.waysPerSk
+		row := c.entries[base : base+c.waysPerSk]
+		for w := range row {
+			e := &row[w]
 			if e.valid && e.line == line && e.sdid == sdid {
-				return i
+				return base + w
 			}
 		}
 	}
@@ -182,16 +201,19 @@ func (c *Cache) Access(a cachemodel.Access) cachemodel.Result {
 	} else {
 		s.WritebackMisses++
 	}
-	// Pick the skew (and thus candidate set) to install into.
+	// Pick the skew (and thus candidate set) to install into. The set
+	// index was cached by the lookup that just missed on this line.
 	skew := 0
 	if c.skews > 1 {
 		skew = c.r.Intn(c.skews)
 	}
-	set := c.hasher.Index(skew, a.Line)
+	set := int(c.skewIdx[skew])
+	base := set*c.ways + skew*c.waysPerSk
+	row := c.entries[base : base+c.waysPerSk]
 	// Prefer an invalid way within the chosen skew's portion of the set.
 	way := -1
-	for w := 0; w < c.waysPerSk; w++ {
-		if !c.entries[c.slot(skew, set, w)].valid {
+	for w := range row {
+		if !row[w].valid {
 			way = w
 			break
 		}
@@ -201,15 +223,15 @@ func (c *Cache) Access(a cachemodel.Access) cachemodel.Result {
 		// LRU victim within the skew's ways — a set-associative
 		// eviction, observable by a conflict attacker.
 		way = 0
-		oldest := c.entries[c.slot(skew, set, 0)].stamp
-		for w := 1; w < c.waysPerSk; w++ {
-			if st := c.entries[c.slot(skew, set, w)].stamp; st < oldest {
+		oldest := row[0].stamp
+		for w := 1; w < len(row); w++ {
+			if st := row[w].stamp; st < oldest {
 				way, oldest = w, st
 			}
 		}
 		sae = true
 		s.SAEs++
-		v := &c.entries[c.slot(skew, set, way)]
+		v := &row[way]
 		if v.reused {
 			s.ReusedDataEvictions++
 		} else {
@@ -223,7 +245,7 @@ func (c *Cache) Access(a cachemodel.Access) cachemodel.Result {
 			s.WritebacksToMem++
 		}
 	}
-	c.entries[c.slot(skew, set, way)] = entry{
+	row[way] = entry{
 		line: a.Line, sdid: a.SDID, core: a.Core,
 		valid: true, dirty: a.Type == cachemodel.Writeback, stamp: c.clock,
 	}
@@ -274,7 +296,12 @@ func (c *Cache) Probe(line uint64, sdid uint8) (bool, bool) {
 // LookupPenalty implements cachemodel.LLC: PRINCE latency, no indirection.
 func (c *Cache) LookupPenalty() int { return prince.LatencyCycles }
 
+// StatsSnapshot implements cachemodel.LLC.
+func (c *Cache) StatsSnapshot() cachemodel.Stats { return c.stats }
+
 // Stats implements cachemodel.LLC.
+//
+// Deprecated: use StatsSnapshot; the pointer aliases live counters.
 func (c *Cache) Stats() *cachemodel.Stats { return &c.stats }
 
 // ResetStats implements cachemodel.LLC.

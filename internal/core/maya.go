@@ -19,6 +19,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"mayacache/internal/cachemodel"
 	"mayacache/internal/invariant"
@@ -107,6 +108,23 @@ type Maya struct {
 	tags     []tagEntry // skews*sets*ways
 	validCnt []uint16   // valid tags per (skew,set) for load-aware selection
 
+	// invMask[skewSet] has bit w set when way w of that set is invalid, so
+	// freeWay is a TrailingZeros instead of a tagEntry scan (the lowest set
+	// bit is exactly the first invalid way the scan would return). Nil when
+	// ways > 64 (freeWay falls back to scanning). Derived state: maintained
+	// at every validity flip and rebuilt on snapshot restore.
+	invMask []uint64
+
+	// tagLine mirrors tags[i].line (zero when invalid) in a dense array so
+	// the lookup scan touches 8 bytes per way instead of a full tagEntry;
+	// candidates that match the line are verified against tagMeta — which
+	// mirrors the validity and SDID of tags[i] as tagMetaOf(sdid), zero
+	// when invalid — before they count as hits. P0/P1 transitions don't
+	// change tagMeta, so both mirrors flip only where validity or identity
+	// does. Maintained by every such writer and rebuilt on restore.
+	tagLine []uint64
+	tagMeta []uint16
+
 	data     []dataEntry
 	dataUsed []int32 // dense list of valid data slots
 	dataFree []int32 // free slots (filled by flush / initial)
@@ -119,18 +137,39 @@ type Maya struct {
 	r      *rng.Rand
 	stats  cachemodel.Stats
 	wbBuf  []cachemodel.WritebackOut
+
+	// Per-access scratch, reused to keep the steady-state access path
+	// allocation-free. skewIdx caches the set index lookup computed per
+	// skew so the install path never re-hashes the same line; candBuf
+	// collects priority-0 eviction candidates during an SAE.
+	skewIdx []int32
+	candBuf []int32
 }
 
-// New constructs a Maya cache from cfg.
+// New constructs a Maya cache from cfg, panicking on invalid geometry.
+//
+// Deprecated: use NewChecked, which reports configuration errors instead
+// of crashing; New remains for callers with statically known-good configs.
 func New(cfg Config) *Maya {
+	m, err := NewChecked(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// NewChecked constructs a Maya cache from cfg, returning an error wrapping
+// cachemodel.ErrBadConfig when the geometry is invalid.
+func NewChecked(cfg Config) (*Maya, error) {
 	if cfg.SetsPerSkew <= 0 || cfg.SetsPerSkew&(cfg.SetsPerSkew-1) != 0 {
-		panic(fmt.Sprintf("core: SetsPerSkew must be a positive power of two, got %d", cfg.SetsPerSkew))
+		return nil, cachemodel.BadConfigf("core: SetsPerSkew must be a positive power of two, got %d", cfg.SetsPerSkew)
 	}
 	if cfg.Skews < 2 {
-		panic("core: Maya requires at least two skews")
+		return nil, cachemodel.BadConfigf("core: Maya requires at least two skews, got %d", cfg.Skews)
 	}
 	if cfg.BaseWays <= 0 || cfg.ReuseWays < 0 || cfg.InvalidWays < 0 {
-		panic("core: invalid way configuration")
+		return nil, cachemodel.BadConfigf("core: invalid way configuration (base %d, reuse %d, invalid %d)",
+			cfg.BaseWays, cfg.ReuseWays, cfg.InvalidWays)
 	}
 	ways := cfg.BaseWays + cfg.ReuseWays + cfg.InvalidWays
 	nTags := cfg.Skews * cfg.SetsPerSkew * ways
@@ -139,7 +178,7 @@ func New(cfg Config) *Maya {
 	// < nTags and every data index or list position is < nData, so this
 	// single geometry check bounds all narrowing conversions below.
 	if nTags > math.MaxInt32 {
-		panic(fmt.Sprintf("core: geometry with %d tag entries overflows int32 indices", nTags))
+		return nil, cachemodel.BadConfigf("core: geometry with %d tag entries overflows int32 indices", nTags)
 	}
 	m := &Maya{
 		cfg:      cfg,
@@ -148,16 +187,26 @@ func New(cfg Config) *Maya {
 		skews:    cfg.Skews,
 		tags:     make([]tagEntry, nTags),
 		validCnt: make([]uint16, cfg.Skews*cfg.SetsPerSkew),
+		tagLine:  make([]uint64, nTags),
+		tagMeta:  make([]uint16, nTags),
 		data:     make([]dataEntry, nData),
 		dataUsed: make([]int32, 0, nData),
 		dataFree: make([]int32, 0, nData),
 		p0List:   make([]int32, 0, cfg.Skews*cfg.SetsPerSkew*maxInt(cfg.ReuseWays, 1)),
 		p0Cap:    cfg.Skews * cfg.SetsPerSkew * cfg.ReuseWays,
 		r:        rng.New(cfg.Seed ^ 0x4d617961), // "Maya"
+		skewIdx:  make([]int32, cfg.Skews),
+		candBuf:  make([]int32, 0, ways),
 	}
 	for i := range m.tags {
 		m.tags[i].fptr = -1
 		m.tags[i].p0pos = -1
+	}
+	if ways <= 64 {
+		m.invMask = make([]uint64, cfg.Skews*cfg.SetsPerSkew)
+		for i := range m.invMask {
+			m.invMask[i] = fullInvMask(ways)
+		}
 	}
 	for i := nData - 1; i >= 0; i-- {
 		m.dataFree = append(m.dataFree, int32(i))
@@ -166,7 +215,7 @@ func New(cfg Config) *Maya {
 	if m.hasher == nil {
 		m.hasher = prince.NewRandomizer(cfg.Skews, log2(cfg.SetsPerSkew), cfg.Seed)
 	}
-	return m
+	return m, nil
 }
 
 func maxInt(a, b int) int {
@@ -195,13 +244,21 @@ func (m *Maya) setBase(skew, set int) int32 {
 }
 
 // lookup finds the tag index of (line, sdid) or -1, searching all skews.
+// As a side effect it records each skew's set index in skewIdx, so the
+// install path that follows a miss (chooseSkew) never recomputes the hash —
+// with the PRINCE randomizer that halves cipher invocations per miss.
 func (m *Maya) lookup(line uint64, sdid uint8) int32 {
+	want := tagMetaOf(sdid)
 	for skew := 0; skew < m.skews; skew++ {
-		base := m.setBase(skew, m.hasher.Index(skew, line))
-		for w := int32(0); w < int32(m.ways); w++ {
-			e := &m.tags[base+w]
-			if e.state != stInvalid && e.line == line && e.sdid == sdid {
-				return base + w
+		idx := m.hasher.Index(skew, line)
+		m.skewIdx[skew] = int32(idx)
+		base := m.setBase(skew, idx)
+		lines := m.tagLine[base : int(base)+m.ways]
+		for w := range lines {
+			if lines[w] == line {
+				if m.tagMeta[int(base)+w] == want {
+					return base + int32(w)
+				}
 			}
 		}
 	}
@@ -284,12 +341,14 @@ func (m *Maya) Access(a cachemodel.Access) cachemodel.Result {
 
 // chooseSkew implements load-aware skew selection: prefer the mapped set
 // with more invalid tags (fewer valid entries); break ties randomly.
-// It returns (skew, set, hasInvalid).
-func (m *Maya) chooseSkew(line uint64) (int, int, bool) {
+// It returns (skew, set, hasInvalid). It reads the set indices cached in
+// skewIdx by the lookup that precedes every install, so it must only run
+// on the Access miss path (and never after a rekey within the same access).
+func (m *Maya) chooseSkew() (int, int, bool) {
 	bestSkew, bestSet, bestValid := -1, -1, 0
 	tie := 0
 	for skew := 0; skew < m.skews; skew++ {
-		set := m.hasher.Index(skew, line)
+		set := int(m.skewIdx[skew])
 		v := int(m.validCnt[skew*m.sets+set])
 		switch {
 		case bestSkew < 0 || v < bestValid:
@@ -306,13 +365,34 @@ func (m *Maya) chooseSkew(line uint64) (int, int, bool) {
 	return bestSkew, bestSet, bestValid < m.ways
 }
 
+// tagMetaOf is the tagMeta value of a valid tag owned by sdid; bit 0 is
+// the validity flag, so the zero value means invalid.
+func tagMetaOf(sdid uint8) uint16 {
+	return uint16(sdid)<<8 | 1
+}
+
+// fullInvMask is the invMask value of a set whose ways are all invalid.
+// ways == 64 shifts out to 0, and 0-1 wraps to all-ones — still correct.
+func fullInvMask(ways int) uint64 {
+	return uint64(1)<<uint(ways) - 1
+}
+
 // freeWay returns an invalid way in (skew,set); the caller must have
 // verified one exists.
 func (m *Maya) freeWay(skew, set int) int32 {
 	base := m.setBase(skew, set)
-	for w := int32(0); w < int32(m.ways); w++ {
-		if m.tags[base+w].state == stInvalid {
-			return base + w
+	if m.invMask != nil {
+		if mask := m.invMask[skew*m.sets+set]; mask != 0 {
+			// The lowest set bit is the first invalid way in scan order.
+			return base + int32(bits.TrailingZeros64(mask))
+		}
+		invariant.Check(false, "core: freeWay called on a full set (skew %d, set %d)", skew, set)
+		return -1
+	}
+	ways := m.tags[base : int(base)+m.ways]
+	for w := range ways {
+		if ways[w].state == stInvalid {
+			return base + int32(w)
 		}
 	}
 	invariant.Check(false, "core: freeWay called on a full set (skew %d, set %d)", skew, set)
@@ -324,7 +404,7 @@ func (m *Maya) freeWay(skew, set int) int32 {
 // priority-0 population exceeds its steady-state cap. Returns whether an
 // SAE occurred.
 func (m *Maya) installP0(a cachemodel.Access) bool {
-	skew, set, ok := m.chooseSkew(a.Line)
+	skew, set, ok := m.chooseSkew()
 	sae := false
 	if !ok {
 		// Both candidate sets are full: a set-associative eviction. A
@@ -338,8 +418,11 @@ func (m *Maya) installP0(a cachemodel.Access) bool {
 	ti := m.freeWay(skew, set)
 	e := &m.tags[ti]
 	*e = tagEntry{line: a.Line, sdid: a.SDID, core: a.Core, state: stP0, fptr: -1, p0pos: -1}
+	m.tagLine[ti] = a.Line
+	m.tagMeta[ti] = tagMetaOf(a.SDID)
 	m.addP0(ti)
 	m.validCnt[skew*m.sets+set]++
+	m.markValid(ti)
 	m.stats.Fills++
 	m.enforceP0Cap()
 	return sae
@@ -350,7 +433,7 @@ func (m *Maya) installP0(a cachemodel.Access) bool {
 // is full and global random tag eviction for the resulting extra
 // priority-0 entry.
 func (m *Maya) installP1(a cachemodel.Access) bool {
-	skew, set, ok := m.chooseSkew(a.Line)
+	skew, set, ok := m.chooseSkew()
 	sae := false
 	if !ok {
 		sae = true
@@ -361,7 +444,10 @@ func (m *Maya) installP1(a cachemodel.Access) bool {
 	ti := m.freeWay(skew, set)
 	e := &m.tags[ti]
 	*e = tagEntry{line: a.Line, sdid: a.SDID, core: a.Core, state: stP1, dirty: true, fptr: -1, p0pos: -1}
+	m.tagLine[ti] = a.Line
+	m.tagMeta[ti] = tagMetaOf(a.SDID)
 	m.validCnt[skew*m.sets+set]++
+	m.markValid(ti)
 	m.stats.Fills++
 	m.attachData(ti, a.Core) // may downgrade a random P1 -> P0
 	m.enforceP0Cap()         // the downgrade may have pushed P0 over cap
@@ -445,10 +531,11 @@ func (m *Maya) enforceP0Cap() {
 // paper removes the ball from the target bucket.
 func (m *Maya) evictP0FromSet(skew, set int, _ uint8) bool {
 	base := m.setBase(skew, set)
-	candidates := make([]int32, 0, m.ways)
-	for w := int32(0); w < int32(m.ways); w++ {
-		if m.tags[base+w].state == stP0 {
-			candidates = append(candidates, base+w)
+	candidates := m.candBuf[:0]
+	ways := m.tags[base : int(base)+m.ways]
+	for w := range ways {
+		if ways[w].state == stP0 {
+			candidates = append(candidates, base+int32(w))
 		}
 	}
 	if len(candidates) == 0 {
@@ -518,10 +605,25 @@ func (m *Maya) invalidateTag(ti int32) {
 	if e.state == stP0 {
 		m.removeP0(ti)
 	}
-	invariant.Check(e.fptr < 0, "core: invalidateTag on tag %d still owning data slot %d", ti, e.fptr)
+	if invariant.Enabled {
+		invariant.Check(e.fptr < 0, "core: invalidateTag on tag %d still owning data slot %d", ti, e.fptr)
+	}
 	skewSet := int(ti) / m.ways
 	m.validCnt[skewSet]--
+	if m.invMask != nil {
+		m.invMask[skewSet] |= 1 << uint(int(ti)-skewSet*m.ways)
+	}
 	*e = tagEntry{fptr: -1, p0pos: -1}
+	m.tagLine[ti] = 0
+	m.tagMeta[ti] = 0
+}
+
+// markValid clears tag ti's bit in the invalid-way mask after a fill.
+func (m *Maya) markValid(ti int32) {
+	if m.invMask != nil {
+		skewSet := int(ti) / m.ways
+		m.invMask[skewSet] &^= 1 << uint(int(ti)-skewSet*m.ways)
+	}
 }
 
 func (m *Maya) addP0(ti int32) {
@@ -559,9 +661,14 @@ func (m *Maya) rekeyAndFlush() {
 			m.removeP0(int32(ti))
 		}
 		*e = tagEntry{fptr: -1, p0pos: -1}
+		m.tagLine[ti] = 0
+		m.tagMeta[ti] = 0
 	}
 	for i := range m.validCnt {
 		m.validCnt[i] = 0
+	}
+	for i := range m.invMask {
+		m.invMask[i] = fullInvMask(m.ways)
 	}
 	m.hasher.Rekey()
 	m.stats.Rekeys++
@@ -604,7 +711,12 @@ func (m *Maya) LookupPenalty() int {
 	return prince.LatencyCycles + 1 + m.cfg.ExtraLookupLatency
 }
 
+// StatsSnapshot implements cachemodel.LLC.
+func (m *Maya) StatsSnapshot() cachemodel.Stats { return m.stats }
+
 // Stats implements cachemodel.LLC.
+//
+// Deprecated: use StatsSnapshot; see cachemodel.LLC.
 func (m *Maya) Stats() *cachemodel.Stats { return &m.stats }
 
 // ResetStats implements cachemodel.LLC.
@@ -668,6 +780,16 @@ func (m *Maya) Audit() error {
 		default:
 			return fmt.Errorf("tag %d has unknown state %d", ti, e.state)
 		}
+		if m.tagLine[ti] != e.line {
+			return fmt.Errorf("tagLine mirror diverged at tag %d: %#x != %#x", ti, m.tagLine[ti], e.line)
+		}
+		wantMeta := uint16(0)
+		if e.state != stInvalid {
+			wantMeta = tagMetaOf(e.sdid)
+		}
+		if m.tagMeta[ti] != wantMeta {
+			return fmt.Errorf("tagMeta mirror diverged at tag %d: %#x != %#x", ti, m.tagMeta[ti], wantMeta)
+		}
 	}
 	if p0 != len(m.p0List) {
 		return fmt.Errorf("P0 count %d != p0List length %d", p0, len(m.p0List))
@@ -682,18 +804,24 @@ func (m *Maya) Audit() error {
 		return fmt.Errorf("data slots leak: used %d + free %d != %d",
 			len(m.dataUsed), len(m.dataFree), len(m.data))
 	}
-	// validCnt agreement.
+	// validCnt and invMask agreement.
 	for skew := 0; skew < m.skews; skew++ {
 		for set := 0; set < m.sets; set++ {
 			base := m.setBase(skew, set)
 			n := uint16(0)
+			inv := uint64(0)
 			for w := int32(0); w < int32(m.ways); w++ {
 				if m.tags[base+w].state != stInvalid {
 					n++
+				} else if m.ways <= 64 {
+					inv |= 1 << uint(w)
 				}
 			}
 			if n != m.validCnt[skew*m.sets+set] {
 				return fmt.Errorf("validCnt[%d,%d] = %d, actual %d", skew, set, m.validCnt[skew*m.sets+set], n)
+			}
+			if m.invMask != nil && m.invMask[skew*m.sets+set] != inv {
+				return fmt.Errorf("invMask[%d,%d] = %#x, actual %#x", skew, set, m.invMask[skew*m.sets+set], inv)
 			}
 		}
 	}

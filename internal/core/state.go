@@ -112,6 +112,26 @@ func (m *Maya) RestoreState(d *snapshot.Decoder) error {
 	if err := d.Err(); err != nil {
 		return err
 	}
+	// tagLine, tagMeta, and invMask are derived mirrors of tags; rebuild
+	// rather than serialize them.
+	for i := range m.tags {
+		m.tagLine[i] = m.tags[i].line
+		m.tagMeta[i] = 0
+		if m.tags[i].state != stInvalid {
+			m.tagMeta[i] = tagMetaOf(m.tags[i].sdid)
+		}
+	}
+	if m.invMask != nil {
+		for i := range m.invMask {
+			m.invMask[i] = 0
+		}
+		for i := range m.tags {
+			if m.tags[i].state == stInvalid {
+				skewSet := i / m.ways
+				m.invMask[skewSet] |= 1 << uint(i-skewSet*m.ways)
+			}
+		}
+	}
 
 	// Cross-validate the dense data-slot lists: dataUsed positions must
 	// match usedPos back-pointers and used/free must partition the store.

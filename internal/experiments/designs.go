@@ -5,12 +5,15 @@
 package experiments
 
 import (
-	"fmt"
-
-	"mayacache/internal/baseline"
 	"mayacache/internal/cachemodel"
-	"mayacache/internal/core"
-	"mayacache/internal/mirage"
+
+	// The designs register their registry factories in init(); the blank
+	// imports make every named design buildable through NewLLCChecked even
+	// though nothing here references the packages directly.
+	_ "mayacache/internal/baseline"
+	_ "mayacache/internal/ceaser"
+	_ "mayacache/internal/core"
+	_ "mayacache/internal/mirage"
 )
 
 // Design names a cache design under test.
@@ -48,77 +51,37 @@ type LLCOptions struct {
 	DataScale float64
 }
 
-func (o LLCOptions) hasher(skews int, sets int) cachemodel.IndexHasher {
-	if !o.FastHash {
-		return nil // designs default to PRINCE
+// buildOptions translates LLCOptions into the registry's BuildOptions.
+func (o LLCOptions) buildOptions() cachemodel.BuildOptions {
+	return cachemodel.BuildOptions{
+		Cores:       o.Cores,
+		SetsPerCore: setsPerCore,
+		Seed:        o.Seed,
+		FastHash:    o.FastHash,
+		ReuseWays:   o.ReuseWays,
+		InvalidWays: o.InvalidWays,
+		DataScale:   o.DataScale,
 	}
-	return cachemodel.NewXorHasher(skews, log2(sets), o.Seed)
 }
 
-func log2(n int) uint {
-	var b uint
-	for n > 1 {
-		n >>= 1
-		b++
-	}
-	return b
+// NewLLCChecked constructs the named design scaled to opts.Cores through
+// the cachemodel registry, returning an error wrapping
+// cachemodel.ErrBadConfig for unknown designs or invalid geometry.
+func NewLLCChecked(d Design, opts LLCOptions) (cachemodel.LLC, error) {
+	return cachemodel.Build(string(d), opts.buildOptions())
 }
 
 // NewLLC constructs the named design scaled to opts.Cores.
+//
+// Deprecated: use NewLLCChecked, which reports configuration errors
+// instead of crashing; NewLLC remains for callers with statically
+// known-good designs.
 func NewLLC(d Design, opts LLCOptions) cachemodel.LLC {
-	if opts.Cores <= 0 {
-		panic("experiments: Cores must be positive")
+	llc, err := NewLLCChecked(d, opts)
+	if err != nil {
+		panic(err)
 	}
-	sets := setsPerCore * opts.Cores
-	switch d {
-	case DesignBaseline:
-		return baseline.New(baseline.Config{
-			Sets: sets, Ways: 16, Replacement: baseline.SRRIP, Seed: opts.Seed,
-		})
-	case DesignMirage:
-		cfg := mirage.DefaultConfig(opts.Seed)
-		cfg.SetsPerSkew = sets
-		cfg.Hasher = opts.hasher(cfg.Skews, sets)
-		return mirage.New(cfg)
-	case DesignMirageLite:
-		cfg := mirage.LiteConfig(opts.Seed)
-		cfg.SetsPerSkew = sets
-		cfg.Hasher = opts.hasher(cfg.Skews, sets)
-		return mirage.New(cfg)
-	case DesignMaya:
-		cfg := core.DefaultConfig(opts.Seed)
-		cfg.SetsPerSkew = sets
-		if opts.ReuseWays > 0 {
-			cfg.ReuseWays = opts.ReuseWays
-			if opts.ReuseWays >= 5 {
-				// Fig 4: five or more reuse ways widen the tag lookup
-				// by one cycle.
-				cfg.ExtraLookupLatency = 1
-			}
-		}
-		if opts.InvalidWays > 0 {
-			cfg.InvalidWays = opts.InvalidWays
-		}
-		if opts.DataScale > 0 {
-			cfg.BaseWays = int(float64(cfg.BaseWays)*opts.DataScale + 0.5)
-			if cfg.BaseWays < 1 {
-				cfg.BaseWays = 1
-			}
-		}
-		cfg.Hasher = opts.hasher(cfg.Skews, sets)
-		return core.New(cfg)
-	case DesignMayaISO:
-		// ISO-area Maya: data store grown back to ~16MB (8 base ways per
-		// skew) plus 4 reuse ways, matching Mirage's area envelope.
-		cfg := core.DefaultConfig(opts.Seed)
-		cfg.SetsPerSkew = sets
-		cfg.BaseWays = 8
-		cfg.ReuseWays = 4
-		cfg.Hasher = opts.hasher(cfg.Skews, sets)
-		return core.New(cfg)
-	default:
-		panic(fmt.Sprintf("experiments: unknown design %q", d))
-	}
+	return llc
 }
 
 // AllDesigns returns the designs of the paper's headline comparison.

@@ -6,6 +6,15 @@ import (
 	"mayacache/internal/cachemodel"
 )
 
+func log2(n int) uint {
+	var b uint
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
 // newScaledBaseline builds a baseline LLC with an explicit set count (for
 // the LLC-size sensitivity sweep, where capacity is varied directly).
 func newScaledBaseline(sets int, seed uint64) cachemodel.LLC {

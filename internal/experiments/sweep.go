@@ -66,7 +66,10 @@ func AloneIPCCtx(ctx context.Context, bench string, sc Scale) (float64, error) {
 	if ok {
 		return v, nil
 	}
-	llc := NewLLC(DesignBaseline, LLCOptions{Cores: 1, Seed: sc.Seed})
+	llc, err := NewLLCChecked(DesignBaseline, LLCOptions{Cores: 1, Seed: sc.Seed})
+	if err != nil {
+		return 0, err
+	}
 	res, err := runMixCtx(ctx, "alone|"+bench, []string{bench}, llc, sc)
 	if err != nil {
 		return 0, err
@@ -81,7 +84,10 @@ func AloneIPCCtx(ctx context.Context, bench string, sc Scale) (float64, error) {
 // RunMixDesignCtx is RunMixDesign under a context, returning errors
 // instead of panicking.
 func RunMixDesignCtx(ctx context.Context, mixName string, benchNames []string, d Design, sc Scale) (MixResult, error) {
-	llc := NewLLC(d, LLCOptions{Cores: len(benchNames), Seed: sc.Seed, FastHash: true})
+	llc, err := NewLLCChecked(d, LLCOptions{Cores: len(benchNames), Seed: sc.Seed, FastHash: true})
+	if err != nil {
+		return MixResult{}, err
+	}
 	return RunMixLLCCtx(ctx, mixName, benchNames, d, llc, sc)
 }
 
@@ -120,12 +126,18 @@ func Fig1Sweep(ctx context.Context, r *harness.Runner, sc Scale) ([]Fig1Row, []b
 	}
 	rows, ok, err := harness.RunCells(ctx, r, "fig1", keys, func(cctx context.Context, i int) (Fig1Row, error) {
 		b := benches[i]
-		baseLLC := NewLLC(DesignBaseline, LLCOptions{Cores: 1, Seed: sc.Seed})
+		baseLLC, err := NewLLCChecked(DesignBaseline, LLCOptions{Cores: 1, Seed: sc.Seed})
+		if err != nil {
+			return Fig1Row{}, err
+		}
 		base, err := runMixCtx(cctx, "mix|"+baseLLC.Name(), []string{b}, baseLLC, sc)
 		if err != nil {
 			return Fig1Row{}, err
 		}
-		mirLLC := NewLLC(DesignMirage, LLCOptions{Cores: 1, Seed: sc.Seed, FastHash: true})
+		mirLLC, err := NewLLCChecked(DesignMirage, LLCOptions{Cores: 1, Seed: sc.Seed, FastHash: true})
+		if err != nil {
+			return Fig1Row{}, err
+		}
 		mir, err := runMixCtx(cctx, "mix|"+mirLLC.Name(), []string{b}, mirLLC, sc)
 		if err != nil {
 			return Fig1Row{}, err
@@ -261,7 +273,10 @@ func Fig4Sweep(ctx context.Context, r *harness.Runner, sc Scale) ([]Fig4Row, []b
 	}
 	raw, rawOK, err := harness.RunCells(ctx, r, "fig4", keys, func(cctx context.Context, k int) (float64, error) {
 		w, b := ways[k/len(benches)], benches[k%len(benches)]
-		llc := NewLLC(DesignMaya, LLCOptions{Cores: 8, Seed: sc.Seed, FastHash: true, ReuseWays: w})
+		llc, rerr := NewLLCChecked(DesignMaya, LLCOptions{Cores: 8, Seed: sc.Seed, FastHash: true, ReuseWays: w})
+		if rerr != nil {
+			return 0, rerr
+		}
 		res, rerr := RunMixLLCCtx(cctx, b, homogeneous(b, 8), DesignMaya, llc, sc)
 		if rerr != nil {
 			return 0, rerr

@@ -55,6 +55,65 @@ func TestGeoMeanBelowMax(t *testing.T) {
 	}
 }
 
+// TestGeoMeanMatchesNaive checks the log-sum implementation against the
+// textbook formula (x1*x2*...*xn)^(1/n) on inputs small enough that the
+// naive product cannot overflow.
+func TestGeoMeanMatchesNaive(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 || len(raw) > 32 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		prod := 1.0
+		for i, r := range raw {
+			xs[i] = float64(r%1000)/100 + 0.01 // (0, 10]
+			prod *= xs[i]
+		}
+		naive := math.Pow(prod, 1/float64(len(xs)))
+		gm, err := GeoMean(xs)
+		if err != nil {
+			return false
+		}
+		return math.Abs(gm-naive) <= 1e-9*math.Max(gm, naive)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGeoMeanLongVector guards the reason GeoMean sums logs instead of
+// multiplying: over a long vector of large (or tiny) values the naive
+// product overflows to +Inf (or underflows to 0) while the true geometric
+// mean is perfectly representable.
+func TestGeoMeanLongVector(t *testing.T) {
+	big := make([]float64, 1000)
+	tiny := make([]float64, 1000)
+	naiveBig, naiveTiny := 1.0, 1.0
+	for i := range big {
+		big[i] = 1e300
+		tiny[i] = 1e-300
+		naiveBig *= big[i]
+		naiveTiny *= tiny[i]
+	}
+	if !math.IsInf(naiveBig, 1) || naiveTiny != 0 {
+		t.Fatalf("naive products did not overflow/underflow (big=%v tiny=%v); test premise broken", naiveBig, naiveTiny)
+	}
+	gm, err := GeoMean(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gm-1e300) > 1e-9*1e300 {
+		t.Errorf("GeoMean(1000x 1e300) = %v, want 1e300", gm)
+	}
+	gm, err = GeoMean(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gm-1e-300) > 1e-9*1e-300 {
+		t.Errorf("GeoMean(1000x 1e-300) = %v, want 1e-300", gm)
+	}
+}
+
 func TestMeanMedianStddev(t *testing.T) {
 	xs := []float64{1, 2, 3, 4, 100}
 	if m := Mean(xs); math.Abs(m-22) > 1e-12 {

@@ -14,6 +14,7 @@ package mirage
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"mayacache/internal/cachemodel"
 	"mayacache/internal/invariant"
@@ -93,6 +94,23 @@ type Mirage struct {
 	tags     []tagEntry
 	validCnt []uint16
 
+	// invMask[skewSet] has bit w set when way w of that set is invalid, so
+	// the install path finds its free way with a TrailingZeros instead of a
+	// tagEntry scan (the lowest set bit is exactly the first invalid way
+	// the scan would return). Nil when ways > 64 (install falls back to
+	// scanning). Derived state: maintained at every validity flip and
+	// rebuilt on snapshot restore.
+	invMask []uint64
+
+	// tagLine mirrors tags[i].line (zero when invalid) so the lookup scan
+	// touches 8 bytes per way instead of a full tagEntry; line-matching
+	// candidates are verified against tagMeta — which mirrors validity and
+	// SDID as tagMetaOf(sdid), zero when invalid — before they count as
+	// hits. Maintained by every writer of tags[i].line and rebuilt on
+	// restore.
+	tagLine []uint64
+	tagMeta []uint16
+
 	data     []dataEntry
 	dataUsed []int32
 	dataFree []int32
@@ -101,15 +119,36 @@ type Mirage struct {
 	r      *rng.Rand
 	stats  cachemodel.Stats
 	wbBuf  []cachemodel.WritebackOut
+
+	// skewIdx caches the per-skew set indices computed by lookup so the
+	// install path that follows a miss never re-hashes the same line.
+	skewIdx []int32
 }
 
-// New constructs a Mirage cache from cfg.
+// New constructs a Mirage cache from cfg, panicking on invalid geometry.
+//
+// Deprecated: use NewChecked, which reports configuration errors instead
+// of crashing; New remains for callers with statically known-good configs.
 func New(cfg Config) *Mirage {
+	c, err := NewChecked(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NewChecked constructs a Mirage cache from cfg, returning an error
+// wrapping cachemodel.ErrBadConfig when the geometry is invalid.
+func NewChecked(cfg Config) (*Mirage, error) {
 	if cfg.SetsPerSkew <= 0 || cfg.SetsPerSkew&(cfg.SetsPerSkew-1) != 0 {
-		panic(fmt.Sprintf("mirage: SetsPerSkew must be a positive power of two, got %d", cfg.SetsPerSkew))
+		return nil, cachemodel.BadConfigf("mirage: SetsPerSkew must be a positive power of two, got %d", cfg.SetsPerSkew)
 	}
 	if cfg.Skews < 2 {
-		panic("mirage: at least two skews required")
+		return nil, cachemodel.BadConfigf("mirage: at least two skews required, got %d", cfg.Skews)
+	}
+	if cfg.BaseWays <= 0 || cfg.ExtraWays < 0 {
+		return nil, cachemodel.BadConfigf("mirage: invalid way configuration (base %d, extra %d)",
+			cfg.BaseWays, cfg.ExtraWays)
 	}
 	ways := cfg.BaseWays + cfg.ExtraWays
 	nTags := cfg.Skews * cfg.SetsPerSkew * ways
@@ -118,7 +157,7 @@ func New(cfg Config) *Mirage {
 	// < nTags and every data index or list position is < nData, so this
 	// single geometry check bounds all narrowing conversions below.
 	if nTags > math.MaxInt32 {
-		panic(fmt.Sprintf("mirage: geometry with %d tag entries overflows int32 indices", nTags))
+		return nil, cachemodel.BadConfigf("mirage: geometry with %d tag entries overflows int32 indices", nTags)
 	}
 	c := &Mirage{
 		cfg:      cfg,
@@ -127,13 +166,22 @@ func New(cfg Config) *Mirage {
 		skews:    cfg.Skews,
 		tags:     make([]tagEntry, nTags),
 		validCnt: make([]uint16, cfg.Skews*cfg.SetsPerSkew),
+		tagLine:  make([]uint64, nTags),
+		tagMeta:  make([]uint16, nTags),
 		data:     make([]dataEntry, nData),
 		dataUsed: make([]int32, 0, nData),
 		dataFree: make([]int32, 0, nData),
 		r:        rng.New(cfg.Seed ^ 0x4d697261), // "Mira"
+		skewIdx:  make([]int32, cfg.Skews),
 	}
 	for i := range c.tags {
 		c.tags[i].fptr = -1
+	}
+	if ways <= 64 {
+		c.invMask = make([]uint64, cfg.Skews*cfg.SetsPerSkew)
+		for i := range c.invMask {
+			c.invMask[i] = fullInvMask(ways)
+		}
 	}
 	for i := nData - 1; i >= 0; i-- {
 		c.dataFree = append(c.dataFree, int32(i))
@@ -142,7 +190,7 @@ func New(cfg Config) *Mirage {
 	if c.hasher == nil {
 		c.hasher = prince.NewRandomizer(cfg.Skews, log2(cfg.SetsPerSkew), cfg.Seed)
 	}
-	return c
+	return c, nil
 }
 
 func log2(n int) uint {
@@ -158,13 +206,21 @@ func (c *Mirage) setBase(skew, set int) int32 {
 	return int32((skew*c.sets + set) * c.ways)
 }
 
+// lookup finds the tag index of (line, sdid) or -1. As a side effect it
+// records each skew's set index in skewIdx for the install path (see
+// chooseSkew), halving hash computations per miss.
 func (c *Mirage) lookup(line uint64, sdid uint8) int32 {
+	want := tagMetaOf(sdid)
 	for skew := 0; skew < c.skews; skew++ {
-		base := c.setBase(skew, c.hasher.Index(skew, line))
-		for w := int32(0); w < int32(c.ways); w++ {
-			e := &c.tags[base+w]
-			if e.valid && e.line == line && e.sdid == sdid {
-				return base + w
+		idx := c.hasher.Index(skew, line)
+		c.skewIdx[skew] = int32(idx)
+		base := c.setBase(skew, idx)
+		lines := c.tagLine[base : int(base)+c.ways]
+		for w := range lines {
+			if lines[w] == line {
+				if c.tagMeta[int(base)+w] == want {
+					return base + int32(w)
+				}
 			}
 		}
 	}
@@ -224,12 +280,14 @@ func (c *Mirage) Access(a cachemodel.Access) cachemodel.Result {
 	return cachemodel.Result{SAE: sae, Writebacks: c.wbBuf}
 }
 
-// chooseSkew is load-aware skew selection (same policy as Maya).
-func (c *Mirage) chooseSkew(line uint64) (int, int, bool) {
+// chooseSkew is load-aware skew selection (same policy as Maya). It reads
+// the set indices cached in skewIdx by the lookup that precedes every
+// install, so it must only run on the Access miss path.
+func (c *Mirage) chooseSkew() (int, int, bool) {
 	bestSkew, bestSet, bestValid := -1, -1, 0
 	tie := 0
 	for skew := 0; skew < c.skews; skew++ {
-		set := c.hasher.Index(skew, line)
+		set := int(c.skewIdx[skew])
 		v := int(c.validCnt[skew*c.sets+set])
 		switch {
 		case bestSkew < 0 || v < bestValid:
@@ -246,7 +304,7 @@ func (c *Mirage) chooseSkew(line uint64) (int, int, bool) {
 }
 
 func (c *Mirage) install(a cachemodel.Access) bool {
-	skew, set, ok := c.chooseSkew(a.Line)
+	skew, set, ok := c.chooseSkew()
 	sae := false
 	if !ok {
 		// SAE: evict a random valid entry from the target set.
@@ -257,15 +315,26 @@ func (c *Mirage) install(a cachemodel.Access) bool {
 	}
 	base := c.setBase(skew, set)
 	var ti int32 = -1
-	for w := int32(0); w < int32(c.ways); w++ {
-		if !c.tags[base+w].valid {
-			ti = base + w
-			break
+	if c.invMask != nil {
+		if mask := c.invMask[skew*c.sets+set]; mask != 0 {
+			// The lowest set bit is the first invalid way in scan order.
+			ti = base + int32(bits.TrailingZeros64(mask))
+		}
+	} else {
+		ways := c.tags[base : int(base)+c.ways]
+		for w := range ways {
+			if !ways[w].valid {
+				ti = base + int32(w)
+				break
+			}
 		}
 	}
 	e := &c.tags[ti]
 	*e = tagEntry{line: a.Line, sdid: a.SDID, core: a.Core, valid: true, dirty: a.Type == cachemodel.Writeback, fptr: -1}
+	c.tagLine[ti] = a.Line
+	c.tagMeta[ti] = tagMetaOf(a.SDID)
 	c.validCnt[skew*c.sets+set]++
+	c.markValid(ti)
 	c.stats.Fills++
 
 	// Attach a data entry (one is guaranteed free here).
@@ -305,7 +374,9 @@ func (c *Mirage) globalEviction(evictorCore uint8) {
 // dead-block/inter-core bookkeeping (flushes are excluded from it).
 func (c *Mirage) evictTag(ti int32, evictorCore uint8, account bool) {
 	e := &c.tags[ti]
-	invariant.Check(e.valid, "mirage: evictTag on invalid tag %d", ti)
+	if invariant.Enabled {
+		invariant.Check(e.valid, "mirage: evictTag on invalid tag %d", ti)
+	}
 	if account {
 		if e.reused {
 			c.stats.ReusedDataEvictions++
@@ -321,8 +392,34 @@ func (c *Mirage) evictTag(ti int32, evictorCore uint8, account bool) {
 		c.stats.WritebacksToMem++
 	}
 	c.freeDataSlot(e.fptr)
-	c.validCnt[int(ti)/c.ways]--
+	skewSet := int(ti) / c.ways
+	c.validCnt[skewSet]--
+	if c.invMask != nil {
+		c.invMask[skewSet] |= 1 << uint(int(ti)-skewSet*c.ways)
+	}
 	*e = tagEntry{fptr: -1}
+	c.tagLine[ti] = 0
+	c.tagMeta[ti] = 0
+}
+
+// tagMetaOf is the tagMeta value of a valid tag owned by sdid; bit 0 is
+// the validity flag, so the zero value means invalid.
+func tagMetaOf(sdid uint8) uint16 {
+	return uint16(sdid)<<8 | 1
+}
+
+// fullInvMask is the invMask value of a set whose ways are all invalid.
+// ways == 64 shifts out to 0, and 0-1 wraps to all-ones — still correct.
+func fullInvMask(ways int) uint64 {
+	return uint64(1)<<uint(ways) - 1
+}
+
+// markValid clears tag ti's bit in the invalid-way mask after a fill.
+func (c *Mirage) markValid(ti int32) {
+	if c.invMask != nil {
+		skewSet := int(ti) / c.ways
+		c.invMask[skewSet] &^= 1 << uint(int(ti)-skewSet*c.ways)
+	}
 }
 
 func (c *Mirage) freeDataSlot(slot int32) {
@@ -353,9 +450,14 @@ func (c *Mirage) rekeyAndFlush() {
 		}
 		c.freeDataSlot(e.fptr)
 		*e = tagEntry{fptr: -1}
+		c.tagLine[ti] = 0
+		c.tagMeta[ti] = 0
 	}
 	for i := range c.validCnt {
 		c.validCnt[i] = 0
+	}
+	for i := range c.invMask {
+		c.invMask[i] = fullInvMask(c.ways)
 	}
 	c.hasher.Rekey()
 	c.stats.Rekeys++
@@ -382,7 +484,12 @@ func (c *Mirage) Probe(line uint64, sdid uint8) (bool, bool) {
 // of indirection, as charged in the paper.
 func (c *Mirage) LookupPenalty() int { return prince.LatencyCycles + 1 }
 
+// StatsSnapshot implements cachemodel.LLC.
+func (c *Mirage) StatsSnapshot() cachemodel.Stats { return c.stats }
+
 // Stats implements cachemodel.LLC.
+//
+// Deprecated: use StatsSnapshot; see cachemodel.LLC.
 func (c *Mirage) Stats() *cachemodel.Stats { return &c.stats }
 
 // ResetStats implements cachemodel.LLC.
@@ -413,6 +520,16 @@ func (c *Mirage) Audit() error {
 	valid := 0
 	for ti := range c.tags {
 		e := &c.tags[ti]
+		if c.tagLine[ti] != e.line {
+			return fmt.Errorf("tagLine mirror diverged at tag %d: %#x != %#x", ti, c.tagLine[ti], e.line)
+		}
+		wantMeta := uint16(0)
+		if e.valid {
+			wantMeta = tagMetaOf(e.sdid)
+		}
+		if c.tagMeta[ti] != wantMeta {
+			return fmt.Errorf("tagMeta mirror diverged at tag %d: %#x != %#x", ti, c.tagMeta[ti], wantMeta)
+		}
 		if !e.valid {
 			continue
 		}
@@ -438,13 +555,19 @@ func (c *Mirage) Audit() error {
 		for set := 0; set < c.sets; set++ {
 			base := c.setBase(skew, set)
 			n := uint16(0)
+			inv := uint64(0)
 			for w := int32(0); w < int32(c.ways); w++ {
 				if c.tags[base+w].valid {
 					n++
+				} else if c.ways <= 64 {
+					inv |= 1 << uint(w)
 				}
 			}
 			if n != c.validCnt[skew*c.sets+set] {
 				return fmt.Errorf("validCnt[%d,%d] = %d, actual %d", skew, set, c.validCnt[skew*c.sets+set], n)
+			}
+			if c.invMask != nil && c.invMask[skew*c.sets+set] != inv {
+				return fmt.Errorf("invMask[%d,%d] = %#x, actual %#x", skew, set, c.invMask[skew*c.sets+set], inv)
 			}
 		}
 	}

@@ -97,6 +97,26 @@ func (c *Mirage) RestoreState(d *snapshot.Decoder) error {
 	if err := d.Err(); err != nil {
 		return err
 	}
+	// tagLine, tagMeta, and invMask are derived mirrors of tags; rebuild
+	// rather than serialize them.
+	for i := range c.tags {
+		c.tagLine[i] = c.tags[i].line
+		c.tagMeta[i] = 0
+		if c.tags[i].valid {
+			c.tagMeta[i] = tagMetaOf(c.tags[i].sdid)
+		}
+	}
+	if c.invMask != nil {
+		for i := range c.invMask {
+			c.invMask[i] = 0
+		}
+		for i := range c.tags {
+			if !c.tags[i].valid {
+				skewSet := i / c.ways
+				c.invMask[skewSet] |= 1 << uint(i-skewSet*c.ways)
+			}
+		}
+	}
 
 	seen := make([]bool, nData)
 	for pos, slot := range c.dataUsed {

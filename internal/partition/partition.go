@@ -141,7 +141,7 @@ func (c *Cache) Access(a cachemodel.Access) cachemodel.Result {
 func (c *Cache) accumulate() {
 	var agg cachemodel.Stats
 	for _, p := range c.parts {
-		s := p.Stats()
+		s := p.StatsSnapshot()
 		agg.Accesses += s.Accesses
 		agg.Reads += s.Reads
 		agg.Writebacks += s.Writebacks
@@ -173,8 +173,17 @@ func (c *Cache) Probe(line uint64, sdid uint8) (bool, bool) {
 // LookupPenalty implements cachemodel.LLC: partition selection is free.
 func (c *Cache) LookupPenalty() int { return 0 }
 
+// StatsSnapshot implements cachemodel.LLC. The aggregate is recomputed
+// from the partitions on each call.
+func (c *Cache) StatsSnapshot() cachemodel.Stats {
+	c.accumulate()
+	return c.stats
+}
+
 // Stats implements cachemodel.LLC. The aggregate is recomputed from the
 // partitions on each call; hold the pointer only for immediate reads.
+//
+// Deprecated: use StatsSnapshot; the pointer aliases the aggregate buffer.
 func (c *Cache) Stats() *cachemodel.Stats {
 	c.accumulate()
 	return &c.stats

@@ -1,0 +1,165 @@
+package rng
+
+// GeometricSampler draws geometric samples with a fixed success probability
+// p, producing exactly the same values and consuming exactly the same RNG
+// stream as Rand.Geometric(p), but without the two math.Log calls per draw.
+// Trace generation calls Geometric once per event, which made the logarithm
+// the single hottest instruction sequence in macro simulation profiles.
+//
+// Rand.Geometric maps the 53-bit uniform draw m = Uint64()>>11 through
+//
+//	u := float64(m) / (1 << 53)
+//	n := int(Log(1-u)/Log(1-p)) + 1   (clamped to >= 1, retried on m == 0)
+//
+// which is a monotone non-decreasing step function of m. The sampler
+// precomputes the m-thresholds at which that step function changes value,
+// by binary search over the draw space evaluating the original formula, and
+// answers each draw with a table lookup. Every boundary is verified against
+// the formula on both sides at construction; any anomaly (or a draw beyond
+// the table's coverage) falls back to the original formula, so the sampler
+// cannot produce a different sample sequence than Geometric.
+type GeometricSampler struct {
+	r   *Rand
+	p   float64
+	l1p float64 // Log(1-p), shared by construction and the fallback path
+
+	// thresh[i] is the smallest draw m whose sample is vals[i+1]; draws
+	// below thresh[0] sample vals[0]. maxM bounds the table's coverage:
+	// draws at or above it take the fallback path (never, when the table
+	// covers the entire 53-bit draw space).
+	thresh []uint64
+	vals   []int32
+	maxM   uint64
+
+	// guide[m>>geomGuideShift] is the interval index of that bucket's
+	// first draw, so a lookup scans only the boundaries inside one bucket
+	// — zero for the vast majority, since interval widths shrink
+	// geometrically while buckets are uniform.
+	guide []uint16
+}
+
+// geomTableMax bounds the threshold table size. The realized sample range
+// over the 53-bit draw space is ~= 36.8/p values, so any p >= ~0.01 — every
+// trace profile by a wide margin — is covered completely; smaller p falls
+// back to the formula with probability (1-p)^geomTableMax per draw.
+const geomTableMax = 4096
+
+// geomDrawSpace is the exclusive upper bound of m = Uint64()>>11.
+const geomDrawSpace = uint64(1) << 53
+
+// geomGuideBits sizes the guide table (2^bits buckets over the draw
+// space); geomTableMax must stay below 1<<16 for the uint16 entries.
+const (
+	geomGuideBits  = 12
+	geomGuideShift = 53 - geomGuideBits
+)
+
+// NewGeometricSampler builds a sampler equivalent to r.Geometric(p).
+// Construction performs no RNG draws. p <= 0 panics on the first Next call,
+// matching Geometric.
+func NewGeometricSampler(r *Rand, p float64) *GeometricSampler {
+	g := &GeometricSampler{r: r, p: p}
+	if p >= 1 || p <= 0 {
+		return g
+	}
+	g.l1p = logFloat(1 - p)
+	g.build()
+	return g
+}
+
+// sampleOf evaluates the original Geometric formula for draw m >= 1.
+func (g *GeometricSampler) sampleOf(m uint64) int32 {
+	u := float64(m) / (1 << 53)
+	n := int32(logFloat(1-u)/g.l1p) + 1
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// build finds the boundaries of the draw->sample step function. Each
+// interval's value can exceed its predecessor's by more than one: near the
+// top of the draw space consecutive representable values of 1-u differ by a
+// full ulp, so for small |Log(1-p)| the quotient jumps several integers at
+// one boundary. The parallel vals slice therefore stores interval values
+// explicitly rather than deriving them from the interval index.
+func (g *GeometricSampler) build() {
+	last := g.sampleOf(geomDrawSpace - 1)
+	v := g.sampleOf(1)
+	vals := []int32{v}
+	var thresh []uint64
+	lo := uint64(1)
+	for v < last && len(thresh) < geomTableMax {
+		// Smallest m in (lo, geomDrawSpace) with sampleOf(m) > v.
+		hi := geomDrawSpace - 1
+		for lo+1 < hi {
+			mid := lo + (hi-lo)/2
+			if g.sampleOf(mid) > v {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		next := g.sampleOf(hi)
+		if next <= v || g.sampleOf(hi-1) != v {
+			// Non-monotone anomaly: discard the table entirely and let
+			// Next serve every draw from the original formula.
+			g.thresh, g.vals = nil, nil
+			return
+		}
+		thresh = append(thresh, hi)
+		vals = append(vals, next)
+		v = next
+		lo = hi
+	}
+	g.thresh, g.vals = thresh, vals
+	if v >= last {
+		g.maxM = geomDrawSpace // full coverage: the fallback is dead code
+	} else {
+		// Capped: the last interval's upper edge was never located, so
+		// draws from the last boundary onward use the formula.
+		g.maxM = thresh[len(thresh)-1]
+		g.vals = vals[:len(vals)-1]
+	}
+	g.guide = make([]uint16, 1<<geomGuideBits)
+	i := 0
+	for b := range g.guide {
+		start := uint64(b) << geomGuideShift
+		for i < len(g.thresh) && g.thresh[i] <= start {
+			i++
+		}
+		g.guide[b] = uint16(i)
+	}
+}
+
+// Next returns the next sample. The draw sequence and returned values are
+// identical to calling g.r.Geometric(p) with the p given at construction.
+func (g *GeometricSampler) Next() int {
+	if g.p >= 1 {
+		return 1 // Geometric(p >= 1) returns without drawing
+	}
+	if g.vals == nil {
+		return g.r.Geometric(g.p) // p <= 0 panics here, as before
+	}
+	for {
+		m := g.r.Uint64() >> 11
+		if m == 0 {
+			continue // Geometric retries the measure-zero u == 0 edge
+		}
+		if m >= g.maxM {
+			return int(g.sampleOf(m))
+		}
+		// The containing interval's index is the count of boundaries <= m;
+		// the guide entry gives that count at the bucket's start and the
+		// loop walks the (almost always zero) boundaries inside the bucket.
+		i := int(g.guide[m>>geomGuideShift])
+		t := g.thresh
+		for i < len(t) && t[i] <= m {
+			i++
+		}
+		return int(g.vals[i])
+	}
+}
+
+// P returns the success probability the sampler was built for.
+func (g *GeometricSampler) P() float64 { return g.p }

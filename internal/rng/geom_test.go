@@ -1,0 +1,87 @@
+package rng
+
+import "testing"
+
+// TestGeometricSamplerMatchesGeometric drives a sampler and Geometric from
+// identically-seeded generators across the p range the trace profiles
+// realize (and beyond) and requires the sample sequences to be identical.
+// This is the bit-exactness contract the trace layer relies on.
+func TestGeometricSamplerMatchesGeometric(t *testing.T) {
+	ps := []float64{
+		1e-4, 1e-3, 0.01, 0.05, 0.1, 0.2, 0.25, 1.0 / 3, 0.5,
+		0.6, 0.75, 0.9, 0.99, 0.999, 1.0 / (3.5 + 1), 1.0 / (0.25 + 1),
+	}
+	for _, p := range ps {
+		ra, rb := New(42), New(42)
+		gs := NewGeometricSampler(ra, p)
+		for i := 0; i < 200000; i++ {
+			got, want := gs.Next(), rb.Geometric(p)
+			if got != want {
+				t.Fatalf("p=%v draw %d: sampler %d != Geometric %d", p, i, got, want)
+			}
+		}
+		if ra.Save() != rb.Save() {
+			t.Fatalf("p=%v: sampler consumed a different RNG stream", p)
+		}
+	}
+}
+
+// TestGeometricSamplerBoundaries checks every table boundary against the
+// original formula on both sides — the construction-time verification plus
+// one extra neighbour on each side.
+func TestGeometricSamplerBoundaries(t *testing.T) {
+	for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.9, 0.999} {
+		g := NewGeometricSampler(New(1), p)
+		if g.vals == nil {
+			t.Fatalf("p=%v: sampler fell back to formula-only mode", p)
+		}
+		for i, b := range g.thresh {
+			if i >= len(g.vals)-1 {
+				break // capped table: last boundary only bounds coverage
+			}
+			below, at := g.sampleOf(b-1), g.sampleOf(b)
+			if at != g.vals[i+1] || below != g.vals[i] {
+				t.Fatalf("p=%v boundary %d at m=%d: formula gives %d/%d, table %d/%d",
+					p, i, b, below, at, g.vals[i], g.vals[i+1])
+			}
+			if b+1 < g.maxM && g.sampleOf(b+1) < at {
+				t.Fatalf("p=%v: formula non-monotone just above boundary m=%d", p, b)
+			}
+		}
+	}
+}
+
+// TestGeometricSamplerEdgeCases covers p >= 1 (no draw consumed) and full
+// draw-space coverage for moderate p (the fallback path must be dead).
+func TestGeometricSamplerEdgeCases(t *testing.T) {
+	r := New(7)
+	st := r.Save()
+	g := NewGeometricSampler(r, 1.5)
+	if g.Next() != 1 {
+		t.Fatal("p>=1 must sample 1")
+	}
+	if r.Save() != st {
+		t.Fatal("p>=1 must not consume a draw")
+	}
+	for _, p := range []float64{0.05, 0.25, 0.5} {
+		g := NewGeometricSampler(New(7), p)
+		if g.maxM != geomDrawSpace {
+			t.Fatalf("p=%v: expected full draw-space coverage, got maxM=%d", p, g.maxM)
+		}
+	}
+}
+
+func BenchmarkGeometric(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Geometric(0.25)
+	}
+}
+
+func BenchmarkGeometricSampler(b *testing.B) {
+	g := NewGeometricSampler(New(1), 0.25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Next()
+	}
+}

@@ -125,6 +125,10 @@ type gen struct {
 	coreBase uint64
 	r        *rng.Rand
 	zipf     *rng.Zipf // medium-set sampler (nil: uniform)
+	// geom samples the gap distribution; it draws from r with exactly the
+	// same stream as r.Geometric(1/(meanGap+1)) but without per-event
+	// logarithms (nil when MemRatio is 1: every instruction is an access).
+	geom *rng.GeometricSampler
 
 	// cumulative component weights, normalized.
 	cHot, cMed, cScan, cStream, cRand float64
@@ -162,6 +166,9 @@ func NewGenerator(p Profile, coreID int, seed uint64) (Generator, error) {
 		g.zipf = rng.NewZipf(g.r, uint64(p.MedLines), p.MedZipf)
 	}
 	g.meanGap = (1 - p.MemRatio) / p.MemRatio
+	if g.meanGap > 0 {
+		g.geom = rng.NewGeometricSampler(g.r, 1/(g.meanGap+1))
+	}
 	return g, nil
 }
 
@@ -195,11 +202,11 @@ func (g *gen) Next() Event {
 }
 
 func (g *gen) sampleGap() int32 {
-	if g.meanGap <= 0 {
+	if g.geom == nil {
 		return 0
 	}
 	// Geometric gaps reproduce the bursty spacing of real code.
-	return int32(g.r.Geometric(1/(g.meanGap+1))) - 1
+	return int32(g.geom.Next()) - 1
 }
 
 func (g *gen) pickLine() uint64 {
