@@ -29,10 +29,15 @@ vet:
 check:
 	$(GO) test -tags mayacheck ./internal/core/... ./internal/mirage/... ./internal/buckets/... ./internal/cachesim/... ./internal/faults/...
 
-# race runs the race detector over the multi-core simulator paths and the
-# concurrent sweep harness.
+# race runs the race detector over the multi-core simulator paths, the
+# concurrent sweep harness, and the shard-parallel Monte-Carlo engine
+# (scheduling-invariance and mid-run cancellation hammers; -short keeps
+# the sharded model/attack tests at CI scale).
 race:
 	$(GO) test -race ./internal/cachesim/... ./internal/core/... ./internal/experiments/... ./internal/harness/... ./internal/faults/... ./internal/snapshot/...
+	$(GO) test -race -short ./internal/mc/... ./internal/pprofutil/...
+	$(GO) test -race -short -run 'Sharded' ./internal/buckets/
+	$(GO) test -race -short -run 'Trials|MedianDistinguishWorker|MedianDistinguishStream|EvictionSetTrials|ReplacementPredictabilityCtx' ./internal/attack/
 
 # e2e exercises mayasim end to end: fault isolation (one injected
 # panicking cell, nonzero exit, FAILED row), checkpoint resume
@@ -67,7 +72,9 @@ e2e:
 
 # bench runs the continuous benchmark suite in quick mode and writes
 # BENCH.json: per-design LLC access-path microbenchmarks (ns/access,
-# allocs/access, B/access) plus a 4-core macro mix (events/sec). The
+# allocs/access, B/access), a 4-core macro mix (events/sec), and the
+# shard-parallel Monte-Carlo security micro (iters/sec, serial vs 8x8,
+# with the measured speedup). The
 # numbers are pinned and seed-deterministic, so comparing BENCH.json
 # across commits on the same machine tracks simulator performance; the
 # run also re-exercises the zero-alloc and golden-fixture guards via the

@@ -19,6 +19,14 @@ go test -tags mayacheck ./internal/core/... ./internal/mirage/... ./internal/buc
 echo "==> race detector (multi-core simulator paths)"
 go test -race ./internal/cachesim/... ./internal/core/... ./internal/experiments/... ./internal/harness/... ./internal/faults/... ./internal/snapshot/...
 
+echo "==> race detector (Monte-Carlo engine: shard invariance + cancellation hammer)"
+# The mc engine's scheduling-invariance and mid-run-cancellation tests are
+# the concurrency gate for the shard-parallel paths; -short keeps the
+# sharded buckets/attack tests at CI scale.
+go test -race -short ./internal/mc/... ./internal/pprofutil/...
+go test -race -short -run 'Sharded' ./internal/buckets/
+go test -race -short -run 'Trials|MedianDistinguishWorker|MedianDistinguishStream|EvictionSetTrials|ReplacementPredictabilityCtx' ./internal/attack/
+
 echo "==> e2e: fault isolation + checkpoint resume (mayasim)"
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
@@ -56,11 +64,37 @@ test -n "$(ls "$TMP/snaps")"  # a mid-run cell snapshot is durable
 cmp "$TMP/killresume.out" "$TMP/fresh.out"
 test -z "$(ls "$TMP/snaps")"  # completed cells discard their snapshots
 
+echo "==> e2e: shard-parallel securitysim (byte-compat + worker invariance + flag validation)"
+go build -o "$TMP/securitysim" ./cmd/securitysim
+# -shards 1 is the historical serial run; any worker count at a fixed
+# shard count must render byte-identical tables (scheduling never changes
+# a statistic).
+"$TMP/securitysim" -experiment all -buckets 512 -iters 200000 -seed 5 \
+    -shards 1 -workers 1 -progress off > "$TMP/sec1.out"
+"$TMP/securitysim" -experiment all -buckets 512 -iters 200000 -seed 5 \
+    -shards 1 -workers 4 -progress off > "$TMP/sec1w4.out"
+cmp "$TMP/sec1.out" "$TMP/sec1w4.out"
+"$TMP/securitysim" -experiment fig6 -buckets 512 -iters 200000 -seed 5 \
+    -shards 8 -workers 2 -progress off > "$TMP/sec8a.out"
+"$TMP/securitysim" -experiment fig6 -buckets 512 -iters 200000 -seed 5 \
+    -shards 8 -workers 7 -progress off > "$TMP/sec8b.out"
+cmp "$TMP/sec8a.out" "$TMP/sec8b.out"
+# Flag misuse must exit 2 before any simulation runs.
+for bad in "-iters 0" "-shards 0" "-shards -2" "-workers 0" "-experiment fig99"; do
+  status=0
+  "$TMP/securitysim" $bad > /dev/null 2>&1 || status=$?
+  if [ "$status" -ne 2 ]; then
+    echo "ci: securitysim '$bad' exited $status, want 2" >&2; exit 1
+  fi
+done
+
 echo "==> bench: continuous benchmark suite (quick)"
 # The quick suite doubles as a smoke test of the bench pipeline itself:
 # it must build every design through the registry, run the pinned micro
-# and macro workloads, and emit a parseable BENCH.json.
+# and macro workloads (plus the shard-parallel Monte-Carlo micro), and
+# emit a parseable BENCH.json.
 go run ./cmd/mayabench -quick -out "$TMP/BENCH.json"
 test -s "$TMP/BENCH.json"
+grep -q '"mc"' "$TMP/BENCH.json"
 
 echo "ci: all green"

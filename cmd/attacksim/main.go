@@ -34,14 +34,19 @@ func main() {
 
 func run() int {
 	var (
-		exp   = flag.String("experiment", "all", "fig8|evictionset|all")
-		runs  = flag.Int("runs", 3, "attack repetitions (median reported)")
-		max   = flag.Int("max", 20000, "max encryptions per attack")
-		sets  = flag.Int("sets", 64, "cache sets (scale knob; 64 = 256KB-class caches)")
-		noise = flag.Int("noise", 16, "background noise accesses per sample")
-		seed  = flag.Uint64("seed", 1, "seed")
+		exp     = flag.String("experiment", "all", "fig8|evictionset|all")
+		runs    = flag.Int("runs", 3, "attack repetitions (median reported)")
+		max     = flag.Int("max", 20000, "max encryptions per attack")
+		sets    = flag.Int("sets", 64, "cache sets (scale knob; 64 = 256KB-class caches)")
+		noise   = flag.Int("noise", 16, "background noise accesses per sample")
+		seed    = flag.Uint64("seed", 1, "seed")
+		workers = flag.Int("workers", 1, "worker pool width for attack repetitions (1 = historical serial run; never affects results)")
 	)
 	flag.Parse()
+	if *workers < 1 {
+		fmt.Fprintf(os.Stderr, "attacksim: -workers must be >= 1, got %d\n", *workers)
+		return 2
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -56,11 +61,11 @@ func run() int {
 
 	switch *exp {
 	case "fig8":
-		runExp("fig8", func() error { return fig8(*sets, *runs, *max, *noise, *seed) })
+		runExp("fig8", func() error { return fig8(ctx, *sets, *runs, *max, *noise, *workers, *seed) })
 	case "evictionset":
 		runExp("evictionset", func() error { return evictionSets(*sets, *seed) })
 	case "all":
-		runExp("fig8", func() error { return fig8(*sets, *runs, *max, *noise, *seed) })
+		runExp("fig8", func() error { return fig8(ctx, *sets, *runs, *max, *noise, *workers, *seed) })
 		runExp("evictionset", func() error { return evictionSets(*sets, *seed) })
 	default:
 		fmt.Fprintf(os.Stderr, "attacksim: unknown experiment %q (valid: fig8, evictionset, all)\n", *exp)
@@ -117,7 +122,7 @@ func fig8Designs(sets int) []designUnderAttack {
 	}
 }
 
-func fig8(sets, runs, max, noise int, seed uint64) error {
+func fig8(ctx context.Context, sets, runs, max, noise, workers int, seed uint64) error {
 	t := report.NewTable(
 		"Fig 8: occupancy attack — encryptions to distinguish two keys (median)",
 		"design", "AES", "AES (normalized to FA)", "ModExp", "ModExp (normalized)")
@@ -126,20 +131,29 @@ func fig8(sets, runs, max, noise int, seed uint64) error {
 		aes, modexp float64
 	}
 	// Pick two AES keys with contrasting reuse profiles, as the paper's
-	// attacker does.
+	// attacker does. Attack repetitions fan across the Monte-Carlo pool;
+	// worker count never changes the medians.
 	keyA, keyB := attack.FindContrastingAESKeys(64, 16, seed)
 	var rows []row
 	for _, d := range fig8Designs(sets) {
-		aesN := attack.MedianDistinguish(d.mk, func(c cachemodel.LLC) (attack.Victim, attack.Victim) {
-			va := attack.NewAESVictim(keyA, 1<<20, 16, attack.CacheToucher(c, 2))
-			vb := attack.NewAESVictim(keyB, 1<<20, 16, attack.CacheToucher(c, 3))
-			return va, vb
-		}, d.occupancy, noise, runs, max, 4.5, seed)
-		mexN := attack.MedianDistinguish(d.mk, func(c cachemodel.LLC) (attack.Victim, attack.Victim) {
-			va := attack.NewModExpVictim(1, 64, 1<<21, attack.CacheToucher(c, 2))
-			vb := attack.NewModExpVictim(4, 64, 1<<21, attack.CacheToucher(c, 3))
-			return va, vb
-		}, d.occupancy, noise, runs, max, 4.5, seed+77)
+		aesN, err := attack.Trials{Runs: runs, Workers: workers, Seed: seed}.
+			MedianDistinguishCtx(ctx, d.mk, func(c cachemodel.LLC) (attack.Victim, attack.Victim) {
+				va := attack.NewAESVictim(keyA, 1<<20, 16, attack.CacheToucher(c, 2))
+				vb := attack.NewAESVictim(keyB, 1<<20, 16, attack.CacheToucher(c, 3))
+				return va, vb
+			}, d.occupancy, noise, max, 4.5)
+		if err != nil {
+			return err
+		}
+		mexN, err := attack.Trials{Runs: runs, Workers: workers, Seed: seed + 77}.
+			MedianDistinguishCtx(ctx, d.mk, func(c cachemodel.LLC) (attack.Victim, attack.Victim) {
+				va := attack.NewModExpVictim(1, 64, 1<<21, attack.CacheToucher(c, 2))
+				vb := attack.NewModExpVictim(4, 64, 1<<21, attack.CacheToucher(c, 3))
+				return va, vb
+			}, d.occupancy, noise, max, 4.5)
+		if err != nil {
+			return err
+		}
 		rows = append(rows, row{d.name, aesN, mexN})
 	}
 	fa := rows[len(rows)-1]

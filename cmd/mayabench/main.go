@@ -25,27 +25,45 @@ import (
 	"os"
 
 	"mayacache/internal/bench"
+	"mayacache/internal/pprofutil"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	quick := flag.Bool("quick", false, "shrink instruction budgets ~5x (CI smoke run)")
 	out := flag.String("out", "BENCH.json", "path for the JSON report")
 	seed := flag.Uint64("seed", 1, "seed for all benchmark randomness")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "mayabench: unexpected arguments %v\n", flag.Args())
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
+	stopCPU, err := pprofutil.StartCPU(*cpuprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mayabench: %v\n", err)
+		return 2
+	}
+	defer stopCPU()
+	defer func() {
+		if err := pprofutil.WriteHeap(*memprofile); err != nil {
+			fmt.Fprintf(os.Stderr, "mayabench: %v\n", err)
+		}
+	}()
 
 	r, err := bench.Run(bench.Options{Quick: *quick, Seed: *seed})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mayabench: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	if err := r.WriteJSON(*out); err != nil {
 		fmt.Fprintf(os.Stderr, "mayabench: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 
 	fmt.Printf("%-10s %12s %14s %14s\n", "design", "ns/access", "allocs/access", "B/access")
@@ -57,5 +75,11 @@ func main() {
 	for _, m := range r.Macro {
 		fmt.Printf("%-10s %14.0f %10d %8.3f\n", m.Design, m.EventsPerSec, m.Events, m.IPCSum)
 	}
+	fmt.Println()
+	fmt.Printf("%-12s %7s %8s %14s %8s\n", "mc config", "shards", "workers", "iters/sec", "speedup")
+	for _, m := range r.MC {
+		fmt.Printf("%-12s %7d %8d %14.0f %8.2fx\n", m.Label, m.Shards, m.Workers, m.ItersPerSec, m.Speedup)
+	}
 	fmt.Printf("\nreport written to %s\n", *out)
+	return 0
 }

@@ -56,6 +56,7 @@ import (
 	"mayacache/internal/faults"
 	"mayacache/internal/harness"
 	"mayacache/internal/metrics"
+	"mayacache/internal/pprofutil"
 	"mayacache/internal/report"
 	"mayacache/internal/snapshot"
 )
@@ -84,6 +85,8 @@ func run() int {
 		fault      = flag.String("fault", "", "inject a fault into matching cells: panic:<substr> | error:<substr> | transient:<substr>:<k> | killsnap:<substr>:<n>")
 		snapDir    = flag.String("snapshot-dir", "", "directory for durable mid-cell simulator state; enables intra-cell resume and snapshot-on-signal")
 		snapEvery  = flag.Uint64("snapshot-every", 0, "periodic auto-snapshot cadence in simulator steps (requires -snapshot-dir; 0 saves only on signal)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -91,6 +94,16 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "mayasim: "+format+"\n", args...)
 		return 2
 	}
+	stopCPU, err := pprofutil.StartCPU(*cpuprofile)
+	if err != nil {
+		return fail("%v", err)
+	}
+	defer stopCPU()
+	defer func() {
+		if err := pprofutil.WriteHeap(*memprofile); err != nil {
+			fmt.Fprintf(os.Stderr, "mayasim: %v\n", err)
+		}
+	}()
 	if *warmup == 0 {
 		return fail("-warmup must be positive: a cold-cache ROI measures fill traffic, not steady state")
 	}

@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/big"
@@ -291,21 +292,15 @@ func meanDiffers(a, b []float64) bool {
 
 // MedianDistinguish repeats Distinguish over several attack instances and
 // returns the median, mirroring the paper's median-of-runs methodology.
+// It is the serial legacy entry point: a one-worker trial run with the
+// historical additive seed scheme, result-identical to the pre-engine
+// loop. Parallel drivers use Trials.MedianDistinguishCtx.
 func MedianDistinguish(mkCache func(seed uint64) cachemodel.LLC, mkVictims func(c cachemodel.LLC) (Victim, Victim),
 	occupancyLines, noiseLines, runs, maxSamples int, threshold float64, seed uint64) float64 {
-	results := make([]float64, 0, runs)
-	for r := 0; r < runs; r++ {
-		s := seed + uint64(r)*1000003
-		c := mkCache(s)
-		va, vb := mkVictims(c)
-		o := NewOccupancy(OccupancyConfig{
-			Cache:          c,
-			OccupancyLines: occupancyLines,
-			SDID:           1,
-			NoiseLines:     noiseLines,
-			Seed:           s,
-		})
-		results = append(results, float64(o.Distinguish(va, vb, threshold, maxSamples)))
+	med, err := Trials{Runs: runs, Workers: 1, Seed: seed}.
+		MedianDistinguishCtx(context.Background(), mkCache, mkVictims, occupancyLines, noiseLines, maxSamples, threshold)
+	if err != nil {
+		panic(fmt.Sprintf("attack: %v", err)) // only a cancelled ctx can fail; Background never is
 	}
-	return metrics.Median(results)
+	return med
 }

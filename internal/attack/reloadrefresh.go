@@ -31,46 +31,58 @@ func ReplacementPredictability(mk func(seed uint64) cachemodel.LLC, trials int, 
 	r := rng.New(seed ^ 0x4e10ad)
 	hits := 0
 	for trial := 0; trial < trials; trial++ {
-		c := mk(seed + uint64(trial))
-		const (
-			attacker = 1
-			victim   = 2
-		)
-		// Plant the victim line and promote it (reuse-based designs).
-		vLine := uint64(0x700000) + r.Uint64n(1024)
-		for i := 0; i < 2; i++ {
-			c.Access(cachemodel.Access{Line: vLine, Type: cachemodel.Read, SDID: victim})
-		}
-		// Condition: the attacker fills everything else, touching its
-		// own lines most recently so that in any recency-based policy
-		// the victim becomes the eviction candidate.
-		base := uint64(1) << 22
-		geo := c.Geometry()
-		fill := geo.DataEntries * 2
-		for i := 0; i < fill; i++ {
-			c.Access(cachemodel.Access{Line: base + uint64(i%geo.DataEntries), Type: cachemodel.Read, SDID: attacker})
-		}
-		// If the conditioning itself already evicted the victim (it
-		// will, under any policy, given total pressure), re-plant and
-		// re-touch the attacker lines once — the victim is now the
-		// coldest line in a recency policy.
-		for i := 0; i < 2; i++ {
-			c.Access(cachemodel.Access{Line: vLine, Type: cachemodel.Read, SDID: victim})
-		}
-		for i := 0; i < geo.DataEntries; i++ {
-			c.Access(cachemodel.Access{Line: base + uint64(i), Type: cachemodel.Read, SDID: attacker})
-		}
-		if _, resident := c.Probe(vLine, victim); !resident {
-			// Already gone: deterministic recency policies evict the
-			// cold victim during re-touch — counts as predictable.
-			hits++
-			continue
-		}
-		// One more fill: did it take the victim?
-		c.Access(cachemodel.Access{Line: base + uint64(geo.DataEntries) + 7, Type: cachemodel.Read, SDID: attacker})
-		if _, resident := c.Probe(vLine, victim); !resident {
+		if predictabilityTrial(mk(seed+uint64(trial)), uint64(0x700000)+r.Uint64n(1024)) {
 			hits++
 		}
 	}
 	return float64(hits) / float64(trials)
+}
+
+// replacementPredictabilityTrial is the parallel-trial form: the victim
+// line comes from a per-trial RNG instead of the serial loop's shared
+// stream, so trials are independent.
+func replacementPredictabilityTrial(mk func(seed uint64) cachemodel.LLC, seed uint64) bool {
+	r := rng.New(seed ^ 0x4e10ad)
+	return predictabilityTrial(mk(seed), uint64(0x700000)+r.Uint64n(1024))
+}
+
+// predictabilityTrial runs one conditioning-and-fill experiment on a
+// fresh cache and reports whether the planted victim was the line evicted.
+func predictabilityTrial(c cachemodel.LLC, vLine uint64) bool {
+	const (
+		attacker = 1
+		victim   = 2
+	)
+	// Plant the victim line and promote it (reuse-based designs).
+	for i := 0; i < 2; i++ {
+		c.Access(cachemodel.Access{Line: vLine, Type: cachemodel.Read, SDID: victim})
+	}
+	// Condition: the attacker fills everything else, touching its
+	// own lines most recently so that in any recency-based policy
+	// the victim becomes the eviction candidate.
+	base := uint64(1) << 22
+	geo := c.Geometry()
+	fill := geo.DataEntries * 2
+	for i := 0; i < fill; i++ {
+		c.Access(cachemodel.Access{Line: base + uint64(i%geo.DataEntries), Type: cachemodel.Read, SDID: attacker})
+	}
+	// If the conditioning itself already evicted the victim (it
+	// will, under any policy, given total pressure), re-plant and
+	// re-touch the attacker lines once — the victim is now the
+	// coldest line in a recency policy.
+	for i := 0; i < 2; i++ {
+		c.Access(cachemodel.Access{Line: vLine, Type: cachemodel.Read, SDID: victim})
+	}
+	for i := 0; i < geo.DataEntries; i++ {
+		c.Access(cachemodel.Access{Line: base + uint64(i), Type: cachemodel.Read, SDID: attacker})
+	}
+	if _, resident := c.Probe(vLine, victim); !resident {
+		// Already gone: deterministic recency policies evict the
+		// cold victim during re-touch — counts as predictable.
+		return true
+	}
+	// One more fill: did it take the victim?
+	c.Access(cachemodel.Access{Line: base + uint64(geo.DataEntries) + 7, Type: cachemodel.Read, SDID: attacker})
+	_, resident := c.Probe(vLine, victim)
+	return !resident
 }

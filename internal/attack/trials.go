@@ -1,0 +1,158 @@
+package attack
+
+import (
+	"context"
+
+	"mayacache/internal/cachemodel"
+	"mayacache/internal/mc"
+	"mayacache/internal/metrics"
+	"mayacache/internal/rng"
+)
+
+// This file routes the cacheFX-style attack drivers through the
+// shard-parallel Monte-Carlo engine: every attack repetition — one
+// occupancy-attack instance, one eviction-set construction, one
+// replacement-predictability trial — builds its own cache and victims
+// from a per-trial seed, so repetitions share no state and fan across the
+// pool. Results are collected in trial order, making every aggregate
+// (median, found-count) a pure function of (seed, trials), independent of
+// worker scheduling.
+
+// Trials configures a parallel attack-repetition run.
+type Trials struct {
+	// Runs is the number of independent repetitions.
+	Runs int
+	// Workers bounds pool parallelism (0 = one per CPU). It never
+	// affects results, only wall clock.
+	Workers int
+	// Seed is the base seed for per-trial derivation.
+	Seed uint64
+	// StreamSeeds selects rng.Stream(Seed, trial) derivation. When
+	// false, trials use the historical additive schemes (seed +
+	// trial*1000003 for occupancy, seed + trial for predictability), so
+	// existing pinned results stay valid.
+	StreamSeeds bool
+	// Tracker, when non-nil, receives one tick per completed trial.
+	Tracker *mc.Tracker
+}
+
+// trialSeed derives the seed of one repetition. legacyStride is the
+// additive step of the pre-engine serial loop being reproduced.
+func (tr Trials) trialSeed(trial int, legacyStride uint64) uint64 {
+	if tr.StreamSeeds {
+		return rng.Stream(tr.Seed, uint64(trial))
+	}
+	return tr.Seed + uint64(trial)*legacyStride
+}
+
+func (tr Trials) runs() int {
+	if tr.Runs < 1 {
+		return 1
+	}
+	return tr.Runs
+}
+
+// MedianDistinguishCtx runs independent occupancy-attack instances across
+// the pool and returns the median sample count, mirroring the paper's
+// median-of-runs methodology. With StreamSeeds unset the per-trial seeds
+// (and therefore the result) are identical to the serial
+// MedianDistinguish.
+func (tr Trials) MedianDistinguishCtx(ctx context.Context,
+	mkCache func(seed uint64) cachemodel.LLC, mkVictims func(c cachemodel.LLC) (Victim, Victim),
+	occupancyLines, noiseLines, maxSamples int, threshold float64) (float64, error) {
+	results, err := mc.ForEach(ctx, tr.Workers, tr.runs(), func(ctx context.Context, i int) (float64, error) {
+		s := tr.trialSeed(i, 1000003)
+		c := mkCache(s)
+		va, vb := mkVictims(c)
+		o := NewOccupancy(OccupancyConfig{
+			Cache:          c,
+			OccupancyLines: occupancyLines,
+			SDID:           1,
+			NoiseLines:     noiseLines,
+			Seed:           s,
+		})
+		n := float64(o.Distinguish(va, vb, threshold, maxSamples))
+		tr.Tracker.Add(1)
+		return n, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return metrics.Median(results), nil
+}
+
+// EvictionSetTrialsResult aggregates independent eviction-set
+// constructions against one design.
+type EvictionSetTrialsResult struct {
+	// PerTrial holds each construction's outcome in trial order.
+	PerTrial []EvictionSetResult
+	// Found counts trials that produced a usable conflict set.
+	Found int
+	// TotalSAEs sums the set-associative evictions observed across
+	// trials — the security signal the randomized designs must keep at
+	// zero.
+	TotalSAEs uint64
+	// MedianSetSize is the median final set size across trials.
+	MedianSetSize float64
+}
+
+// EvictionSetTrialsCtx fans independent eviction-set constructions (one
+// fresh cache per trial) across the pool. flushAssisted selects the
+// Section II-A flush-based variant.
+func (tr Trials) EvictionSetTrialsCtx(ctx context.Context, mkCache func(seed uint64) cachemodel.LLC,
+	victimLine uint64, candidates int, budget uint64, flushAssisted bool) (*EvictionSetTrialsResult, error) {
+	per, err := mc.ForEach(ctx, tr.Workers, tr.runs(), func(ctx context.Context, i int) (EvictionSetResult, error) {
+		s := tr.trialSeed(i, 1)
+		c := mkCache(s)
+		var res EvictionSetResult
+		if flushAssisted {
+			res = BuildEvictionSetFlushAssisted(c, victimLine, candidates, budget, s)
+		} else {
+			res = BuildEvictionSet(c, victimLine, candidates, budget, s)
+		}
+		tr.Tracker.Add(1)
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &EvictionSetTrialsResult{PerTrial: per}
+	sizes := make([]float64, 0, len(per))
+	for _, r := range per {
+		if r.Found {
+			out.Found++
+		}
+		out.TotalSAEs += r.SAEsObserved
+		sizes = append(sizes, float64(r.SetSize))
+	}
+	out.MedianSetSize = metrics.Median(sizes)
+	return out, nil
+}
+
+// ReplacementPredictabilityCtx is the parallel form of
+// ReplacementPredictability: trials fan across the pool, each on its own
+// cache instance, and the hit fraction is a pure function of (seed,
+// trials). With StreamSeeds unset the per-trial cache seeds match the
+// serial loop's seed+trial scheme; note the serial function additionally
+// shares one noise RNG across trials, so only the Stream derivation is
+// offered here and results are compared statistically, not byte-wise.
+func (tr Trials) ReplacementPredictabilityCtx(ctx context.Context,
+	mk func(seed uint64) cachemodel.LLC) (float64, error) {
+	hits, err := mc.ForEach(ctx, tr.Workers, tr.runs(), func(ctx context.Context, i int) (int, error) {
+		s := tr.trialSeed(i, 1)
+		hit := replacementPredictabilityTrial(mk, s)
+		tr.Tracker.Add(1)
+		if hit {
+			return 1, nil
+		}
+		return 0, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, h := range hits {
+		total += h
+	}
+	return float64(total) / float64(len(hits)), nil
+}

@@ -1,0 +1,143 @@
+package attack
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"mayacache/internal/baseline"
+	"mayacache/internal/cachemodel"
+	"mayacache/internal/mc"
+)
+
+func trialCache(seed uint64) cachemodel.LLC {
+	return baseline.New(baseline.Config{Sets: 16, Ways: 8, Replacement: baseline.LRU, Seed: seed, MatchSDID: true})
+}
+
+func trialVictims(c cachemodel.LLC) (Victim, Victim) {
+	keyA := [16]byte{1}
+	keyB := [16]byte{0xff, 0x80, 7}
+	return NewAESVictim(keyA, 1<<20, 8, CacheToucher(c, 2)),
+		NewAESVictim(keyB, 1<<20, 8, CacheToucher(c, 3))
+}
+
+// TestMedianDistinguishWorkerInvariance: the parallel occupancy trials
+// return the same median whatever the worker count, and the one-worker
+// legacy wrapper agrees with them.
+func TestMedianDistinguishWorkerInvariance(t *testing.T) {
+	const (
+		runs   = 5
+		max    = 60
+		noise  = 4
+		occ    = 16 * 8
+		seed   = 3
+		thresh = 4.5
+	)
+	legacy := MedianDistinguish(trialCache, trialVictims, occ, noise, runs, max, thresh, seed)
+	for _, workers := range []int{1, 2, 4} {
+		got, err := Trials{Runs: runs, Workers: workers, Seed: seed}.
+			MedianDistinguishCtx(context.Background(), trialCache, trialVictims, occ, noise, max, thresh)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got != legacy {
+			t.Fatalf("workers=%d: median %v, legacy serial %v", workers, got, legacy)
+		}
+	}
+}
+
+// TestMedianDistinguishStreamSeeds: the Stream derivation is a different
+// (but deterministic) experiment — pinned by determinism, not by value.
+func TestMedianDistinguishStreamSeeds(t *testing.T) {
+	tr := Trials{Runs: 3, Workers: 2, Seed: 9, StreamSeeds: true}
+	a, err := tr.MedianDistinguishCtx(context.Background(), trialCache, trialVictims, 16*8, 2, 40, 4.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tr.MedianDistinguishCtx(context.Background(), trialCache, trialVictims, 16*8, 2, 40, 4.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("stream-seeded trials not deterministic: %v vs %v", a, b)
+	}
+}
+
+// TestEvictionSetTrials: parallel eviction-set construction succeeds
+// against a conventional cache in every trial, deterministically across
+// worker counts, with per-trial results in trial order.
+func TestEvictionSetTrials(t *testing.T) {
+	mk := func(seed uint64) cachemodel.LLC {
+		return baseline.New(baseline.Config{Sets: 8, Ways: 4, Replacement: baseline.LRU, Seed: seed, MatchSDID: true})
+	}
+	var want *EvictionSetTrialsResult
+	for _, workers := range []int{1, 3} {
+		res, err := Trials{Runs: 4, Workers: workers, Seed: 5}.
+			EvictionSetTrialsCtx(context.Background(), mk, 0x9999, 8*16, 2_000_000, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Found == 0 {
+			t.Fatal("no trial found an eviction set against an LRU cache")
+		}
+		if len(res.PerTrial) != 4 {
+			t.Fatalf("%d per-trial records, want 4", len(res.PerTrial))
+		}
+		if want == nil {
+			want = res
+			continue
+		}
+		if !reflect.DeepEqual(res, want) {
+			t.Fatalf("workers=%d: trial results differ from serial", workers)
+		}
+	}
+}
+
+// TestReplacementPredictabilityCtx: the parallel trials agree with the
+// serial function's verdict on both a deterministic and a randomized
+// design (fraction near 1 for LRU; determinism across worker counts).
+func TestReplacementPredictabilityCtx(t *testing.T) {
+	mkLRU := func(seed uint64) cachemodel.LLC {
+		return baseline.New(baseline.Config{Sets: 8, Ways: 4, Replacement: baseline.LRU, Seed: seed, MatchSDID: true})
+	}
+	var want float64
+	for i, workers := range []int{1, 4} {
+		frac, err := Trials{Runs: 20, Workers: workers, Seed: 2}.
+			ReplacementPredictabilityCtx(context.Background(), mkLRU)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frac < 0.9 {
+			t.Fatalf("LRU predictability %v, want ~1", frac)
+		}
+		if i == 0 {
+			want = frac
+		} else if frac != want {
+			t.Fatalf("workers=%d: fraction %v != %v", workers, frac, want)
+		}
+	}
+}
+
+// TestTrialsCancellation: a cancelled context aborts the trial fan-out.
+func TestTrialsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Trials{Runs: 8, Workers: 2, Seed: 1}.
+		MedianDistinguishCtx(ctx, trialCache, trialVictims, 16*8, 2, 1_000_000, 1e9)
+	if err == nil {
+		t.Fatal("cancelled trial run returned nil error")
+	}
+}
+
+// TestTrialsProgress: the tracker sees one tick per completed trial.
+func TestTrialsProgress(t *testing.T) {
+	tr := mc.NewTracker(6, nil)
+	_, err := Trials{Runs: 6, Workers: 2, Seed: 1, Tracker: tr}.
+		ReplacementPredictabilityCtx(context.Background(), trialCache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Done() != 6 {
+		t.Fatalf("tracker at %d, want 6", tr.Done())
+	}
+}

@@ -18,12 +18,14 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
 	"time"
 
+	"mayacache/internal/buckets"
 	"mayacache/internal/cachemodel"
 	"mayacache/internal/cachesim"
 	"mayacache/internal/trace"
@@ -74,15 +76,35 @@ type MacroResult struct {
 	IPCSum       float64  `json:"ipc_sum"`
 }
 
+// MCResult is one configuration of the security-model Monte-Carlo micro:
+// the bucket-and-balls model run through the shard-parallel engine.
+type MCResult struct {
+	Label       string  `json:"label"`
+	Shards      int     `json:"shards"`
+	Workers     int     `json:"workers"`
+	Iterations  uint64  `json:"iterations"`
+	Seconds     float64 `json:"seconds"`
+	ItersPerSec float64 `json:"iters_per_sec"`
+	// Speedup is this configuration's iteration rate over the serial
+	// configuration's (1.0 for the serial row itself).
+	Speedup float64 `json:"speedup"`
+}
+
 // Report is the machine-readable output of a suite run (BENCH.json).
 type Report struct {
 	GoVersion string        `json:"go_version"`
 	GOOS      string        `json:"goos"`
 	GOARCH    string        `json:"goarch"`
+	CPUs      int           `json:"cpus"`
 	Quick     bool          `json:"quick"`
 	Seed      uint64        `json:"seed"`
 	Micro     []MicroResult `json:"micro"`
 	Macro     []MacroResult `json:"macro"`
+	// MC measures the shard-parallel Monte-Carlo engine on the security
+	// model: a serial run vs an 8-shard/8-worker run. On a single-CPU
+	// machine the speedup is necessarily ~1; the row records what the
+	// hardware delivered.
+	MC []MCResult `json:"mc"`
 }
 
 // buildLLC constructs a design through the registry at the bench's pinned
@@ -213,6 +235,55 @@ func RunMacro(design string, mix []string, warmup, roi, seed uint64) (MacroResul
 	}, nil
 }
 
+// RunMC measures the shard-parallel Monte-Carlo engine's throughput on
+// the pinned bucket-and-balls security model at the given configuration.
+func RunMC(label string, shards, workers int, iters, seed uint64) (MCResult, error) {
+	cfg := buckets.MayaDefault(4096, seed)
+	start := time.Now()
+	res, err := buckets.RunSharded(context.Background(), buckets.ShardedRun{
+		Config:  cfg,
+		Iters:   iters,
+		Shards:  shards,
+		Workers: workers,
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		return MCResult{}, err
+	}
+	return MCResult{
+		Label:       label,
+		Shards:      shards,
+		Workers:     workers,
+		Iterations:  res.Iterations,
+		Seconds:     elapsed.Seconds(),
+		ItersPerSec: float64(res.Iterations) / elapsed.Seconds(),
+	}, nil
+}
+
+// runMCSuite runs the pinned engine configurations and fills in speedups
+// relative to the first (serial) row.
+func runMCSuite(iters, seed uint64) ([]MCResult, error) {
+	configs := []struct {
+		label           string
+		shards, workers int
+	}{
+		{"serial", 1, 1},
+		{"sharded-8x8", 8, 8},
+	}
+	out := make([]MCResult, 0, len(configs))
+	for _, c := range configs {
+		m, err := RunMC(c.label, c.shards, c.workers, iters, seed)
+		if err != nil {
+			return nil, fmt.Errorf("mc %s: %w", c.label, err)
+		}
+		out = append(out, m)
+	}
+	for i := range out {
+		out[i].Speedup = out[i].ItersPerSec / out[0].ItersPerSec
+	}
+	return out, nil
+}
+
 // Run executes the full suite and assembles the report.
 func Run(opts Options) (*Report, error) {
 	seed := opts.Seed
@@ -221,14 +292,17 @@ func Run(opts Options) (*Report, error) {
 	}
 	microAccesses := uint64(2_000_000)
 	warmup, roi := uint64(1_000_000), uint64(1_000_000)
+	mcIters := uint64(8_000_000)
 	if opts.Quick {
 		microAccesses = 400_000
 		warmup, roi = 100_000, 200_000
+		mcIters = 1_600_000
 	}
 	r := &Report{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.GOMAXPROCS(0),
 		Quick:     opts.Quick,
 		Seed:      seed,
 	}
@@ -246,6 +320,11 @@ func Run(opts Options) (*Report, error) {
 		}
 		r.Macro = append(r.Macro, m)
 	}
+	mc, err := runMCSuite(mcIters, seed)
+	if err != nil {
+		return nil, err
+	}
+	r.MC = mc
 	return r, nil
 }
 

@@ -1,0 +1,37 @@
+package bench
+
+import "testing"
+
+// TestRunMCSuite checks the Monte-Carlo micro's shape: both pinned
+// configurations run, execute the full budget, and speedups are relative
+// to the serial row. Rates are hardware-dependent and not asserted.
+func TestRunMCSuite(t *testing.T) {
+	const iters = 16_000
+	rows, err := runMCSuite(iters, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	if rows[0].Label != "serial" || rows[0].Shards != 1 || rows[0].Workers != 1 {
+		t.Fatalf("first row is not the serial config: %+v", rows[0])
+	}
+	if rows[1].Shards != 8 || rows[1].Workers != 8 {
+		t.Fatalf("second row is not the 8x8 config: %+v", rows[1])
+	}
+	for _, r := range rows {
+		if r.Iterations != iters {
+			t.Fatalf("%s executed %d iterations, want %d", r.Label, r.Iterations, iters)
+		}
+		if r.ItersPerSec <= 0 || r.Seconds <= 0 {
+			t.Fatalf("%s has non-positive rate: %+v", r.Label, r)
+		}
+	}
+	if rows[0].Speedup != 1 {
+		t.Fatalf("serial speedup %v, want 1", rows[0].Speedup)
+	}
+	if rows[1].Speedup <= 0 {
+		t.Fatalf("sharded speedup %v, want > 0", rows[1].Speedup)
+	}
+}

@@ -115,14 +115,19 @@ func ThresholdDefault(buckets int, seed uint64) Config {
 
 // Model is a runnable bucket-and-balls simulation.
 type Model struct {
-	cfg     Config
-	nb      int // total buckets
-	total   []uint8
-	p0      []uint8
-	r       *rng.Rand
-	spills  uint64
-	iters   uint64
+	cfg      Config
+	nb       int // total buckets
+	total    []uint8
+	p0       []uint8
+	r        *rng.Rand
+	spills   uint64
+	iters    uint64
 	installs uint64
+
+	// firstSpill is the iteration count at the first spill (valid when
+	// spills > 0); the sharded runner merges these into the first-spill
+	// distribution.
+	firstSpill uint64
 
 	// occupancy histogram accumulation (Fig 7).
 	hist       []uint64
@@ -224,6 +229,9 @@ func (m *Model) randomAny() int {
 // reassigned.
 func (m *Model) spillFrom(b int) {
 	m.spills++
+	if m.spills == 1 {
+		m.firstSpill = m.iters
+	}
 	if m.p0[b] > 0 {
 		m.p0[b]--
 		m.total[b]--
@@ -307,6 +315,9 @@ func (m *Model) mirageThrow() {
 	m.total[b]++
 	if !ok {
 		m.spills++
+		if m.spills == 1 {
+			m.firstSpill = m.iters
+		}
 		m.total[b]--
 		return
 	}
@@ -361,8 +372,21 @@ func (m *Model) Histogram() []float64 {
 	return out
 }
 
+// HistCounts returns a copy of the raw occupancy-histogram counts and the
+// number of SampleHistogram calls behind them. The sharded runner merges
+// shard histograms from these counts; Histogram() is the normalized view.
+func (m *Model) HistCounts() ([]uint64, uint64) {
+	out := make([]uint64, len(m.hist))
+	copy(out, m.hist)
+	return out, m.histEvents
+}
+
 // Spills returns the number of bucket spills (SAEs) so far.
 func (m *Model) Spills() uint64 { return m.spills }
+
+// FirstSpill returns the iteration count at which the first spill
+// occurred, and whether any spill has occurred.
+func (m *Model) FirstSpill() (uint64, bool) { return m.firstSpill, m.spills > 0 }
 
 // Iterations returns the iterations executed.
 func (m *Model) Iterations() uint64 { return m.iters }

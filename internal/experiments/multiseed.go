@@ -1,14 +1,20 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"math"
 
+	"mayacache/internal/mc"
 	"mayacache/internal/metrics"
 )
 
 // Multi-seed statistics: the paper reports single simulations over 200M-
 // instruction sim-points; at this repository's reduced scales, seed
-// variance is visible, so the drivers can quantify it.
+// variance is visible, so the drivers can quantify it. Per-seed
+// simulations share no state, so they fan across the Monte-Carlo
+// engine's pool; results are collected in seed order, making every
+// statistic a pure function of (Scale.Seed, seeds).
 
 // SeedStats summarizes a metric across seeds.
 type SeedStats struct {
@@ -37,29 +43,58 @@ type MultiSeedResult struct {
 	MPKI   SeedStats
 }
 
-// RunMixDesignSeeds repeats RunMixDesign across `seeds` consecutive seeds
-// starting from sc.Seed and returns mean/stddev/CI statistics. Seeds vary
-// the workload streams, the cache keys, and the eviction randomness
-// together.
+// seedWorkers maps the Scale's parallelism switch onto a pool width.
+func seedWorkers(sc Scale) int {
+	if sc.Parallel {
+		return 0 // DefaultWorkers
+	}
+	return 1
+}
+
+// RunMixDesignSeeds repeats RunMixDesign across `seeds` seeds derived
+// from sc.Seed (consecutive by default, rng.Stream with sc.StreamSeeds)
+// and returns mean/stddev/CI statistics. Seeds vary the workload streams,
+// the cache keys, and the eviction randomness together.
 func RunMixDesignSeeds(mixName string, benchNames []string, d Design, sc Scale, seeds int) MultiSeedResult {
+	res, err := RunMixDesignSeedsCtx(context.Background(), mixName, benchNames, d, sc, seeds)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return res
+}
+
+// RunMixDesignSeedsCtx is RunMixDesignSeeds with cancellation: per-seed
+// simulations fan across the Monte-Carlo pool and a cancelled ctx aborts
+// the sweep.
+func RunMixDesignSeedsCtx(ctx context.Context, mixName string, benchNames []string, d Design, sc Scale, seeds int) (MultiSeedResult, error) {
 	if seeds < 1 {
 		seeds = 1
 	}
-	ws := make([]float64, seeds)
-	mpki := make([]float64, seeds)
-	parallelFor(seeds, sc.Parallel, func(i int) {
+	type sample struct{ ws, mpki float64 }
+	out, err := mc.ForEach(ctx, seedWorkers(sc), seeds, func(ctx context.Context, i int) (sample, error) {
 		s := sc
-		s.Seed = sc.Seed + uint64(i)
-		r := RunMixDesign(mixName, benchNames, d, s)
-		ws[i] = r.WS
-		mpki[i] = r.MPKI
+		s.Seed = sc.seedFor(i)
+		r, rerr := RunMixDesignCtx(ctx, mixName, benchNames, d, s)
+		if rerr != nil {
+			return sample{}, rerr
+		}
+		return sample{ws: r.WS, mpki: r.MPKI}, nil
 	})
+	if err != nil {
+		return MultiSeedResult{}, err
+	}
+	ws := make([]float64, len(out))
+	mpki := make([]float64, len(out))
+	for i, r := range out {
+		ws[i] = r.ws
+		mpki[i] = r.mpki
+	}
 	return MultiSeedResult{
 		Mix:    mixName,
 		Design: d,
 		WS:     summarize(ws),
 		MPKI:   summarize(mpki),
-	}
+	}, nil
 }
 
 // NormalizedAcrossSeeds computes per-seed normalized weighted speedup of
@@ -67,16 +102,34 @@ func RunMixDesignSeeds(mixName string, benchNames []string, d Design, sc Scale, 
 // Pairing by seed removes the workload-stream variance component and
 // isolates the design effect.
 func NormalizedAcrossSeeds(mixName string, benchNames []string, d Design, sc Scale, seeds int) SeedStats {
+	st, err := NormalizedAcrossSeedsCtx(context.Background(), mixName, benchNames, d, sc, seeds)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return st
+}
+
+// NormalizedAcrossSeedsCtx is NormalizedAcrossSeeds with cancellation,
+// fanning seed pairs across the Monte-Carlo pool.
+func NormalizedAcrossSeedsCtx(ctx context.Context, mixName string, benchNames []string, d Design, sc Scale, seeds int) (SeedStats, error) {
 	if seeds < 1 {
 		seeds = 1
 	}
-	norms := make([]float64, seeds)
-	parallelFor(seeds, sc.Parallel, func(i int) {
+	norms, err := mc.ForEach(ctx, seedWorkers(sc), seeds, func(ctx context.Context, i int) (float64, error) {
 		s := sc
-		s.Seed = sc.Seed + uint64(i)
-		base := RunMixDesign(mixName, benchNames, DesignBaseline, s)
-		res := RunMixDesign(mixName, benchNames, d, s)
-		norms[i] = res.WS / base.WS
+		s.Seed = sc.seedFor(i)
+		base, berr := RunMixDesignCtx(ctx, mixName, benchNames, DesignBaseline, s)
+		if berr != nil {
+			return 0, berr
+		}
+		res, rerr := RunMixDesignCtx(ctx, mixName, benchNames, d, s)
+		if rerr != nil {
+			return 0, rerr
+		}
+		return res.WS / base.WS, nil
 	})
-	return summarize(norms)
+	if err != nil {
+		return SeedStats{}, err
+	}
+	return summarize(norms), nil
 }

@@ -8,6 +8,7 @@ import (
 	"mayacache/internal/cachemodel"
 	"mayacache/internal/cachesim"
 	"mayacache/internal/harness"
+	"mayacache/internal/rng"
 )
 
 // Scale controls simulation effort. The paper runs 200M warmup + 200M ROI
@@ -18,6 +19,18 @@ type Scale struct {
 	ROIInstr    uint64
 	Seed        uint64
 	Parallel    bool // run independent configurations on all CPUs
+	// StreamSeeds selects rng.Stream(Seed, i) derivation for multi-seed
+	// sweeps. When false (default) they keep the historical Seed+i
+	// scheme, so existing pinned results stay valid.
+	StreamSeeds bool
+}
+
+// seedFor derives the i-th seed of a multi-seed sweep.
+func (sc Scale) seedFor(i int) uint64 {
+	if sc.StreamSeeds {
+		return rng.Stream(sc.Seed, uint64(i))
+	}
+	return sc.Seed + uint64(i)
 }
 
 // QuickScale is the default reduced scale.

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"context"
+
+	"mayacache/internal/buckets"
+	"mayacache/internal/mc"
+)
+
+// This file hosts the shard-parallel security experiments: the Fig 6
+// capacity sweep, the Fig 7 occupancy histogram, and the Section VI
+// non-decoupled first-spill measurement, all routed through the
+// Monte-Carlo engine. The drivers (securitysim) render tables from these
+// results; keeping the runners here makes them testable without a
+// process boundary and reusable by the benchmark suite.
+
+// SecuritySpec parameterizes one security Monte-Carlo experiment.
+type SecuritySpec struct {
+	// Buckets is the bucket count per skew (16384 = paper scale).
+	Buckets int
+	// Iters is the total iteration budget per configuration point.
+	Iters uint64
+	// Seed is the base seed; shard seeds derive from it.
+	Seed uint64
+	// Shards is the independent-stream count (0 = one per CPU). Part of
+	// the experiment definition; 1 reproduces the historical serial runs.
+	Shards int
+	// Workers bounds pool parallelism (0 = one per CPU); never affects
+	// results.
+	Workers int
+	// Tracker, when non-nil, receives iteration progress.
+	Tracker *mc.Tracker
+}
+
+// Fig6Capacities are the simulated capacity points of Figure 6; 14 and 15
+// come from the analytical model, as in the paper.
+var Fig6Capacities = []int{9, 10, 11, 12, 13}
+
+// Fig6Point is one simulated capacity point of Figure 6.
+type Fig6Point struct {
+	Capacity int
+	Result   *buckets.ShardedResult
+}
+
+// Fig6Iters returns the total iteration count a Fig6 run will execute,
+// for progress-tracker sizing.
+func Fig6Iters(spec SecuritySpec) uint64 {
+	return spec.Iters * uint64(len(Fig6Capacities))
+}
+
+// Fig6 measures iterations per bucket spill as tag capacity varies,
+// flattening the capacity x shard grid onto one worker pool so every CPU
+// stays busy until the whole sweep finishes. Each capacity point's merged
+// result is identical to a standalone RunSharded at that capacity.
+func Fig6(ctx context.Context, spec SecuritySpec) ([]Fig6Point, error) {
+	runs := make([]buckets.ShardedRun, len(Fig6Capacities))
+	for i, capacity := range Fig6Capacities {
+		cfg := buckets.MayaDefault(spec.Buckets, spec.Seed)
+		cfg.Capacity = capacity
+		runs[i] = buckets.ShardedRun{
+			Config:  cfg,
+			Iters:   spec.Iters,
+			Shards:  spec.Shards,
+			Tracker: spec.Tracker,
+		}
+	}
+	results, err := buckets.RunShardedMulti(ctx, spec.Workers, runs...)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]Fig6Point, len(results))
+	for i, res := range results {
+		points[i] = Fig6Point{Capacity: Fig6Capacities[i], Result: res}
+	}
+	return points, nil
+}
+
+// Fig7Samples is the histogram sampling count of the Figure 7 driver.
+const Fig7Samples = 200
+
+// Fig7 runs the Maya bucket model and samples the occupancy histogram at
+// the Fig 7 cadence (each shard's budget split into Fig7Samples chunks).
+func Fig7(ctx context.Context, spec SecuritySpec) (*buckets.ShardedResult, error) {
+	return buckets.RunSharded(ctx, buckets.ShardedRun{
+		Config:  buckets.MayaDefault(spec.Buckets, spec.Seed),
+		Iters:   spec.Iters,
+		Shards:  spec.Shards,
+		Workers: spec.Workers,
+		Samples: Fig7Samples,
+		Tracker: spec.Tracker,
+	})
+}
+
+// NonDecoupled runs the Section VI strawman (conventional tag geometry at
+// a 75% threshold) until each shard's first spill. With one shard the
+// result matches the serial RunUntilSpill measurement.
+func NonDecoupled(ctx context.Context, spec SecuritySpec) (*buckets.ShardedResult, error) {
+	return buckets.RunSharded(ctx, buckets.ShardedRun{
+		Config:     buckets.ThresholdDefault(spec.Buckets, spec.Seed),
+		Iters:      spec.Iters,
+		Shards:     spec.Shards,
+		Workers:    spec.Workers,
+		UntilSpill: true,
+		Tracker:    spec.Tracker,
+	})
+}

@@ -1,0 +1,240 @@
+// Package mc is the shard-parallel Monte-Carlo engine underneath the
+// security models, the attack-trial drivers, and the multi-seed sweeps.
+//
+// The paper's security argument is sample-count arithmetic — "no SAE in
+// 10^12+ ball throws" (Figs 6/7, Tables I/IV), with Mirage extrapolating
+// to 10^16 — and every one of those samples is embarrassingly parallel:
+// bucket-model iterations, attack trials, and per-seed simulations share
+// no state. This package turns an N-sample run into K independent shards
+// with splitmix64-derived per-shard seeds (rng.Stream), executes them on
+// a bounded worker pool (reusing the resilient pool in internal/harness,
+// so panics become errors and cancellation propagates), and hands results
+// back in shard-index order so the caller's merge is deterministic.
+//
+// The determinism contract: the slice Run returns — and therefore any
+// left-to-right merge of it — is a pure function of (Seed, Iters, Shards).
+// Worker count and goroutine scheduling can change only wall-clock time,
+// never a result. Shard seeding follows one compatibility rule: a
+// one-shard plan uses the base seed unchanged, so `-shards 1` reproduces
+// the historical serial runs byte for byte; multi-shard plans derive
+// shard i's seed as rng.Stream(Seed, i).
+package mc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"mayacache/internal/harness"
+	"mayacache/internal/rng"
+)
+
+// ErrBadSpec tags shard-plan validation failures so drivers can map them
+// to their usage-error exit status (exit 2), mirroring cachemodel's
+// ErrBadConfig taxonomy.
+var ErrBadSpec = errors.New("mc: invalid spec")
+
+// BadSpecf builds an ErrBadSpec-wrapped error.
+func BadSpecf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadSpec, fmt.Sprintf(format, args...))
+}
+
+// Spec describes one shard-parallel Monte-Carlo run.
+type Spec struct {
+	// Seed is the base seed; per-shard seeds are derived from it.
+	Seed uint64
+	// Iters is the total iteration count, split across shards.
+	Iters uint64
+	// Shards is the number of independent shards (statistical streams).
+	// It is part of the experiment definition: results are a pure
+	// function of (Seed, Iters, Shards). 0 selects DefaultShards.
+	Shards int
+	// Workers bounds pool parallelism; it never affects results.
+	// 0 selects DefaultWorkers.
+	Workers int
+}
+
+// DefaultShards is the default shard count: one per available CPU, so the
+// default run saturates the machine.
+func DefaultShards() int { return runtime.GOMAXPROCS(0) }
+
+// DefaultWorkers is the default pool width.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Shard is one unit of the plan: an independent stream with its own seed
+// and iteration budget.
+type Shard struct {
+	// Index is the shard's position in [0, Shards); merges fold results
+	// in Index order.
+	Index int
+	// Shards is the plan's total shard count.
+	Shards int
+	// Seed is the shard's derived stream seed.
+	Seed uint64
+	// Iters is the shard's iteration budget. Budgets differ by at most
+	// one across a plan (the remainder lands on the lowest indices).
+	Iters uint64
+}
+
+// Validate checks a spec without building the plan.
+func (s Spec) Validate() error {
+	shards := s.Shards
+	if shards == 0 {
+		shards = DefaultShards()
+	}
+	if shards < 1 {
+		return BadSpecf("shards must be >= 1, got %d", s.Shards)
+	}
+	if s.Iters == 0 {
+		return BadSpecf("iters must be positive")
+	}
+	if uint64(shards) > s.Iters {
+		return BadSpecf("%d shards exceed %d iterations: a shard cannot run a fractional iteration", shards, s.Iters)
+	}
+	if s.Workers < 0 {
+		return BadSpecf("workers must be >= 0, got %d", s.Workers)
+	}
+	return nil
+}
+
+// ShardSeed is the plan's seed-derivation rule: the base seed itself for a
+// one-shard plan (byte-identical to the historical serial runs), else
+// rng.Stream(seed, shard).
+func ShardSeed(seed uint64, shard, shards int) uint64 {
+	if shards == 1 {
+		return seed
+	}
+	return rng.Stream(seed, uint64(shard))
+}
+
+// Plan validates the spec and returns its deterministic shard grid:
+// Iters/Shards iterations per shard with the remainder spread over the
+// first Iters%Shards shards, seeds per ShardSeed.
+func Plan(spec Spec) ([]Shard, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	shards := spec.Shards
+	if shards == 0 {
+		shards = DefaultShards()
+	}
+	per := spec.Iters / uint64(shards)
+	rem := spec.Iters % uint64(shards)
+	plan := make([]Shard, shards)
+	for i := range plan {
+		iters := per
+		if uint64(i) < rem {
+			iters++
+		}
+		plan[i] = Shard{
+			Index:  i,
+			Shards: shards,
+			Seed:   ShardSeed(spec.Seed, i, shards),
+			Iters:  iters,
+		}
+	}
+	return plan, nil
+}
+
+// workers resolves the pool width.
+func (s Spec) workers() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return DefaultWorkers()
+}
+
+// Run plans the spec and executes fn once per shard on a bounded worker
+// pool, returning the per-shard results in shard-index order. Panics in
+// fn are recovered by the pool and returned as errors (tagged with the
+// shard index); a cancelled ctx stops launching shards and surfaces
+// ctx.Err(). The result slice is a pure function of (Seed, Iters, Shards)
+// whenever fn is a pure function of its Shard.
+func Run[T any](ctx context.Context, spec Spec, fn func(ctx context.Context, s Shard) (T, error)) ([]T, error) {
+	plan, err := Plan(spec)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]T, len(plan))
+	err = harness.ParallelFor(ctx, spec.workers(), len(plan), func(ctx context.Context, i int) error {
+		v, ferr := fn(ctx, plan[i])
+		if ferr != nil {
+			return fmt.Errorf("shard %d/%d: %w", i, len(plan), ferr)
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForEach fans n independent jobs (attack trials, per-seed repetitions,
+// flattened sweep points) across the pool and returns results in index
+// order. It is Run without the iteration-splitting: the caller owns seed
+// derivation per job. workers <= 0 selects DefaultWorkers.
+func ForEach[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	out := make([]T, n)
+	err := harness.ParallelFor(ctx, workers, n, func(ctx context.Context, i int) error {
+		v, ferr := fn(ctx, i)
+		if ferr != nil {
+			return fmt.Errorf("job %d/%d: %w", i, n, ferr)
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Tracker accumulates completed iterations across concurrently running
+// shards and forwards them to a progress callback. It is safe for
+// concurrent use; a nil *Tracker is a valid no-op receiver, so shard
+// bodies can report unconditionally.
+type Tracker struct {
+	total uint64
+	done  atomic.Uint64
+	fn    func(done, total uint64)
+}
+
+// NewTracker builds a tracker over total iterations. fn (may be nil) is
+// invoked after every Add with the cumulative count; callers wanting a
+// rate-limited progress line do their own throttling in fn.
+func NewTracker(total uint64, fn func(done, total uint64)) *Tracker {
+	return &Tracker{total: total, fn: fn}
+}
+
+// Add records delta completed iterations.
+func (t *Tracker) Add(delta uint64) {
+	if t == nil {
+		return
+	}
+	done := t.done.Add(delta)
+	if t.fn != nil {
+		t.fn(done, t.total)
+	}
+}
+
+// Done returns the cumulative completed-iteration count.
+func (t *Tracker) Done() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.done.Load()
+}
+
+// Total returns the tracker's iteration target.
+func (t *Tracker) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}

@@ -1,0 +1,51 @@
+// Package pprofutil factors the -cpuprofile/-memprofile plumbing shared
+// by the command-line drivers, so every binary exposes profiling the same
+// way and profile files are flushed even on early returns.
+package pprofutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins a CPU profile into path and returns a stop function
+// that ends the profile and closes the file. An empty path is a no-op
+// (stop is still non-nil and safe to defer).
+func StartCPU(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("cpu profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		_ = f.Close()
+	}, nil
+}
+
+// WriteHeap writes an allocation profile to path after a final GC, so the
+// snapshot reflects live memory at the end of the run. An empty path is a
+// no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("mem profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("mem profile: %w", err)
+	}
+	return nil
+}

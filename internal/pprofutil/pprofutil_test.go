@@ -1,0 +1,55 @@
+package pprofutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEmptyPathsAreNoOps(t *testing.T) {
+	stop, err := StartCPU("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop() // must be safe
+	if err := WriteHeap(""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfilesWritten(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+
+	stop, err := StartCPU(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to record.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	stop()
+	if fi, err := os.Stat(cpu); err != nil || fi.Size() == 0 {
+		t.Fatalf("cpu profile missing or empty: %v", err)
+	}
+
+	if err := WriteHeap(mem); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(mem); err != nil || fi.Size() == 0 {
+		t.Fatalf("mem profile missing or empty: %v", err)
+	}
+}
+
+func TestBadPathErrors(t *testing.T) {
+	if _, err := StartCPU("/nonexistent-dir/cpu.pprof"); err == nil {
+		t.Fatal("StartCPU into a missing directory succeeded")
+	}
+	if err := WriteHeap("/nonexistent-dir/mem.pprof"); err == nil {
+		t.Fatal("WriteHeap into a missing directory succeeded")
+	}
+}

@@ -1,0 +1,24 @@
+package rng
+
+// Stream derives the seed of an independent pseudo-random stream from a
+// base seed and a stream index (a Monte-Carlo shard, an attack trial, a
+// per-seed sweep repetition). Both inputs pass through full splitmix64
+// finalization rounds, so adjacent indices — the common case, shard
+// 0,1,2,... of one run — land in statistically unrelated regions of the
+// generator's state space, unlike the additive seed+i scheme it replaces
+// (xoshiro's own splitmix seeding already decorrelates additive seeds
+// well, but Stream makes the independence a property of the derivation,
+// not of the downstream generator).
+//
+// Stream is a pure function: Stream(seed, k) never depends on call order,
+// which is what lets the shard-parallel engine in internal/mc promise
+// merged results that are independent of worker scheduling.
+func Stream(seed, stream uint64) uint64 {
+	// Two chained splitmix64 steps over the pair, with distinct additive
+	// constants so Stream(s, k) != Stream(k, s) in general and stream 0
+	// does not degenerate to a single mix of the seed.
+	s := seed ^ 0x6d6f6e7465636172 // "montecar"
+	h := SplitMix64(&s)
+	s = h ^ stream
+	return SplitMix64(&s)
+}
