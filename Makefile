@@ -17,10 +17,13 @@ test:
 	$(GO) test ./...
 
 # vet runs go vet plus mayavet, the simulator-specific analyzers
-# (randsource, maporder, uncheckederr, narrowcast — see internal/vet).
+# (randsource, maporder, uncheckederr, narrowcast, plus the
+# interprocedural seedflow, snapshotfields, goroutinectx, atomicmix — see
+# internal/vet). Extra flags pass through VETFLAGS, e.g.
+# `make vet VETFLAGS='-only seedflow -format json'`.
 vet:
 	$(GO) vet ./...
-	$(GO) run ./cmd/mayavet ./...
+	$(GO) run ./cmd/mayavet $(VETFLAGS) ./...
 
 # check re-runs the suite with the mayacheck build tag: the hot cache
 # structures self-verify their FPTR/RPTR bijection, occupancy conservation,
@@ -35,6 +38,7 @@ check:
 # the sharded model/attack tests at CI scale).
 race:
 	$(GO) test -race ./internal/cachesim/... ./internal/core/... ./internal/experiments/... ./internal/harness/... ./internal/faults/... ./internal/snapshot/...
+	$(GO) test -race ./internal/vet/ ./cmd/mayavet/
 	$(GO) test -race -short ./internal/mc/... ./internal/pprofutil/...
 	$(GO) test -race -short -run 'Sharded' ./internal/buckets/
 	$(GO) test -race -short -run 'Trials|MedianDistinguishWorker|MedianDistinguishStream|EvictionSetTrials|ReplacementPredictabilityCtx' ./internal/attack/

@@ -9,9 +9,15 @@ go build ./...
 echo "==> test"
 go test ./...
 
-echo "==> vet (go vet + mayavet)"
+echo "==> vet (go vet + mayavet, all eight analyzers)"
 go vet ./...
-go run ./cmd/mayavet ./...
+# The committed baseline is empty: the repo must be clean under the full
+# suite, including the interprocedural analyzers (seedflow,
+# snapshotfields, goroutinectx, atomicmix).
+go run ./cmd/mayavet -baseline ci-baseline.json ./...
+
+echo "==> race detector (mayavet parallel loader + analyzer pool)"
+go test -race ./internal/vet/ ./cmd/mayavet/
 
 echo "==> invariant-checked tests (-tags mayacheck)"
 go test -tags mayacheck ./internal/core/... ./internal/mirage/... ./internal/buckets/... ./internal/cachesim/... ./internal/faults/...

@@ -1,0 +1,19 @@
+// Package bad pins two findings for the CLI golden-output test. Edits
+// here must be mirrored in ../../golden.json.
+package bad
+
+// Keys leaks map iteration order into the returned slice.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Flush drops the error from a pretend results writer.
+func Flush() {
+	write()
+}
+
+func write() error { return nil }

@@ -1,0 +1,5 @@
+// Package cleanpkg has nothing to report: the CLI must exit 0 on it.
+package cleanpkg
+
+// Double is as deterministic as code gets.
+func Double(x int) int { return 2 * x }

@@ -1,0 +1,3 @@
+module cligolden
+
+go 1.22

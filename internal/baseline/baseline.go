@@ -71,7 +71,7 @@ type SetAssoc struct {
 	polR   *rng.Rand // the one RNG shared by the policy tree
 	hasher cachemodel.IndexHasher
 	stats  cachemodel.Stats
-	wbBuf  []cachemodel.WritebackOut
+	wbBuf  []cachemodel.WritebackOut //mayavet:ignore snapshotfields -- per-call output buffer; dead between accesses
 
 	// Devirtualization fast paths. SetAssoc is also every core's L1D and
 	// L2, so its per-access interface dispatches (hasher, policy) dominate
@@ -88,7 +88,7 @@ type SetAssoc struct {
 	// hinted way first returns the same way the full scan would; a stale
 	// hint just falls through to the scan. Not serialized: restoring to
 	// way 0 is always a valid hint.
-	mru []int32
+	mru []int32 //mayavet:ignore snapshotfields -- lookup hint only; any value is valid after restore
 
 	// lineArr[i] holds way i's line (zero when invalid) and meta[i] its
 	// packed metadata; candidates that match a line are verified against
@@ -97,7 +97,7 @@ type SetAssoc struct {
 	// restore.
 	lineArr  []uint64
 	meta     []uint32
-	validCnt []int32
+	validCnt []int32 //mayavet:ignore snapshotfields -- derived: rebuilt from meta on restore
 }
 
 // New constructs a set-associative cache, panicking on invalid geometry.

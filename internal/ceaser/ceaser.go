@@ -86,13 +86,13 @@ type Cache struct {
 	clock     uint64
 	fills     uint64
 	stats     cachemodel.Stats
-	wbBuf     []cachemodel.WritebackOut
+	wbBuf     []cachemodel.WritebackOut //mayavet:ignore snapshotfields -- per-call output buffer; dead between accesses
 
 	// skewIdx caches each skew's set index from the most recent lookup;
 	// the miss path installs right after a failed lookup of the same line,
 	// so it can reuse the indices instead of re-running the randomizer.
 	// Derived scratch state — not serialized by SaveState.
-	skewIdx []int32
+	skewIdx []int32 //mayavet:ignore snapshotfields -- per-access scratch; dead between accesses
 }
 
 // New constructs the selected variant, panicking on invalid geometry.

@@ -113,7 +113,7 @@ type Maya struct {
 	// bit is exactly the first invalid way the scan would return). Nil when
 	// ways > 64 (freeWay falls back to scanning). Derived state: maintained
 	// at every validity flip and rebuilt on snapshot restore.
-	invMask []uint64
+	invMask []uint64 //mayavet:ignore snapshotfields -- derived: rebuilt from tags on restore
 
 	// tagLine mirrors tags[i].line (zero when invalid) in a dense array so
 	// the lookup scan touches 8 bytes per way instead of a full tagEntry;
@@ -122,8 +122,8 @@ type Maya struct {
 	// when invalid — before they count as hits. P0/P1 transitions don't
 	// change tagMeta, so both mirrors flip only where validity or identity
 	// does. Maintained by every such writer and rebuilt on restore.
-	tagLine []uint64
-	tagMeta []uint16
+	tagLine []uint64 //mayavet:ignore snapshotfields -- derived: rebuilt from tags on restore
+	tagMeta []uint16 //mayavet:ignore snapshotfields -- derived: rebuilt from tags on restore
 
 	data     []dataEntry
 	dataUsed []int32 // dense list of valid data slots
@@ -136,13 +136,13 @@ type Maya struct {
 	hasher cachemodel.IndexHasher
 	r      *rng.Rand
 	stats  cachemodel.Stats
-	wbBuf  []cachemodel.WritebackOut
+	wbBuf  []cachemodel.WritebackOut //mayavet:ignore snapshotfields -- per-call output buffer; dead between accesses
 
 	// Per-access scratch, reused to keep the steady-state access path
 	// allocation-free. skewIdx caches the set index lookup computed per
 	// skew so the install path never re-hashes the same line; candBuf
 	// collects priority-0 eviction candidates during an SAE.
-	skewIdx []int32
+	skewIdx []int32 //mayavet:ignore snapshotfields -- per-access scratch; dead between accesses
 	candBuf []int32
 }
 

@@ -236,6 +236,7 @@ func New(opts Options) *Runner {
 			}
 		}
 	}
+	//mayavet:ignore seedflow -- struct-level taint imprecision: Workers carries NumCPU, Seed is caller-provided
 	return &Runner{opts: opts, jitter: rng.New(opts.Seed ^ 0x6861726e657373)} // "harness"
 }
 

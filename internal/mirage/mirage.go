@@ -100,7 +100,7 @@ type Mirage struct {
 	// the scan would return). Nil when ways > 64 (install falls back to
 	// scanning). Derived state: maintained at every validity flip and
 	// rebuilt on snapshot restore.
-	invMask []uint64
+	invMask []uint64 //mayavet:ignore snapshotfields -- derived: rebuilt from tags on restore
 
 	// tagLine mirrors tags[i].line (zero when invalid) so the lookup scan
 	// touches 8 bytes per way instead of a full tagEntry; line-matching
@@ -108,8 +108,8 @@ type Mirage struct {
 	// SDID as tagMetaOf(sdid), zero when invalid — before they count as
 	// hits. Maintained by every writer of tags[i].line and rebuilt on
 	// restore.
-	tagLine []uint64
-	tagMeta []uint16
+	tagLine []uint64 //mayavet:ignore snapshotfields -- derived: rebuilt from tags on restore
+	tagMeta []uint16 //mayavet:ignore snapshotfields -- derived: rebuilt from tags on restore
 
 	data     []dataEntry
 	dataUsed []int32
@@ -118,11 +118,11 @@ type Mirage struct {
 	hasher cachemodel.IndexHasher
 	r      *rng.Rand
 	stats  cachemodel.Stats
-	wbBuf  []cachemodel.WritebackOut
+	wbBuf  []cachemodel.WritebackOut //mayavet:ignore snapshotfields -- per-call output buffer; dead between accesses
 
 	// skewIdx caches the per-skew set indices computed by lookup so the
 	// install path that follows a miss never re-hashes the same line.
-	skewIdx []int32
+	skewIdx []int32 //mayavet:ignore snapshotfields -- per-access scratch; dead between accesses
 }
 
 // New constructs a Mirage cache from cfg, panicking on invalid geometry.

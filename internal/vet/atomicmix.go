@@ -1,0 +1,134 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicMix returns the analyzer flagging struct fields accessed both
+// through sync/atomic functions and with plain loads/stores — the
+// mc.Tracker class of bug. Mixing the two disciplines on one word is a
+// data race the race detector only catches when the interleaving happens
+// to occur; statically, any plain access to a field that is elsewhere
+// passed to atomic.Add/Load/Store/Swap/CompareAndSwap is already wrong.
+// Migrating the field to a typed atomic (atomic.Uint64) retires the
+// finding structurally: typed atomics have no plain-access spelling.
+func AtomicMix() *Analyzer {
+	return &Analyzer{
+		Name:       "atomicmix",
+		Doc:        "flag fields accessed both atomically and with plain loads/stores",
+		RunProgram: runAtomicMix,
+	}
+}
+
+func runAtomicMix(prog *Program) []Finding {
+	// Pass 1: fields whose address is taken as a sync/atomic argument,
+	// remembering the operand nodes so pass 2 can skip them, and the
+	// atomic function name for the finding text.
+	atomicFields := map[string]string{} // "typeID.field" -> "atomic.AddUint64"
+	operands := map[*ast.SelectorExpr]bool{}
+	forEachPkgFile(prog, func(p *Package, file *ast.File) {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(p, call)
+			if fn == nil || pkgPathOf(fn) != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || ue.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if key := fieldKeyOf(p, sel); key != "" {
+					if _, seen := atomicFields[key]; !seen {
+						atomicFields[key] = "atomic." + fn.Name()
+					}
+					operands[sel] = true
+				}
+			}
+			return true
+		})
+	})
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: plain accesses to those fields. One finding per field, at
+	// the first plain access in position order.
+	type plain struct {
+		key string
+		pos token.Position
+	}
+	var plains []plain
+	forEachPkgFile(prog, func(p *Package, file *ast.File) {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || operands[sel] {
+				return true
+			}
+			key := fieldKeyOf(p, sel)
+			if key == "" {
+				return true
+			}
+			if _, isAtomic := atomicFields[key]; isAtomic {
+				plains = append(plains, plain{key, p.Fset.Position(sel.Pos())})
+			}
+			return true
+		})
+	})
+	sort.Slice(plains, func(i, j int) bool {
+		a, b := plains[i].pos, plains[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	reported := map[string]bool{}
+	var out []Finding
+	for _, pl := range plains {
+		if reported[pl.key] {
+			continue
+		}
+		reported[pl.key] = true
+		out = append(out, Finding{
+			Analyzer: "atomicmix",
+			Pos:      pl.pos,
+			Message: fmt.Sprintf("field %s is accessed via %s elsewhere but read/written plainly here; use one discipline (a typed atomic retires both)",
+				pl.key, atomicFields[pl.key]),
+		})
+	}
+	return out
+}
+
+// fieldKeyOf renders "pkg/path.Type.field" when sel is a struct field
+// selection on a named type, else "".
+func fieldKeyOf(p *Package, sel *ast.SelectorExpr) string {
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	named := namedOf(s.Recv())
+	if named == nil {
+		return ""
+	}
+	return typeIDOf(named) + "." + s.Obj().Name()
+}
+
+// forEachPkgFile applies fn to every (package, file) pair in order.
+func forEachPkgFile(prog *Program, fn func(*Package, *ast.File)) {
+	for _, p := range prog.Pkgs {
+		for _, f := range p.Files {
+			fn(p, f)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package vet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Output formatting and the findings baseline. JSON output is the machine
+// interface: stable field order (struct order below), paths relativized to
+// a caller-supplied root so golden files and downstream tooling are
+// machine-independent, findings pre-sorted by RunAnalyzers.
+
+// JSONFinding is the wire form of one finding.
+type JSONFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the top-level JSON document.
+type jsonReport struct {
+	Count    int           `json:"count"`
+	Findings []JSONFinding `json:"findings"`
+}
+
+// toJSONFindings converts findings, relativizing paths against root when
+// possible (absolute paths stay absolute only if they escape root).
+func toJSONFindings(findings []Finding, root string) []JSONFinding {
+	out := make([]JSONFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, JSONFinding{
+			File:     relativize(f.Pos.Filename, root),
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+	}
+	return out
+}
+
+// relativize rewrites path relative to root when that yields a cleaner,
+// in-tree path; otherwise the original is returned unchanged.
+func relativize(path, root string) string {
+	if root == "" || !filepath.IsAbs(path) {
+		return path
+	}
+	rel, err := filepath.Rel(root, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return filepath.ToSlash(rel)
+}
+
+// WriteText renders findings one per line in compiler format.
+func WriteText(w io.Writer, findings []Finding, root string) {
+	for _, f := range findings {
+		pos := fmt.Sprintf("%s:%d:%d", relativize(f.Pos.Filename, root), f.Pos.Line, f.Pos.Column)
+		fmt.Fprintf(w, "%s: [%s] %s\n", pos, f.Analyzer, f.Message)
+	}
+}
+
+// WriteJSON renders the findings document with stable field order and a
+// trailing newline.
+func WriteJSON(w io.Writer, findings []Finding, root string) error {
+	rep := jsonReport{Count: len(findings), Findings: toJSONFindings(findings, root)}
+	if rep.Findings == nil {
+		rep.Findings = []JSONFinding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// Baseline is a set of accepted findings, matched on (file, analyzer,
+// message) — line and column are deliberately excluded so unrelated edits
+// above a baselined finding don't resurrect it.
+type Baseline struct {
+	entries map[string]bool
+}
+
+func baselineKey(file, analyzer, message string) string {
+	return file + "\x00" + analyzer + "\x00" + message
+}
+
+// ReadBaseline loads a baseline file: the JSON findings document written
+// by -write-baseline. An empty or all-whitespace file is an empty
+// baseline, so `-baseline ci-baseline.json` with an empty committed file
+// expresses "the repo must be clean".
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	b := &Baseline{entries: map[string]bool{}}
+	if len(strings.TrimSpace(string(data))) == 0 {
+		return b, nil
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	for _, f := range rep.Findings {
+		b.entries[baselineKey(f.File, f.Analyzer, f.Message)] = true
+	}
+	return b, nil
+}
+
+// Filter returns the findings not covered by the baseline.
+func (b *Baseline) Filter(findings []Finding, root string) []Finding {
+	if b == nil || len(b.entries) == 0 {
+		return findings
+	}
+	var out []Finding
+	for _, f := range findings {
+		if b.entries[baselineKey(relativize(f.Pos.Filename, root), f.Analyzer, f.Message)] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// WriteBaseline persists the current findings as the accepted baseline.
+func WriteBaseline(path string, findings []Finding, root string) error {
+	var sb strings.Builder
+	if err := WriteJSON(&sb, findings, root); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}
+
+// sortFindings orders findings fully deterministically: file, line,
+// column, analyzer, message.
+func sortFindings(out []Finding) {
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

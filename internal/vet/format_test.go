@@ -1,0 +1,133 @@
+package vet
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleFindings(root string) []Finding {
+	return []Finding{
+		{
+			Analyzer: "maporder",
+			Pos:      token.Position{Filename: filepath.Join(root, "pkg", "a.go"), Line: 7, Column: 2},
+			Message:  "iteration order leaks",
+		},
+		{
+			Analyzer: "seedflow",
+			Pos:      token.Position{Filename: filepath.Join(root, "pkg", "b.go"), Line: 3, Column: 9},
+			Message:  "nondeterministic value flows",
+		},
+	}
+}
+
+func TestWriteJSONStableShape(t *testing.T) {
+	root := string(filepath.Separator) + "repo"
+	var sb strings.Builder
+	if err := WriteJSON(&sb, sampleFindings(root), root); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `{
+  "count": 2,
+  "findings": [
+    {
+      "file": "pkg/a.go",
+      "line": 7,
+      "col": 2,
+      "analyzer": "maporder",
+      "message": "iteration order leaks"
+    },
+    {
+      "file": "pkg/b.go",
+      "line": 3,
+      "col": 9,
+      "analyzer": "seedflow",
+      "message": "nondeterministic value flows"
+    }
+  ]
+}
+`
+	if got != want {
+		t.Errorf("JSON shape drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWriteJSONEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteJSON(&sb, nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	want := "{\n  \"count\": 0,\n  \"findings\": []\n}\n"
+	if sb.String() != want {
+		t.Errorf("empty report drifted: %q", sb.String())
+	}
+}
+
+func TestWriteTextRelativizes(t *testing.T) {
+	root := string(filepath.Separator) + "repo"
+	var sb strings.Builder
+	WriteText(&sb, sampleFindings(root), root)
+	want := "pkg/a.go:7:2: [maporder] iteration order leaks\n" +
+		"pkg/b.go:3:9: [seedflow] nondeterministic value flows\n"
+	if sb.String() != want {
+		t.Errorf("text output drifted:\n%s", sb.String())
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	root := string(filepath.Separator) + "repo"
+	findings := sampleFindings(root)
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(path, findings[:1], root); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left := b.Filter(findings, root)
+	if len(left) != 1 || left[0].Analyzer != "seedflow" {
+		t.Errorf("baseline should swallow the maporder finding only, got %v", left)
+	}
+}
+
+// TestBaselineIgnoresLineDrift is the point of matching on (file,
+// analyzer, message): an edit above a baselined finding must not
+// resurrect it.
+func TestBaselineIgnoresLineDrift(t *testing.T) {
+	root := string(filepath.Separator) + "repo"
+	findings := sampleFindings(root)
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(path, findings, root); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := make([]Finding, len(findings))
+	copy(moved, findings)
+	moved[0].Pos.Line += 40
+	moved[1].Pos.Column = 1
+	if left := b.Filter(moved, root); len(left) != 0 {
+		t.Errorf("line drift resurrected baselined findings: %v", left)
+	}
+}
+
+func TestBaselineEmptyFileMeansClean(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(path, []byte("\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := sampleFindings("")
+	if left := b.Filter(findings, ""); len(left) != len(findings) {
+		t.Errorf("empty baseline must pass all findings through, got %v", left)
+	}
+}

@@ -1,0 +1,133 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineCtx returns the analyzer flagging goroutines launched with no
+// cancellation path: no context parameter, no channel operation, no
+// select, and no WaitGroup Done/Wait reachable through the static call
+// graph. The mc and harness worker pools — which the planned distributed
+// fabric will inherit — must always be joinable; a fire-and-forget
+// goroutine that outlives its run either leaks or, worse, keeps mutating
+// shared state after the shard result was already merged.
+func GoroutineCtx() *Analyzer {
+	return &Analyzer{
+		Name:       "goroutinectx",
+		Doc:        "flag goroutines with no reachable cancellation path",
+		RunProgram: runGoroutineCtx,
+	}
+}
+
+func runGoroutineCtx(prog *Program) []Finding {
+	var out []Finding
+	for _, p := range prog.Pkgs {
+		for _, file := range p.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if !goStmtCancellable(prog, p, g) {
+					out = append(out, Finding{
+						Analyzer: "goroutinectx",
+						Pos:      p.Fset.Position(g.Pos()),
+						Message:  "goroutine has no cancellation path (no context, channel, select, or WaitGroup reachable); it can outlive the run",
+					})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// goStmtCancellable reports whether the launched goroutine can be joined
+// or cancelled: the spawned body (or its static callees) touches a
+// cancellation primitive, or the target receives a context/channel it can
+// wait on.
+func goStmtCancellable(prog *Program, p *Package, g *ast.GoStmt) bool {
+	for _, arg := range g.Call.Args {
+		if t := p.Info.TypeOf(arg); t != nil && isCancelCapable(t) {
+			return true
+		}
+	}
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return litCancellable(prog, p, fun)
+	default:
+		fn := calleeOf(p, g.Call)
+		if fn == nil {
+			// A call through a function value cannot be resolved
+			// statically; stay silent rather than guess.
+			return true
+		}
+		if prog.CancelReachable(funcIDOf(fn)) {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok {
+			for i := 0; i < sig.Params().Len(); i++ {
+				if isCancelCapable(sig.Params().At(i).Type()) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+}
+
+// isCancelCapable reports whether a value of type t gives the goroutine
+// something to wait on: a context.Context or any channel.
+func isCancelCapable(t types.Type) bool {
+	if isContextType(t) {
+		return true
+	}
+	_, isChan := t.Underlying().(*types.Chan)
+	return isChan
+}
+
+// litCancellable scans a function literal's signature and body for
+// cancellation primitives, following statically resolved calls.
+func litCancellable(prog *Program, p *Package, lit *ast.FuncLit) bool {
+	if lit.Type.Params != nil {
+		for _, f := range lit.Type.Params.List {
+			if t := p.Info.TypeOf(f.Type); t != nil && isCancelCapable(t) {
+				return true
+			}
+		}
+	}
+	cancellable := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if cancellable {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				cancellable = true
+			}
+		case *ast.SendStmt, *ast.SelectStmt:
+			cancellable = true
+		case *ast.RangeStmt:
+			if t := p.Info.TypeOf(x.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					cancellable = true
+				}
+			}
+		case *ast.Ident:
+			if isContextValue(p, x) {
+				cancellable = true
+			}
+		case *ast.CallExpr:
+			if fn := calleeOf(p, x); fn != nil {
+				if isWaitGroupSync(fn) || prog.CancelReachable(funcIDOf(fn)) {
+					cancellable = true
+				}
+			}
+		}
+		return true
+	})
+	return cancellable
+}

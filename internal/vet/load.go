@@ -13,6 +13,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sync"
 )
 
 // The loader resolves and type-checks packages with nothing but the
@@ -79,43 +80,68 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		return os.Open(f)
 	}
 
-	var pkgs []*Package
-	for _, t := range targets {
-		if t.Error != nil && len(t.GoFiles) == 0 {
-			return nil, fmt.Errorf("vet: %s: %s", t.ImportPath, t.Error.Err)
+	// Targets parse and type-check independently: each gets its own
+	// importer (reading export data, never other targets' source), so the
+	// per-target work fans out over a worker pool. The shared FileSet is
+	// safe for concurrent use; results land in pre-indexed slots so the
+	// returned order matches go list's regardless of scheduling.
+	pkgs := make([]*Package, len(targets))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	for i, t := range targets {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, t listPackage) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			pkgs[i], errs[i] = loadOne(fset, lookup, t)
+		}(i, t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
-		var files []*ast.File
-		for _, name := range t.GoFiles {
-			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
-			if err != nil {
-				return nil, fmt.Errorf("vet: parsing %s: %v", name, err)
-			}
-			files = append(files, f)
-		}
-		p := &Package{
-			ImportPath: t.ImportPath,
-			Fset:       fset,
-			Files:      files,
-			Info: &types.Info{
-				Types:      map[ast.Expr]types.TypeAndValue{},
-				Defs:       map[*ast.Ident]types.Object{},
-				Uses:       map[*ast.Ident]types.Object{},
-				Selections: map[*ast.SelectorExpr]*types.Selection{},
-				Scopes:     map[ast.Node]*types.Scope{},
-			},
-		}
-		conf := types.Config{
-			// A fresh importer per package keeps lookup errors attributable;
-			// export data readers are cheap relative to parsing.
-			Importer: importer.ForCompiler(fset, "gc", lookup),
-			Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
-		}
-		tpkg, err := conf.Check(t.ImportPath, fset, files, p.Info)
-		if err != nil && len(p.TypeErrors) == 0 {
-			p.TypeErrors = append(p.TypeErrors, err)
-		}
-		p.Types = tpkg
-		pkgs = append(pkgs, p)
 	}
 	return pkgs, nil
+}
+
+// loadOne parses and type-checks a single listed package.
+func loadOne(fset *token.FileSet, lookup func(string) (io.ReadCloser, error), t listPackage) (*Package, error) {
+	if t.Error != nil && len(t.GoFiles) == 0 {
+		return nil, fmt.Errorf("vet: %s: %s", t.ImportPath, t.Error.Err)
+	}
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("vet: parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	p := &Package{
+		ImportPath: t.ImportPath,
+		Fset:       fset,
+		Files:      files,
+		Info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		},
+	}
+	conf := types.Config{
+		// A fresh importer per package keeps lookup errors attributable;
+		// export data readers are cheap relative to parsing.
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(t.ImportPath, fset, files, p.Info)
+	if err != nil && len(p.TypeErrors) == 0 {
+		p.TypeErrors = append(p.TypeErrors, err)
+	}
+	p.Types = tpkg
+	return p, nil
 }

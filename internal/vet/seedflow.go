@@ -1,0 +1,22 @@
+package vet
+
+// SeedFlow returns the interprocedural taint analyzer enforcing the
+// determinism contract: results are a pure function of (seed, iters,
+// shards). Nondeterminism sources — time.Now, os.Getpid, environment
+// reads, runtime.NumCPU/GOMAXPROCS, map iteration order — may be used for
+// logging and scheduling, but must never flow into simulator state, a
+// Results record, a snapshot payload, or the seed material handed to the
+// rng package. The taint engine in taint.go tracks flows through helper
+// functions via summaries, so `m.seed = cores()` is caught even when
+// cores() wraps runtime.NumCPU three calls deep.
+func SeedFlow() *Analyzer {
+	return &Analyzer{
+		Name: "seedflow",
+		Doc:  "flag nondeterministic values flowing into state, results, snapshots, or rng seeds",
+		RunProgram: func(prog *Program) []Finding {
+			e := newTaintEngine(prog)
+			e.solve()
+			return e.report()
+		},
+	}
+}

@@ -1,0 +1,112 @@
+package vet
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// copyFixtureTree clones testdata/src into a temp dir so a test can
+// mutate sources without touching the shared fixture.
+func copyFixtureTree(t *testing.T) string {
+	t.Helper()
+	src, err := filepath.Abs("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := t.TempDir()
+	err = filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+// deleteLine removes the first line containing needle from the file,
+// failing the test if the needle is absent.
+func deleteLine(t *testing.T, path, needle string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(data), "\n")
+	for i, l := range lines {
+		if strings.Contains(l, needle) {
+			lines = append(lines[:i], lines[i+1:]...)
+			if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+	}
+	t.Fatalf("%s: no line contains %q", path, needle)
+}
+
+// snapshotFindingsIn loads the mutated tree and returns the
+// snapshotfields findings within the mayastate package.
+func snapshotFindingsIn(t *testing.T, dir string) []Finding {
+	t.Helper()
+	pkgs, err := Load(dir, "./mayastate/...")
+	if err != nil {
+		t.Fatalf("loading mutated fixture: %v", err)
+	}
+	return RunAnalyzers(pkgs, []*Analyzer{SnapshotFields()})
+}
+
+// TestSnapshotFieldsCleanBeforeMutation pins the regression test's
+// baseline: the pristine mayastate codec is complete.
+func TestSnapshotFieldsCleanBeforeMutation(t *testing.T) {
+	dir := copyFixtureTree(t)
+	if findings := snapshotFindingsIn(t, dir); len(findings) != 0 {
+		t.Fatalf("pristine mayastate has findings: %v", findings)
+	}
+}
+
+// TestSnapshotFieldsCatchesDeletedEncode deletes one encoder line from a
+// copy of the mayastate codec and asserts the analyzer reports exactly
+// the field that lost its line.
+func TestSnapshotFieldsCatchesDeletedEncode(t *testing.T) {
+	dir := copyFixtureTree(t)
+	deleteLine(t, filepath.Join(dir, "mayastate", "state.go"), "e.U64(c.fills)")
+	findings := snapshotFindingsIn(t, dir)
+	if len(findings) != 1 {
+		t.Fatalf("want exactly 1 finding, got %d: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if !strings.Contains(f.Message, "Cache.fills") || !strings.Contains(f.Message, "restored but never saved") {
+		t.Errorf("finding does not name the deleted codec line: %s", f)
+	}
+}
+
+// TestSnapshotFieldsCatchesDeletedDecode deletes the decode side instead.
+func TestSnapshotFieldsCatchesDeletedDecode(t *testing.T) {
+	dir := copyFixtureTree(t)
+	deleteLine(t, filepath.Join(dir, "mayastate", "state.go"), "c.fills = d.U64()")
+	findings := snapshotFindingsIn(t, dir)
+	if len(findings) != 1 {
+		t.Fatalf("want exactly 1 finding, got %d: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if !strings.Contains(f.Message, "Cache.fills") || !strings.Contains(f.Message, "saved but never restored") {
+		t.Errorf("finding does not name the deleted codec line: %s", f)
+	}
+}

@@ -1,0 +1,60 @@
+package clean
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// ParallelSum joins its workers through a WaitGroup: Done inside the
+// spawned body is a cancellation path.
+func ParallelSum(xs []int) int {
+	var wg sync.WaitGroup
+	out := make([]int, len(xs))
+	for i := range xs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = xs[i] * 2
+		}(i)
+	}
+	wg.Wait()
+	total := 0
+	for _, v := range out {
+		total += v
+	}
+	return total
+}
+
+// WatchUntil blocks its goroutine on a done channel.
+func WatchUntil(done chan struct{}) {
+	go func() {
+		<-done
+	}()
+}
+
+// RunWithCtx hands the spawned function a context to wait on; the
+// cancellation path is found through the call graph, not the literal.
+func RunWithCtx(ctx context.Context) {
+	go ctxWorker(ctx)
+}
+
+func ctxWorker(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// safeCounter keeps one field behind a typed atomic (no plain spelling
+// exists) and the other behind sync/atomic calls only.
+type safeCounter struct {
+	hits atomic.Uint64
+	raw  uint64
+}
+
+func (c *safeCounter) Inc() {
+	c.hits.Add(1)
+	atomic.AddUint64(&c.raw, 1)
+}
+
+func (c *safeCounter) Load() uint64 {
+	return c.hits.Load() + atomic.LoadUint64(&c.raw)
+}

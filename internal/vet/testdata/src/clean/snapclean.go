@@ -1,0 +1,56 @@
+package clean
+
+import "vetfixture/snapshot"
+
+// counterState exercises every exemption path of snapshotfields at once:
+// full codec coverage (clock), constructor-only auto-exemption (capacity),
+// and a directive-exempted scratch field.
+type counterState struct {
+	capacity int // geometry: set once at construction, auto-exempt
+	clock    uint64
+	scratch  []uint64 //mayavet:ignore snapshotfields -- per-call scratch; dead between operations
+}
+
+func newCounterState(capacity int) *counterState {
+	return &counterState{capacity: capacity}
+}
+
+// Tick mutates clock, so clock must be (and is) serialized.
+func (c *counterState) Tick() { c.clock++ }
+
+// Scratch reuses the scratch buffer across calls.
+func (c *counterState) Scratch() []uint64 {
+	c.scratch = c.scratch[:0]
+	return c.scratch
+}
+
+func (c *counterState) SaveState(e *snapshot.Encoder)    { e.U64(c.clock) }
+func (c *counterState) RestoreState(d *snapshot.Decoder) { c.clock = d.U64() }
+
+// splitState delegates half its codec to unexported helpers: coverage is
+// computed over the transitive call closure, so fills — touched only by
+// saveRest/restoreRest — still counts as serialized.
+type splitState struct {
+	clock uint64
+	fills uint64
+}
+
+func (s *splitState) SaveState(e *snapshot.Encoder) {
+	e.U64(s.clock)
+	s.saveRest(e)
+}
+
+func (s *splitState) saveRest(e *snapshot.Encoder) { e.U64(s.fills) }
+
+func (s *splitState) RestoreState(d *snapshot.Decoder) {
+	s.clock = d.U64()
+	s.restoreRest(d)
+}
+
+func (s *splitState) restoreRest(d *snapshot.Decoder) { s.fills = d.U64() }
+
+// Bump mutates both fields so neither is constructor-exempt.
+func (s *splitState) Bump() {
+	s.clock++
+	s.fills++
+}

@@ -1,0 +1,49 @@
+// Package mayastate mirrors the shape of the repo's snapshot codecs: a
+// small cache-like struct whose SaveState/RestoreState cover every
+// stateful field. It must be finding-free as written — the snapshotfields
+// regression test copies this file, deletes one codec line, and asserts
+// the analyzer reports exactly the field that lost its line.
+package mayastate
+
+import "vetfixture/snapshot"
+
+// Cache tracks an access clock, a fill counter, and per-line heat.
+type Cache struct {
+	clock uint64
+	fills uint64
+	heat  []uint16
+}
+
+// New returns a cache with room for lines entries.
+func New(lines int) *Cache {
+	return &Cache{heat: make([]uint16, lines)}
+}
+
+// Access records one access to line.
+func (c *Cache) Access(line int) {
+	c.clock++
+	if c.heat[line] == 0 {
+		c.fills++
+	}
+	c.heat[line]++
+}
+
+// SaveState serializes every stateful field in declaration order.
+func (c *Cache) SaveState(e *snapshot.Encoder) {
+	e.U64(c.clock)
+	e.U64(c.fills)
+	e.Count(len(c.heat))
+	for _, h := range c.heat {
+		e.U16(h)
+	}
+}
+
+// RestoreState decodes in the same order SaveState encoded.
+func (c *Cache) RestoreState(d *snapshot.Decoder) {
+	c.clock = d.U64()
+	c.fills = d.U64()
+	c.heat = make([]uint16, d.Count())
+	for i := range c.heat {
+		c.heat[i] = d.U16()
+	}
+}

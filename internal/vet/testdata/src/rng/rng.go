@@ -1,0 +1,24 @@
+// Package rng is the fixture stand-in for the repo's seeded generator.
+// seedflow treats any call into a package named rng as a seed-material
+// sink, so this shim lets the fixtures exercise the sink without the
+// fixture module importing the repo.
+package rng
+
+// Rand is a deterministic generator seeded explicitly.
+type Rand struct {
+	s uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *Rand { return &Rand{s: seed} }
+
+// Stream returns the generator for an independent numbered stream.
+func Stream(seed, stream uint64) *Rand {
+	return &Rand{s: seed ^ (stream * 0x9e3779b97f4a7c15)}
+}
+
+// Uint64 advances the state and returns the next value.
+func (r *Rand) Uint64() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	return r.s
+}

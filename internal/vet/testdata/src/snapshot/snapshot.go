@@ -1,0 +1,62 @@
+// Package snapshot is the fixture stand-in for the repo's MAYASNAP codec.
+// The snapshotfields and seedflow analyzers match the *Encoder/*Decoder
+// parameter types by type name and package name (not import path), so this
+// shim exercises exactly the same detection as the real package without
+// the fixture module depending on the repo.
+package snapshot
+
+// Encoder appends primitive values to a byte stream.
+type Encoder struct {
+	buf []byte
+}
+
+// U64 encodes one 64-bit value.
+func (e *Encoder) U64(v uint64) {
+	for i := 0; i < 8; i++ {
+		e.buf = append(e.buf, byte(v>>(8*uint(i))))
+	}
+}
+
+// U16 encodes one 16-bit value.
+func (e *Encoder) U16(v uint16) {
+	e.buf = append(e.buf, byte(v), byte(v>>8))
+}
+
+// Count encodes a non-negative length prefix.
+func (e *Encoder) Count(n int) {
+	e.U64(uint64(n))
+}
+
+// Bytes returns the encoded stream.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Decoder reads values back in encode order.
+type Decoder struct {
+	buf []byte
+	off int
+}
+
+// NewDecoder wraps an encoded stream.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// U64 decodes one 64-bit value.
+func (d *Decoder) U64() uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(d.buf[d.off]) << (8 * uint(i))
+		d.off++
+	}
+	return v
+}
+
+// U16 decodes one 16-bit value.
+func (d *Decoder) U16() uint16 {
+	v := uint16(d.buf[d.off]) | uint16(d.buf[d.off+1])<<8
+	d.off += 2
+	return v
+}
+
+// Count decodes a length prefix.
+func (d *Decoder) Count() int {
+	return int(d.U64())
+}

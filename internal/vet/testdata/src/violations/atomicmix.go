@@ -1,0 +1,19 @@
+package violations
+
+import "sync/atomic"
+
+// counter mixes atomic and plain access on the same word — the exact
+// data-race class atomicmix exists for.
+type counter struct {
+	hits uint64
+}
+
+// Inc updates hits atomically.
+func (c *counter) Inc() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+// Snapshot reads hits with a plain load, racing Inc.
+func (c *counter) Snapshot() uint64 {
+	return c.hits // want: atomicmix
+}

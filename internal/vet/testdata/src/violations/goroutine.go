@@ -1,0 +1,26 @@
+package violations
+
+// FireAndForget launches a worker nothing can stop or join: no context,
+// no channel, no WaitGroup anywhere in the spawned body.
+func FireAndForget(xs []int) {
+	go func() { // want: goroutinectx
+		total := 0
+		for _, v := range xs {
+			total += v
+		}
+		consume(total)
+	}()
+}
+
+func consume(int) {}
+
+// churn has no cancellation primitive anywhere in its call tree.
+func churn() {
+	consume(1)
+}
+
+// LeakNamed spawns a named function whose transitive call graph offers no
+// cancellation path either.
+func LeakNamed() {
+	go churn() // want: goroutinectx
+}

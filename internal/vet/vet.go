@@ -6,9 +6,17 @@
 // seeded generators in internal/rng, iteration order must never leak into
 // simulation state, errors on experiment I/O paths must not be silently
 // dropped, and the int32/uint16 index and pointer fields of the decoupled
-// tag/data structures must only be narrowed under a proven bound. The four
-// analyzers in this package (randsource, maporder, uncheckederr,
-// narrowcast) mechanically enforce those rules on every build.
+// tag/data structures must only be narrowed under a proven bound. The
+// original four analyzers (randsource, maporder, uncheckederr, narrowcast)
+// enforce those rules one function at a time.
+//
+// The second generation is interprocedural: a dataflow substrate
+// (program.go) builds a repo-wide call graph with per-function facts, and
+// four analyzers run on top of it — seedflow (taint from nondeterminism
+// sources into state/results/snapshots/rng seeds), snapshotfields
+// (MAYASNAP codec completeness per stateful struct), goroutinectx
+// (goroutines with no cancellation path), and atomicmix (fields accessed
+// both atomically and plainly).
 //
 // Findings can be suppressed, one line at a time, with a directive comment
 // on the reported line or the line above it:
@@ -26,8 +34,8 @@ import (
 	"go/token"
 	"go/types"
 	"regexp"
-	"sort"
 	"strings"
+	"sync"
 )
 
 // Finding is one analyzer report.
@@ -55,11 +63,14 @@ type Package struct {
 	TypeErrors []error
 }
 
-// Analyzer is one mayavet check.
+// Analyzer is one mayavet check. Per-package analyzers set Run;
+// interprocedural analyzers set RunProgram and receive the shared
+// dataflow substrate instead. Exactly one of the two must be non-nil.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(p *Package) []Finding
+	Name       string
+	Doc        string
+	Run        func(p *Package) []Finding
+	RunProgram func(prog *Program) []Finding
 }
 
 // All returns the full analyzer suite in a stable order.
@@ -69,6 +80,10 @@ func All() []*Analyzer {
 		MapOrder(),
 		UncheckedErr(),
 		NarrowCast(),
+		SeedFlow(),
+		SnapshotFields(),
+		GoroutineCtx(),
+		AtomicMix(),
 	}
 }
 
@@ -81,11 +96,19 @@ type directive struct {
 	analyzers map[string]bool // empty means "all analyzers"
 }
 
+// fileLine keys a suppression directive by the file it lives in and its
+// source line. Keying by line alone would let a directive in one file
+// silence a finding at the same line number of a sibling file.
+type fileLine struct {
+	file string
+	line int
+}
+
 // directivesByLine extracts the suppression directives of a file, keyed by
-// the source line they apply to (their own line; appliesTo also honors the
-// following line).
-func directivesByLine(fset *token.FileSet, file *ast.File) map[int]directive {
-	out := map[int]directive{}
+// (filename, line) of the comment itself; suppression also honors a
+// directive on the line above the finding.
+func directivesByLine(fset *token.FileSet, file *ast.File) map[fileLine]directive {
+	out := map[fileLine]directive{}
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
 			m := directiveRe.FindStringSubmatch(c.Text)
@@ -99,51 +122,92 @@ func directivesByLine(fset *token.FileSet, file *ast.File) map[int]directive {
 			for _, name := range strings.FieldsFunc(m[2], func(r rune) bool { return r == ',' || r == ' ' }) {
 				d.analyzers[name] = true
 			}
-			out[fset.Position(c.Pos()).Line] = d
+			pos := fset.Position(c.Pos())
+			out[fileLine{pos.Filename, pos.Line}] = d
 		}
 	}
 	return out
 }
 
-// suppressed reports whether a finding at line in the given directive map
-// is covered by a directive on the same or the preceding line.
+// covers reports whether the directive suppresses the named analyzer.
 func (d directive) covers(analyzer string) bool {
 	return len(d.analyzers) == 0 || d.analyzers[analyzer]
 }
 
 // RunAnalyzers applies every analyzer to every package and returns the
-// surviving (non-suppressed) findings sorted by position.
+// surviving (non-suppressed) findings in a fully deterministic order.
+// Per-package analyzers fan out over a worker pool (one job per
+// package×analyzer pair); interprocedural analyzers run concurrently with
+// them on the shared substrate. Determinism comes from collecting into
+// pre-indexed slots, never from scheduling.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
-	var out []Finding
+	dirs := map[fileLine]directive{}
 	for _, p := range pkgs {
-		dirs := map[int]directive{}
 		for _, f := range p.Files {
-			for line, d := range directivesByLine(p.Fset, f) {
-				dirs[line] = d
-			}
-		}
-		for _, a := range analyzers {
-			for _, f := range a.Run(p) {
-				if d, ok := dirs[f.Pos.Line]; ok && d.covers(a.Name) {
-					continue
-				}
-				if d, ok := dirs[f.Pos.Line-1]; ok && d.covers(a.Name) {
-					continue
-				}
-				out = append(out, f)
+			for key, d := range directivesByLine(p.Fset, f) {
+				dirs[key] = d
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
+
+	var perPkg, perProg []*Analyzer
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			perProg = append(perProg, a)
+		} else {
+			perPkg = append(perPkg, a)
 		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
+	}
+
+	var prog *Program
+	if len(perProg) > 0 {
+		prog = BuildProgram(pkgs)
+	}
+
+	type job struct {
+		slot int
+		run  func() []Finding
+	}
+	var jobs []job
+	for pi, p := range pkgs {
+		for ai, a := range perPkg {
+			p, a := p, a
+			jobs = append(jobs, job{slot: pi*len(perPkg) + ai, run: func() []Finding { return a.Run(p) }})
 		}
-		return a.Analyzer < b.Analyzer
-	})
+	}
+	progBase := len(pkgs) * len(perPkg)
+	for ai, a := range perProg {
+		a := a
+		jobs = append(jobs, job{slot: progBase + ai, run: func() []Finding { return a.RunProgram(prog) }})
+	}
+
+	results := make([][]Finding, progBase+len(perProg))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	for _, j := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(j job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[j.slot] = j.run()
+		}(j)
+	}
+	wg.Wait()
+
+	var out []Finding
+	for _, findings := range results {
+		for _, f := range findings {
+			if d, ok := dirs[fileLine{f.Pos.Filename, f.Pos.Line}]; ok && d.covers(f.Analyzer) {
+				continue
+			}
+			if d, ok := dirs[fileLine{f.Pos.Filename, f.Pos.Line - 1}]; ok && d.covers(f.Analyzer) {
+				continue
+			}
+			out = append(out, f)
+		}
+	}
+	sortFindings(out)
 	return out
 }
 
