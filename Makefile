@@ -38,6 +38,7 @@ check:
 # the sharded model/attack tests at CI scale).
 race:
 	$(GO) test -race ./internal/cachesim/... ./internal/core/... ./internal/experiments/... ./internal/harness/... ./internal/faults/... ./internal/snapshot/...
+	$(GO) test -race ./internal/dist/
 	$(GO) test -race ./internal/vet/ ./cmd/mayavet/
 	$(GO) test -race -short ./internal/mc/... ./internal/pprofutil/...
 	$(GO) test -race -short -run 'Sharded' ./internal/buckets/
@@ -72,7 +73,19 @@ e2e:
 	    -checkpoint "$$TMP/kill.ckpt" -snapshot-dir "$$TMP/snaps" > "$$TMP/killresume.out"; \
 	cmp "$$TMP/killresume.out" "$$TMP/fresh.out"; \
 	test -z "$$(ls "$$TMP/snaps")"; \
-	echo "e2e: SIGKILL resume bit-exact"
+	echo "e2e: SIGKILL resume bit-exact"; \
+	$(GO) build -o "$$TMP/mayafleet" ./cmd/mayafleet; \
+	"$$TMP/mayafleet" serial -benches mcf,lbm -cores 2 -warmup 30000 \
+	    -roi 15000 -seeds 2 > "$$TMP/fleet-serial.tsv"; \
+	"$$TMP/mayafleet" coordinate -inproc 3 -benches mcf,lbm -cores 2 \
+	    -warmup 30000 -roi 15000 -seeds 2 -lease 2s -heartbeat 100ms \
+	    -snapshot-every 4096 -fault distkill:bench=mcf:2 \
+	    -fault distdrop:bench=lbm:1 -fault distdelay:bench=:5ms \
+	    > "$$TMP/fleet-chaos.tsv" 2> "$$TMP/fleet-chaos.err"; \
+	cmp "$$TMP/fleet-serial.tsv" "$$TMP/fleet-chaos.tsv"; \
+	grep -q "injected kill" "$$TMP/fleet-chaos.err"; \
+	grep -q "migrating cell" "$$TMP/fleet-chaos.err"; \
+	echo "e2e: fleet chaos run byte-identical to serial"
 
 # bench runs the continuous benchmark suite in quick mode and writes
 # BENCH.json: per-design LLC access-path microbenchmarks (ns/access,

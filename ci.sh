@@ -25,6 +25,12 @@ go test -tags mayacheck ./internal/core/... ./internal/mirage/... ./internal/buc
 echo "==> race detector (multi-core simulator paths)"
 go test -race ./internal/cachesim/... ./internal/core/... ./internal/experiments/... ./internal/harness/... ./internal/faults/... ./internal/snapshot/...
 
+echo "==> race detector (distributed fabric: chaos determinism, migration, cancellation)"
+# The dist suite's chaos test byte-compares a 3-worker fabric run — with
+# an injected mid-cell SIGKILL, dropped RPCs, and stalled heartbeats —
+# against the serial harness run, under the race detector.
+go test -race ./internal/dist/
+
 echo "==> race detector (Monte-Carlo engine: shard invariance + cancellation hammer)"
 # The mc engine's scheduling-invariance and mid-run-cancellation tests are
 # the concurrency gate for the shard-parallel paths; -short keeps the
@@ -91,6 +97,44 @@ for bad in "-iters 0" "-shards 0" "-shards -2" "-workers 0" "-experiment fig99";
   "$TMP/securitysim" $bad > /dev/null 2>&1 || status=$?
   if [ "$status" -ne 2 ]; then
     echo "ci: securitysim '$bad' exited $status, want 2" >&2; exit 1
+  fi
+done
+
+echo "==> e2e: distributed sweep fabric chaos smoke (mayafleet)"
+go build -o "$TMP/mayafleet" ./cmd/mayafleet
+# Reference: the serial harness run of a small grid.
+"$TMP/mayafleet" serial -benches mcf,lbm -cores 2 -warmup 30000 -roi 15000 \
+    -seeds 2 > "$TMP/fleet-serial.tsv"
+# Chaos: a coordinator with 3 in-process workers; whichever worker
+# reaches the 2nd durable save of a bench=mcf cell is killed mid-cell
+# (lease expires, the cell migrates and resumes from the uploaded
+# snapshot blob), other workers drop RPCs and stall heartbeats. The
+# report must still byte-match the serial run.
+"$TMP/mayafleet" coordinate -inproc 3 -benches mcf,lbm -cores 2 \
+    -warmup 30000 -roi 15000 -seeds 2 -lease 2s -heartbeat 100ms \
+    -snapshot-every 4096 -fault distkill:bench=mcf:2 \
+    -fault distdrop:bench=lbm:1 -fault distdelay:bench=:5ms \
+    > "$TMP/fleet-chaos.tsv" 2> "$TMP/fleet-chaos.err"
+cmp "$TMP/fleet-serial.tsv" "$TMP/fleet-chaos.tsv"
+grep -q "injected kill" "$TMP/fleet-chaos.err"   # the kill really fired
+grep -q "migrating cell" "$TMP/fleet-chaos.err"  # and the cell migrated
+# A cell that exhausts its retry budget must become a structured FAILED
+# row and exit 1 — never a hang or a panic.
+status=0
+"$TMP/mayafleet" coordinate -inproc 2 -benches mcf,lbm -cores 2 \
+    -warmup 30000 -roi 15000 -retries 1 -fault transient:bench=mcf:100 \
+    > "$TMP/fleet-failed.tsv" 2>/dev/null || status=$?
+if [ "$status" -ne 1 ]; then
+  echo "ci: mayafleet exhausted-retry run exited $status, want 1" >&2; exit 1
+fi
+grep -q "FAILED" "$TMP/fleet-failed.tsv"
+grep -q "retry budget exhausted" "$TMP/fleet-failed.tsv"
+# Flag misuse must exit 2 before any simulation runs.
+for bad in "coordinate -inproc 2 -designs Bogus" "coordinate" "work"; do
+  status=0
+  "$TMP/mayafleet" $bad > /dev/null 2>&1 || status=$?
+  if [ "$status" -ne 2 ]; then
+    echo "ci: mayafleet '$bad' exited $status, want 2" >&2; exit 1
   fi
 done
 

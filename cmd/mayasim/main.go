@@ -7,7 +7,7 @@
 //	mayasim -experiment fig9 [-warmup 2000000] [-roi 1000000] [-seed 1]
 //	        [-csv] [-checkpoint sweep.ckpt] [-timeout 10m] [-retries 2]
 //	        [-workers N] [-serial]
-//	        [-snapshot-dir DIR] [-snapshot-every N]
+//	        [-snapshot-dir DIR] [-snapshot-every N] [-grace 30s]
 //
 // Experiments: fig1, fig4, fig9, fig10, table7, table11, fitting, cores,
 // llcsize, all.
@@ -25,7 +25,8 @@
 // keeps a durable, CRC-checked state file under the directory, refreshed
 // every -snapshot-every simulator steps, and the first SIGINT/SIGTERM
 // makes running cells save their exact simulator state and stop instead
-// of discarding progress (a second signal cancels immediately). A rerun
+// of discarding progress; the run is cancelled outright only after the
+// -grace window elapses or a second, impatient signal arrives. A rerun
 // with the same flags restores each saved cell mid-simulation and
 // produces bit-identical results to an uninterrupted run. Snapshots are
 // bound to their configuration: a rerun with a different seed, scale, or
@@ -46,9 +47,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"sort"
-	"syscall"
 	"time"
 
 	"mayacache/internal/cachemodel"
@@ -85,6 +84,7 @@ func run() int {
 		fault      = flag.String("fault", "", "inject a fault into matching cells: panic:<substr> | error:<substr> | transient:<substr>:<k> | killsnap:<substr>:<n>")
 		snapDir    = flag.String("snapshot-dir", "", "directory for durable mid-cell simulator state; enables intra-cell resume and snapshot-on-signal")
 		snapEvery  = flag.Uint64("snapshot-every", 0, "periodic auto-snapshot cadence in simulator steps (requires -snapshot-dir; 0 saves only on signal)")
+		grace      = flag.Duration("grace", 30*time.Second, "how long the first signal waits for cell snapshots to save before cancelling (0 cancels immediately)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -131,6 +131,9 @@ func run() int {
 	}
 	if *snapEvery > 0 && *snapDir == "" {
 		return fail("-snapshot-every %d without -snapshot-dir: periodic snapshots need somewhere durable to live", *snapEvery)
+	}
+	if *grace < 0 {
+		return fail("-grace must be >= 0 (got %v)", *grace)
 	}
 	killHook, err := faults.KillOnSave(*fault, nil)
 	if err != nil {
@@ -181,26 +184,9 @@ func run() int {
 		SnapshotOnSave:  killHook,
 	})
 
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := harness.NotifyShutdown(context.Background(), trig, *grace,
+		func(msg string) { fmt.Fprintln(os.Stderr, "mayasim: "+msg) })
 	defer cancel()
-	sigc := make(chan os.Signal, 2)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	defer signal.Stop(sigc)
-	go func() {
-		<-sigc
-		if trig != nil {
-			// First signal: deadline-stop. Running cells save their exact
-			// simulator state and return; unlaunched cells are skipped. The
-			// context is cancelled only after a grace period (or a second,
-			// impatient signal) so the saves can complete.
-			fmt.Fprintln(os.Stderr, "mayasim: signal received; saving cell snapshots (signal again to cancel immediately)")
-			trig.Fire()
-			grace := time.AfterFunc(30*time.Second, cancel)
-			<-sigc
-			grace.Stop()
-		}
-		cancel()
-	}()
 
 	sc := experiments.Scale{WarmupInstr: *warmup, ROIInstr: *roi, Seed: *seed, Parallel: !*serial}
 	out := os.Stdout

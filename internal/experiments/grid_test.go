@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"mayacache/internal/cachemodel"
+)
+
+func TestRunGridCellDeterministic(t *testing.T) {
+	sc := Scale{WarmupInstr: 40_000, ROIInstr: 20_000, Seed: 7}
+	a, err := RunGridCell(context.Background(), DesignMaya, "mcf", 2, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunGridCell(context.Background(), DesignMaya, "mcf", 2, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical grid cells produced different results")
+	}
+	if a.LLCStats.Accesses == 0 {
+		t.Fatal("grid cell simulated nothing")
+	}
+}
+
+func TestRunGridCellRejectsBadInputs(t *testing.T) {
+	sc := Scale{WarmupInstr: 1000, ROIInstr: 1000, Seed: 1}
+	if _, err := RunGridCell(context.Background(), Design("NoSuch"), "mcf", 2, sc); !errors.Is(err, cachemodel.ErrBadConfig) {
+		t.Fatalf("unknown design error = %v, want ErrBadConfig", err)
+	}
+	if _, err := RunGridCell(context.Background(), DesignBaseline, "nosuchbench", 2, sc); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := RunGridCell(context.Background(), DesignBaseline, "mcf", 0, sc); err == nil {
+		t.Fatal("cores=0 accepted")
+	}
+}
+
+func TestGridCellKeyEmbedsScale(t *testing.T) {
+	sc := Scale{WarmupInstr: 10, ROIInstr: 20, Seed: 3}
+	k := GridCellKey(DesignMirage, "lbm", 4, sc)
+	want := "design=Mirage|bench=lbm|cores=4|w=10|roi=20|seed=3"
+	if k != want {
+		t.Fatalf("GridCellKey = %q, want %q", k, want)
+	}
+}

@@ -1,0 +1,119 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Distributed-fabric fault injectors. These target the coordinator/worker
+// machinery in internal/dist rather than the simulator: they prove that a
+// worker dying mid-cell, an RPC link going dark, or heartbeats arriving
+// late are all absorbed by the lease/retry/migration protocol without
+// perturbing results. Like every injector in this package they are
+// deterministic — faults fire on fixed ordinals, never on timing.
+
+// DistFault is a compiled distributed-fabric fault specification.
+// Exactly one of its behaviours is active, per the spec kind:
+//
+//	distkill:<substr>:<n>   KillSave fires on the n-th snapshot save
+//	                        (1-based) of a cell whose key contains substr
+//	                        — the worker running it is killed, exactly
+//	                        once across the whole run.
+//	distdrop:<substr>:<n>   Drop blackholes the first n RPCs touching a
+//	                        cell whose key contains substr (the call
+//	                        neither reaches the coordinator nor returns),
+//	                        modelling a partition the lease must outlive.
+//	distdelay:<substr>:<d>  HeartbeatDelay stalls each heartbeat of a
+//	                        matching worker/cell by duration d.
+//
+// The zero behaviours are inert: a nil *DistFault answers false / zero
+// from every method, so call sites need no guards.
+type DistFault struct {
+	kind   string
+	substr string
+	n      int
+	delay  time.Duration
+
+	mu      sync.Mutex
+	killed  bool
+	dropped int
+}
+
+// ParseDist compiles a distributed-fabric fault spec. Specs of other
+// kinds (killsnap, panic, error, transient, or empty) return (nil, nil)
+// so callers can probe before handing the spec to KillOnSave/ParseHook —
+// mirroring how KillOnSave itself probes.
+func ParseDist(spec string) (*DistFault, error) {
+	kind, rest, ok := strings.Cut(spec, ":")
+	if !ok || !strings.HasPrefix(kind, "dist") {
+		return nil, nil
+	}
+	substr, arg, ok := strings.Cut(rest, ":")
+	if !ok || substr == "" || arg == "" {
+		return nil, fmt.Errorf("faults: bad spec %q (want %s:<substr>:<arg>)", spec, kind)
+	}
+	f := &DistFault{kind: kind, substr: substr}
+	switch kind {
+	case "distkill", "distdrop":
+		n, err := strconv.Atoi(arg)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("faults: bad %s count %q (want a positive integer)", kind, arg)
+		}
+		f.n = n
+	case "distdelay":
+		d, err := time.ParseDuration(arg)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("faults: bad %s duration %q (want a positive duration)", kind, arg)
+		}
+		f.delay = d
+	default:
+		return nil, fmt.Errorf("faults: unknown fault kind %q (want distkill, distdrop, or distdelay)", kind)
+	}
+	return f, nil
+}
+
+// KillSave reports whether the worker should die now: true exactly once,
+// on the first save at or past the configured ordinal of a matching
+// cell. saves is the cell's 1-based durable save count.
+func (f *DistFault) KillSave(key string, saves int) bool {
+	if f == nil || f.kind != "distkill" {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.killed || saves < f.n || !strings.Contains(key, f.substr) {
+		return false
+	}
+	f.killed = true
+	return true
+}
+
+// Drop reports whether an RPC touching the keyed cell should be
+// blackholed; the first n matching calls are.
+func (f *DistFault) Drop(key string) bool {
+	if f == nil || f.kind != "distdrop" {
+		return false
+	}
+	if !strings.Contains(key, f.substr) {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dropped >= f.n {
+		return false
+	}
+	f.dropped++
+	return true
+}
+
+// HeartbeatDelay returns how long a matching worker's heartbeat should
+// stall (zero for non-matching keys or non-delay faults).
+func (f *DistFault) HeartbeatDelay(key string) time.Duration {
+	if f == nil || f.kind != "distdelay" || !strings.Contains(key, f.substr) {
+		return 0
+	}
+	return f.delay
+}

@@ -1,0 +1,74 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseDistProbing(t *testing.T) {
+	// Non-dist specs (including empty) are not errors: the caller probes.
+	for _, spec := range []string{"", "killsnap:mcf:2", "panic:x", "transient:x:3"} {
+		if f, err := ParseDist(spec); f != nil || err != nil {
+			t.Fatalf("ParseDist(%q) = (%v, %v), want (nil, nil)", spec, f, err)
+		}
+	}
+	// Malformed dist specs are errors, not silently inert.
+	for _, spec := range []string{"distkill:mcf", "distkill::2", "distkill:mcf:0",
+		"distdrop:mcf:x", "distdelay:mcf:fast", "distdelay:mcf:-1s", "distfoo:mcf:1"} {
+		if _, err := ParseDist(spec); err == nil {
+			t.Fatalf("ParseDist(%q) accepted", spec)
+		}
+	}
+}
+
+func TestDistKillOnceSemantics(t *testing.T) {
+	f, err := ParseDist("distkill:mcf:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.KillSave("cell|bench=mcf", 1) {
+		t.Fatal("killed before ordinal")
+	}
+	if f.KillSave("cell|bench=lbm", 5) {
+		t.Fatal("killed non-matching cell")
+	}
+	if !f.KillSave("cell|bench=mcf", 2) {
+		t.Fatal("did not kill at ordinal")
+	}
+	if f.KillSave("cell|bench=mcf", 3) {
+		t.Fatal("killed twice")
+	}
+}
+
+func TestDistDropCountdown(t *testing.T) {
+	f, err := ParseDist("distdrop:mcf:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Drop("bench=lbm") {
+		t.Fatal("dropped non-matching RPC")
+	}
+	if !f.Drop("bench=mcf") || !f.Drop("bench=mcf") {
+		t.Fatal("first two matching RPCs not dropped")
+	}
+	if f.Drop("bench=mcf") {
+		t.Fatal("dropped past the budget")
+	}
+}
+
+func TestDistDelayAndNilSafety(t *testing.T) {
+	f, err := ParseDist("distdelay:w1:5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.HeartbeatDelay("w1|cell"); d != 5*time.Millisecond {
+		t.Fatalf("delay = %v, want 5ms", d)
+	}
+	if d := f.HeartbeatDelay("w2|cell"); d != 0 {
+		t.Fatalf("non-matching delay = %v, want 0", d)
+	}
+	var nilF *DistFault
+	if nilF.KillSave("x", 9) || nilF.Drop("x") || nilF.HeartbeatDelay("x") != 0 {
+		t.Fatal("nil DistFault is not inert")
+	}
+}

@@ -56,7 +56,7 @@ type Checkpoint struct {
 	cells     map[string]json.RawMessage
 	snaps     map[string]string // in-progress cell -> snapshot file path
 	f         *os.File          // nil for in-memory checkpoints
-	lock      *fileLock         // held while f is open
+	lock      fileLock          // held while f is open
 	hasHeader bool              // header line already present in the file
 }
 

@@ -168,7 +168,8 @@ type Options struct {
 	BackoffBase time.Duration
 	// BackoffCap caps a single backoff delay; 0 defaults to 2s.
 	BackoffCap time.Duration
-	// Seed drives the backoff jitter stream (deterministic schedules).
+	// Seed drives the backoff jitter (see Backoff: every delay is a pure
+	// function of Seed, the cell key, and the attempt number).
 	Seed uint64
 	// Checkpoint, when non-nil, is consulted before running a cell and
 	// appended to after each completed cell.
@@ -208,11 +209,10 @@ type Options struct {
 type Runner struct {
 	opts Options
 
-	mu     sync.Mutex
-	jitter *rng.Rand
-	errs   []*RunError
-	cells  int // total cells attempted (excluding checkpoint skips)
-	skips  int // cells restored from the checkpoint
+	mu    sync.Mutex
+	errs  []*RunError
+	cells int // total cells attempted (excluding checkpoint skips)
+	skips int // cells restored from the checkpoint
 }
 
 // New builds a Runner. Zero-valued fields of opts select defaults.
@@ -236,8 +236,7 @@ func New(opts Options) *Runner {
 			}
 		}
 	}
-	//mayavet:ignore seedflow -- struct-level taint imprecision: Workers carries NumCPU, Seed is caller-provided
-	return &Runner{opts: opts, jitter: rng.New(opts.Seed ^ 0x6861726e657373)} // "harness"
+	return &Runner{opts: opts}
 }
 
 // Options returns the runner's resolved options.
@@ -320,15 +319,37 @@ func indentStack(stack []byte, maxLines int) string {
 	return string(out)
 }
 
-// backoff returns the jittered delay before retry attempt k (0-based).
-func (r *Runner) backoff(k int) time.Duration {
-	d := r.opts.BackoffBase << uint(k)
-	if d > r.opts.BackoffCap || d <= 0 {
-		d = r.opts.BackoffCap
+// backoff returns the jittered delay before retry attempt k (0-based) of
+// the cell identified by key.
+func (r *Runner) backoff(key string, k int) time.Duration {
+	return Backoff(r.opts.Seed, key, k, r.opts.BackoffBase, r.opts.BackoffCap)
+}
+
+// Backoff returns the delay before retry attempt k (0-based) of the cell
+// identified by key: base<<k capped at cap, plus uniform jitter in
+// [0, base) drawn from a stream keyed by (seed, key, k). The delay is a
+// pure function of its arguments — it does not depend on how many other
+// cells retried first, on worker scheduling, or on any shared stream
+// position — so a retry schedule reproduces exactly given the harness
+// seed, and the distributed coordinator (internal/dist) computes the
+// identical schedule for a cell no matter which worker's failure
+// triggered the retry. base <= 0 defaults to 50ms, cap <= 0 to 2s.
+func Backoff(seed uint64, key string, k int, base, cap time.Duration) time.Duration {
+	if base <= 0 {
+		base = 50 * time.Millisecond
 	}
-	r.mu.Lock()
-	j := time.Duration(r.jitter.Float64() * float64(r.opts.BackoffBase))
-	r.mu.Unlock()
+	if cap <= 0 {
+		cap = 2 * time.Second
+	}
+	d := base << uint(k)
+	if d > cap || d <= 0 {
+		d = cap
+	}
+	h := seed ^ 0x6861726e657373 // "harness"
+	for _, b := range []byte(key) {
+		h = rng.Mix64(h ^ uint64(b))
+	}
+	j := time.Duration(rng.New(rng.Mix64(h^uint64(k))).Float64() * float64(base))
 	return d + j
 }
 
@@ -518,7 +539,12 @@ func runOne[T any](ctx context.Context, r *Runner, key string, run func(ctx cont
 		if !IsTransient(err) || attempts > r.opts.Retries || ctx.Err() != nil {
 			return v, attempts, err
 		}
-		r.opts.Sleep(ctx, r.backoff(attempts-1))
+		r.opts.Sleep(ctx, r.backoff(key, attempts-1))
+		// A cancellation that arrived mid-backoff must not buy the cell one
+		// more full attempt: surface the last failure now.
+		if ctx.Err() != nil {
+			return v, attempts, err
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -255,14 +256,69 @@ func TestParallelForRecoversAndJoins(t *testing.T) {
 
 func TestBackoffGrowsAndCaps(t *testing.T) {
 	r := New(Options{BackoffBase: 10 * time.Millisecond, BackoffCap: 35 * time.Millisecond, Seed: 1})
-	d0 := r.backoff(0)
-	d3 := r.backoff(3)
+	d0 := r.backoff("cell", 0)
+	d3 := r.backoff("cell", 3)
 	if d0 < 10*time.Millisecond || d0 >= 20*time.Millisecond {
 		t.Fatalf("first backoff %v outside [base, 2*base)", d0)
 	}
 	// attempt 3 would be 80ms; capped at 35ms plus jitter < 10ms.
 	if d3 < 35*time.Millisecond || d3 >= 45*time.Millisecond {
 		t.Fatalf("capped backoff %v outside [cap, cap+base)", d3)
+	}
+}
+
+// TestBackoffPureFunction proves the retry schedule contract: the exact
+// delay before attempt k of a cell depends only on (seed, key, k) — not
+// on call order, other cells' retries, or concurrency — so a resumed or
+// distributed sweep reproduces the serial schedule bit for bit.
+func TestBackoffPureFunction(t *testing.T) {
+	const seed = 42
+	keys := []string{"fig9|bench=mcf|seed=1", "fig9|bench=lbm|seed=1", "grid|design=Maya|bench=mcf|seed=3"}
+	base, cap := 10*time.Millisecond, 2*time.Second
+
+	// Reference schedule, computed in natural order.
+	want := map[string][]time.Duration{}
+	for _, k := range keys {
+		for a := 0; a < 6; a++ {
+			want[k] = append(want[k], Backoff(seed, k, a, base, cap))
+		}
+	}
+	// Recomputed in reversed, interleaved order: every delay must match.
+	for a := 5; a >= 0; a-- {
+		for i := len(keys) - 1; i >= 0; i-- {
+			if got := Backoff(seed, keys[i], a, base, cap); got != want[keys[i]][a] {
+				t.Fatalf("Backoff(%q, %d) = %v on re-evaluation, want %v", keys[i], a, got, want[keys[i]][a])
+			}
+		}
+	}
+	// And concurrently, from many goroutines at once.
+	var wg sync.WaitGroup
+	errs := make(chan error, len(keys)*6)
+	for _, k := range keys {
+		for a := 0; a < 6; a++ {
+			wg.Add(1)
+			go func(k string, a int) {
+				defer wg.Done()
+				if got := Backoff(seed, k, a, base, cap); got != want[k][a] {
+					errs <- fmt.Errorf("concurrent Backoff(%q, %d) = %v, want %v", k, a, got, want[k][a])
+				}
+			}(k, a)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Distinct keys and attempts produce distinct jitter streams: the three
+	// keys' first delays should not all coincide.
+	if want[keys[0]][0] == want[keys[1]][0] && want[keys[1]][0] == want[keys[2]][0] {
+		t.Fatalf("jitter identical across keys: %v", want[keys[0]][0])
+	}
+	// A Runner-mediated schedule equals the pure function (same seed).
+	r := New(Options{BackoffBase: base, BackoffCap: cap, Seed: seed})
+	if got := r.backoff(keys[0], 2); got != want[keys[0]][2] {
+		t.Fatalf("runner backoff %v, want %v", got, want[keys[0]][2])
 	}
 }
 

@@ -1,0 +1,44 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+)
+
+// fileLock is an exclusive advisory lock guarding a checkpoint file. The
+// unix implementation prefers flock(2) (released by the kernel on process
+// death) and degrades to the portable O_EXCL lockfile below on
+// filesystems that do not support flock; non-unix platforms always use
+// the lockfile.
+type fileLock interface {
+	release() error
+}
+
+// exclLock is the portable fallback: an O_EXCL lockfile. Unlike flock it
+// is not released by the kernel on process death, so a crashed sweep
+// leaves a stale lockfile the operator must remove; the error message
+// names it.
+type exclLock struct {
+	path string
+}
+
+func acquireExclLock(path string) (fileLock, error) {
+	lp := path + ".lock"
+	f, err := os.OpenFile(lp, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return nil, fmt.Errorf("harness: checkpoint %s is locked (remove stale %s if no sweep is running)", path, lp)
+		}
+		return nil, fmt.Errorf("harness: creating checkpoint lock: %w", err)
+	}
+	fmt.Fprintf(f, "%d\n", os.Getpid())
+	if err := f.Close(); err != nil {
+		_ = os.Remove(lp)
+		return nil, err
+	}
+	return &exclLock{path: lp}, nil
+}
+
+func (l *exclLock) release() error {
+	return os.Remove(l.path)
+}

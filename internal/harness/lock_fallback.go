@@ -2,36 +2,7 @@
 
 package harness
 
-import (
-	"fmt"
-	"os"
-)
-
-// fileLock is the portable fallback: an O_EXCL lockfile. Unlike flock it
-// is not released by the kernel on process death, so a crashed sweep
-// leaves a stale lockfile the operator must remove; the error message
-// names it.
-type fileLock struct {
-	path string
-}
-
-func acquireLock(path string) (*fileLock, error) {
-	lp := path + ".lock"
-	f, err := os.OpenFile(lp, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
-	if err != nil {
-		if os.IsExist(err) {
-			return nil, fmt.Errorf("harness: checkpoint %s is locked (remove stale %s if no sweep is running)", path, lp)
-		}
-		return nil, fmt.Errorf("harness: creating checkpoint lock: %w", err)
-	}
-	fmt.Fprintf(f, "%d\n", os.Getpid())
-	if err := f.Close(); err != nil {
-		_ = os.Remove(lp)
-		return nil, err
-	}
-	return &fileLock{path: lp}, nil
-}
-
-func (l *fileLock) release() error {
-	return os.Remove(l.path)
+// Platforms without flock(2) always use the portable O_EXCL lockfile.
+func acquireLock(path string) (fileLock, error) {
+	return acquireExclLock(path)
 }

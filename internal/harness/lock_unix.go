@@ -3,35 +3,60 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"syscall"
 )
 
-// fileLock is an exclusive advisory lock guarding a checkpoint file. On
-// unix it is a non-blocking flock(2) on a ".lock" sidecar — the sidecar
-// (rather than the checkpoint itself) is locked so the checkpoint can be
-// truncated and reopened without disturbing lock state. The sidecar is
-// left in place on release: removing it would race with a concurrent
-// opener holding the old inode.
-type fileLock struct {
+// flockLock holds a non-blocking flock(2) on a ".flock" sidecar — the
+// sidecar (rather than the checkpoint itself) is locked so the checkpoint
+// can be truncated and reopened without disturbing lock state. The
+// sidecar is left in place on release: removing it would race with a
+// concurrent opener holding the old inode. It is deliberately NOT the
+// ".lock" name the O_EXCL fallback uses: flock creates its sidecar
+// unconditionally (O_CREATE), which would poison a later O_EXCL attempt
+// on the same path when the filesystem turns out not to support flock.
+type flockLock struct {
 	f *os.File
 }
 
-func acquireLock(path string) (*fileLock, error) {
-	f, err := os.OpenFile(path+".lock", os.O_CREATE|os.O_RDWR, 0o644)
+// flockFn is the flock syscall, injectable so tests can simulate
+// filesystems without flock support.
+var flockFn = syscall.Flock
+
+// flockUnsupported reports whether err means the filesystem cannot do
+// flock at all (as opposed to the lock being held): NFS and some overlay
+// or FUSE mounts return ENOTSUP/EOPNOTSUPP (one value on Linux, distinct
+// on some BSDs) or ENOSYS. Such filesystems get the portable O_EXCL
+// lockfile instead of a hard failure.
+func flockUnsupported(err error) bool {
+	return errors.Is(err, syscall.ENOTSUP) ||
+		errors.Is(err, syscall.EOPNOTSUPP) ||
+		errors.Is(err, syscall.ENOSYS)
+}
+
+func acquireLock(path string) (fileLock, error) {
+	f, err := os.OpenFile(path+".flock", os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("harness: opening checkpoint lock: %w", err)
 	}
-	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+	if err := flockFn(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
 		_ = f.Close()
+		if flockUnsupported(err) {
+			// The filesystem cannot flock; degrade to the O_EXCL lockfile.
+			// flock support is a filesystem property, so every opener of
+			// this checkpoint takes the same degraded path and contends on
+			// the same ".lock" name.
+			return acquireExclLock(path)
+		}
 		return nil, fmt.Errorf("harness: checkpoint %s is locked by another process: %w", path, err)
 	}
-	return &fileLock{f: f}, nil
+	return &flockLock{f: f}, nil
 }
 
-func (l *fileLock) release() error {
-	err := syscall.Flock(int(l.f.Fd()), syscall.LOCK_UN)
+func (l *flockLock) release() error {
+	err := flockFn(int(l.f.Fd()), syscall.LOCK_UN)
 	if cerr := l.f.Close(); err == nil {
 		err = cerr
 	}

@@ -1,0 +1,84 @@
+//go:build unix
+
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// A filesystem that rejects flock(2) with ENOTSUP must degrade to the
+// O_EXCL lockfile — still exclusive, still releasable — instead of
+// failing the whole checkpoint open.
+func TestFlockUnsupportedFallsBackToExclLock(t *testing.T) {
+	orig := flockFn
+	flockFn = func(fd int, how int) error {
+		if how&syscall.LOCK_UN != 0 {
+			return nil
+		}
+		return syscall.ENOTSUP
+	}
+	defer func() { flockFn = orig }()
+
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	c, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatalf("OpenCheckpoint with flock unsupported: %v", err)
+	}
+	if _, err := os.Stat(path + ".lock"); err != nil {
+		t.Fatalf("expected O_EXCL lockfile %s.lock: %v", path, err)
+	}
+
+	// Exclusivity must survive the degradation: a second opener fails.
+	if _, err := OpenCheckpoint(path); err == nil {
+		t.Fatal("second OpenCheckpoint succeeded while lock held")
+	} else if !strings.Contains(err.Error(), "locked") {
+		t.Fatalf("second open error %q does not mention the lock", err)
+	}
+
+	if err := c.Record("cell", 1); err != nil {
+		t.Fatalf("Record through degraded lock: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := os.Stat(path + ".lock"); !os.IsNotExist(err) {
+		t.Fatalf("lockfile not removed on Close: %v", err)
+	}
+
+	// And the checkpoint is reopenable afterwards.
+	c2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	var v int
+	if hit, err := c2.Lookup("cell", &v); err != nil || !hit || v != 1 {
+		t.Fatalf("Lookup after reopen = (%v, %v), v=%d", hit, err, v)
+	}
+	if err := c2.Close(); err != nil {
+		t.Fatalf("Close reopened: %v", err)
+	}
+}
+
+// Any flock error other than "unsupported" means the lock is genuinely
+// held (or the filesystem is misbehaving) — no silent fallback.
+func TestFlockHeldDoesNotFallBack(t *testing.T) {
+	orig := flockFn
+	flockFn = func(fd int, how int) error {
+		if how&syscall.LOCK_UN != 0 {
+			return nil
+		}
+		return syscall.EWOULDBLOCK
+	}
+	defer func() { flockFn = orig }()
+
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	if _, err := OpenCheckpoint(path); err == nil {
+		t.Fatal("OpenCheckpoint succeeded with flock reporting EWOULDBLOCK")
+	} else if !strings.Contains(err.Error(), "locked by another process") {
+		t.Fatalf("error %q does not report the held lock", err)
+	}
+}

@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mayacache/internal/snapshot"
+)
+
+// NotifyShutdown installs the two-stage SIGINT/SIGTERM handler shared by
+// the sweep drivers (mayasim, mayafleet workers) and returns a context
+// that ends when shutdown is demanded.
+//
+// With a snapshot trigger, the first signal fires it — running cells
+// save their exact simulator state and stop — and the context is
+// cancelled only after grace elapses (or a second, impatient signal), so
+// the saves can complete. Without a trigger, or with grace <= 0, the
+// first signal cancels immediately.
+//
+// The returned CancelFunc releases the handler's goroutine and signal
+// registration; call it on every exit path.
+func NotifyShutdown(parent context.Context, trig *snapshot.Trigger, grace time.Duration, warn func(msg string)) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		defer signal.Stop(sigc)
+		select {
+		case <-ctx.Done():
+			return
+		case <-sigc:
+		}
+		if trig != nil {
+			if warn != nil {
+				warn("signal received; saving cell snapshots (signal again to cancel immediately)")
+			}
+			trig.Fire()
+			if grace > 0 {
+				t := time.AfterFunc(grace, cancel)
+				select {
+				case <-sigc:
+				case <-ctx.Done():
+				}
+				t.Stop()
+			}
+		}
+		cancel()
+	}()
+	return ctx, cancel
+}

@@ -127,6 +127,17 @@ func (c *Cell) Every() uint64 { return c.spec.Every }
 // Trigger returns the deadline trigger (may be nil).
 func (c *Cell) Trigger() *Trigger { return c.spec.Trigger }
 
+// Saves returns the number of durable state saves this Cell has written
+// since it was opened (resume-from-file does not carry the count over:
+// it is per-process, matching what the OnSave hook observed). The
+// distributed fabric uses it for resumed-iteration accounting — proving
+// a killed worker cost at most one snapshot interval.
+func (c *Cell) Saves() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.saves
+}
+
 // LookupResult reports whether sub completed previously and, if so,
 // unmarshals its recorded result into v.
 func (c *Cell) LookupResult(sub string, v any) (bool, error) {

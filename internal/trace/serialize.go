@@ -3,6 +3,7 @@ package trace
 import (
 	"bufio"
 	"compress/gzip"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -91,6 +92,14 @@ func (o *offsetReader) Read(p []byte) (int, error) {
 // ReadEvents deserializes a trace written by WriteEvents. Decode errors
 // identify the failing event index and its decompressed byte offset.
 func ReadEvents(r io.Reader) ([]Event, error) {
+	return ReadEventsCtx(context.Background(), r)
+}
+
+// ReadEventsCtx is ReadEvents bounded by a context: deserializing a
+// multi-gigabyte (or maliciously slow) trace checks ctx periodically and
+// abandons the decode soon after cancellation, so a coordinator pulling
+// the plug on a cell does not wait out the whole file.
+func ReadEventsCtx(ctx context.Context, r io.Reader) ([]Event, error) {
 	gz, err := gzip.NewReader(r)
 	if err != nil {
 		return nil, fmt.Errorf("trace: %w", err)
@@ -129,8 +138,15 @@ func ReadEvents(r io.Reader) ([]Event, error) {
 		prealloc = maxPrealloc
 	}
 	events := make([]Event, 0, prealloc)
+	// Poll the context on a stride long enough that the check costs
+	// nothing against varint decoding, short enough (~a millisecond of
+	// decode work) that cancellation latency stays negligible.
+	const cancelCheckPeriod = 1 << 14
 	var prev uint64
 	for i := uint64(0); i < count; i++ {
+		if i%cancelCheckPeriod == 0 && ctx.Err() != nil {
+			return nil, fmt.Errorf("trace: decode abandoned at event %d: %w", i, ctx.Err())
+		}
 		at := br.off
 		gap, err := binary.ReadUvarint(br)
 		if err != nil {

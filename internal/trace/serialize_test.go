@@ -2,9 +2,34 @@ package trace
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"testing"
 	"testing/quick"
 )
+
+// A cancelled context must abandon the decode partway rather than
+// materializing the rest of the trace.
+func TestReadEventsCtxCancelled(t *testing.T) {
+	g := MustGenerator(MustLookup("mcf"), 0, 7)
+	events := Capture(g, 100_000)
+	var buf bytes.Buffer
+	if err := WriteEvents(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, err := ReadEventsCtx(ctx, &buf)
+	if err == nil {
+		t.Fatal("ReadEventsCtx returned events under a cancelled context")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if got != nil {
+		t.Fatalf("got %d events, want nil", len(got))
+	}
+}
 
 func TestRoundTrip(t *testing.T) {
 	g := MustGenerator(MustLookup("mcf"), 0, 7)
