@@ -39,16 +39,19 @@ check:
 race:
 	$(GO) test -race ./internal/cachesim/... ./internal/core/... ./internal/experiments/... ./internal/harness/... ./internal/faults/... ./internal/snapshot/...
 	$(GO) test -race ./internal/dist/
+	$(GO) test -race -cover ./internal/serve/
 	$(GO) test -race ./internal/vet/ ./cmd/mayavet/
 	$(GO) test -race -short ./internal/mc/... ./internal/pprofutil/...
 	$(GO) test -race -short -run 'Sharded' ./internal/buckets/
 	$(GO) test -race -short -run 'Trials|MedianDistinguishWorker|MedianDistinguishStream|EvictionSetTrials|ReplacementPredictabilityCtx' ./internal/attack/
 
-# e2e exercises mayasim end to end: fault isolation (one injected
-# panicking cell, nonzero exit, FAILED row), checkpoint resume
-# (byte-identical tables), and SIGKILL-mid-ROI snapshot resume
-# (bit-exact continuation from durable cell state). ci.sh runs the same
-# smoke inline.
+# e2e exercises the CLIs end to end: mayasim fault isolation (one
+# injected panicking cell, nonzero exit, FAILED row), checkpoint resume
+# (byte-identical tables), SIGKILL-mid-ROI snapshot resume (bit-exact
+# continuation from durable cell state), the mayafleet chaos fabric, and
+# the mayaserve session daemon's kill -9 recovery (a daemon SIGKILLed
+# mid-ROI restarts and completes every acknowledged session with
+# byte-identical results). ci.sh runs the same smoke inline.
 e2e:
 	@TMP=$$(mktemp -d); trap 'rm -rf "$$TMP"' EXIT; \
 	$(GO) build -o "$$TMP/mayasim" ./cmd/mayasim; \
@@ -85,13 +88,42 @@ e2e:
 	cmp "$$TMP/fleet-serial.tsv" "$$TMP/fleet-chaos.tsv"; \
 	grep -q "injected kill" "$$TMP/fleet-chaos.err"; \
 	grep -q "migrating cell" "$$TMP/fleet-chaos.err"; \
-	echo "e2e: fleet chaos run byte-identical to serial"
+	echo "e2e: fleet chaos run byte-identical to serial"; \
+	$(GO) build -o "$$TMP/mayaserve" ./cmd/mayaserve; \
+	"$$TMP/mayaserve" serve -data-dir "$$TMP/sv-ref" -addr-file "$$TMP/sv.addr" \
+	    -workers 3 -snapshot-every 4096 2>/dev/null & SRV=$$!; \
+	while [ ! -s "$$TMP/sv.addr" ]; do sleep 0.1; done; A=$$(cat "$$TMP/sv.addr"); \
+	for t in acme beta acme; do "$$TMP/mayaserve" submit -addr "$$A" -tenant $$t \
+	    -cores 1 -warmup 20000 -roi 40000 -seed 7; done > "$$TMP/sv.ids"; \
+	"$$TMP/mayaserve" wait -addr "$$A" -timeout 120s $$(cat "$$TMP/sv.ids") 2>/dev/null; \
+	for id in $$(cat "$$TMP/sv.ids"); do \
+	    "$$TMP/mayaserve" result -addr "$$A" $$id > "$$TMP/sv-ref-$$id.json"; done; \
+	kill -TERM $$SRV; wait $$SRV; \
+	rm -f "$$TMP/sv.addr"; \
+	"$$TMP/mayaserve" serve -data-dir "$$TMP/sv-chaos" -addr-file "$$TMP/sv.addr" \
+	    -workers 3 -snapshot-every 4096 -fault killsnap:s000003:2 2>/dev/null & SRV=$$!; \
+	while [ ! -s "$$TMP/sv.addr" ]; do sleep 0.1; done; A=$$(cat "$$TMP/sv.addr"); \
+	for t in acme beta acme; do "$$TMP/mayaserve" submit -addr "$$A" -tenant $$t \
+	    -cores 1 -warmup 20000 -roi 40000 -seed 7; done > "$$TMP/sv.ids2"; \
+	st=0; wait $$SRV || st=$$?; \
+	if [ "$$st" -ne 137 ]; then echo "e2e: killsnap daemon exited $$st, want 137" >&2; exit 1; fi; \
+	rm -f "$$TMP/sv.addr"; \
+	"$$TMP/mayaserve" serve -data-dir "$$TMP/sv-chaos" -addr-file "$$TMP/sv.addr" \
+	    -workers 3 -snapshot-every 4096 2>/dev/null & SRV=$$!; \
+	while [ ! -s "$$TMP/sv.addr" ]; do sleep 0.1; done; A=$$(cat "$$TMP/sv.addr"); \
+	"$$TMP/mayaserve" wait -addr "$$A" -timeout 120s $$(cat "$$TMP/sv.ids2") 2>/dev/null; \
+	for id in $$(cat "$$TMP/sv.ids2"); do \
+	    "$$TMP/mayaserve" result -addr "$$A" $$id > "$$TMP/sv-got-$$id.json"; \
+	    cmp "$$TMP/sv-ref-$$id.json" "$$TMP/sv-got-$$id.json"; done; \
+	kill -TERM $$SRV; wait $$SRV; \
+	echo "e2e: mayaserve kill -9 recovery byte-identical"
 
 # bench runs the continuous benchmark suite in quick mode and writes
 # BENCH.json: per-design LLC access-path microbenchmarks (ns/access,
-# allocs/access, B/access), a 4-core macro mix (events/sec), and the
+# allocs/access, B/access), a 4-core macro mix (events/sec), the
 # shard-parallel Monte-Carlo security micro (iters/sec, serial vs 8x8,
-# with the measured speedup). The
+# with the measured speedup), and the session-service load scenarios
+# (admission/turnaround latency percentiles, sessions/sec, shed rate). The
 # numbers are pinned and seed-deterministic, so comparing BENCH.json
 # across commits on the same machine tracks simulator performance; the
 # run also re-exercises the zero-alloc and golden-fixture guards via the

@@ -76,6 +76,11 @@ test -n "$(ls "$TMP/snaps")"  # a mid-run cell snapshot is durable
 cmp "$TMP/killresume.out" "$TMP/fresh.out"
 test -z "$(ls "$TMP/snaps")"  # completed cells discard their snapshots
 
+echo "==> race detector + coverage (session service: admission, shedding, crash recovery)"
+# The serve suite's crash test byte-compares results across a hard-killed
+# and a recovered daemon; -cover keeps the robustness paths measured.
+go test -race -cover ./internal/serve/
+
 echo "==> e2e: shard-parallel securitysim (byte-compat + worker invariance + flag validation)"
 go build -o "$TMP/securitysim" ./cmd/securitysim
 # -shards 1 is the historical serial run; any worker count at a fixed
@@ -138,6 +143,96 @@ for bad in "coordinate -inproc 2 -designs Bogus" "coordinate" "work"; do
   fi
 done
 
+echo "==> e2e: session service kill -9 recovery + load shedding (mayaserve)"
+go build -o "$TMP/mayaserve" ./cmd/mayaserve
+# wait_addr polls the atomically written -addr-file until the daemon is up.
+wait_addr() {
+  i=0
+  while [ ! -s "$1" ]; do
+    i=$((i+1))
+    if [ "$i" -gt 100 ]; then echo "ci: mayaserve never bound" >&2; exit 1; fi
+    sleep 0.1
+  done
+}
+# Reference: a clean daemon computes three tenant sessions; results are
+# captured and the daemon drains on SIGTERM (exit 0).
+"$TMP/mayaserve" serve -data-dir "$TMP/serve-ref" -addr-file "$TMP/serve.addr" \
+    -pid-file "$TMP/serve.pid" -workers 3 -snapshot-every 4096 \
+    2> "$TMP/serve-ref.err" &
+SRV=$!
+wait_addr "$TMP/serve.addr"
+ADDR=$(cat "$TMP/serve.addr")
+: > "$TMP/serve.ids"
+for tenant in acme beta acme; do
+  "$TMP/mayaserve" submit -addr "$ADDR" -tenant "$tenant" -cores 1 \
+      -warmup 20000 -roi 40000 -seed 7 >> "$TMP/serve.ids"
+done
+"$TMP/mayaserve" wait -addr "$ADDR" -timeout 120s $(cat "$TMP/serve.ids") 2>/dev/null
+while read -r id; do
+  "$TMP/mayaserve" result -addr "$ADDR" "$id" > "$TMP/serve-ref-$id.json"
+done < "$TMP/serve.ids"
+kill -TERM "$SRV"
+status=0; wait "$SRV" || status=$?
+if [ "$status" -ne 0 ]; then
+  echo "ci: mayaserve graceful drain exited $status, want 0" >&2; exit 1
+fi
+# Chaos: the same three sessions, but the daemon SIGKILLs itself at the
+# 2nd durable save of session s000003 — mid-ROI, no unwind. The restarted
+# daemon must recover every unfinished session from the fsync'd journal,
+# resume from durable snapshots, and produce byte-identical results.
+"$TMP/mayaserve" serve -data-dir "$TMP/serve-chaos" -addr-file "$TMP/serve.addr2" \
+    -workers 3 -snapshot-every 4096 -fault killsnap:s000003:2 \
+    2> "$TMP/serve-chaos.err" &
+SRV=$!
+wait_addr "$TMP/serve.addr2"
+ADDR=$(cat "$TMP/serve.addr2")
+: > "$TMP/serve.ids2"
+for tenant in acme beta acme; do
+  "$TMP/mayaserve" submit -addr "$ADDR" -tenant "$tenant" -cores 1 \
+      -warmup 20000 -roi 40000 -seed 7 >> "$TMP/serve.ids2"
+done
+status=0; wait "$SRV" || status=$?
+if [ "$status" -ne 137 ]; then
+  echo "ci: killsnap daemon exited $status, want 137 (SIGKILL)" >&2; exit 1
+fi
+cmp "$TMP/serve.ids" "$TMP/serve.ids2"  # all three were acknowledged pre-kill
+"$TMP/mayaserve" serve -data-dir "$TMP/serve-chaos" -addr-file "$TMP/serve.addr3" \
+    -pid-file "$TMP/serve.pid" -workers 3 -snapshot-every 4096 \
+    2> "$TMP/serve-recover.err" &
+SRV=$!
+wait_addr "$TMP/serve.addr3"
+ADDR=$(cat "$TMP/serve.addr3")
+grep -q "recovered" "$TMP/serve-recover.err"
+"$TMP/mayaserve" wait -addr "$ADDR" -timeout 120s $(cat "$TMP/serve.ids2") 2>/dev/null
+while read -r id; do
+  "$TMP/mayaserve" result -addr "$ADDR" "$id" > "$TMP/serve-got-$id.json"
+  cmp "$TMP/serve-ref-$id.json" "$TMP/serve-got-$id.json"
+done < "$TMP/serve.ids2"
+kill -TERM "$SRV"; wait "$SRV" || true
+# Load shedding: one worker pinned by a slow tenant behind tight quotas;
+# the burst's tail must get HTTP 429 with a Retry-After hint.
+"$TMP/mayaserve" serve -data-dir "$TMP/serve-shed" -addr-file "$TMP/serve.addr4" \
+    -workers 1 -tenant-queued 1 -global-queued 2 \
+    -fault slowtenant:hog:60s 2> "$TMP/serve-shed.err" &
+SRV=$!
+wait_addr "$TMP/serve.addr4"
+ADDR=$(cat "$TMP/serve.addr4")
+spec='{"tenant":"hog","design":"Maya","bench":"mcf","cores":1,"warmup":20000,"roi":40000,"seed":7}'
+shed=0
+for i in 1 2 3 4; do
+  code=$(curl -s -o "$TMP/shed.body" -w '%{http_code}' -D "$TMP/shed.hdr" \
+      -H 'Content-Type: application/json' -d "$spec" "http://$ADDR/v1/sessions")
+  if [ "$code" = "429" ]; then
+    shed=1
+    grep -qi '^retry-after:' "$TMP/shed.hdr"
+    grep -q 'retry_after_ms' "$TMP/shed.body"
+  fi
+done
+if [ "$shed" -ne 1 ]; then
+  echo "ci: overloaded mayaserve never shed with 429" >&2; exit 1
+fi
+kill -9 "$SRV"; wait "$SRV" 2>/dev/null || true
+
 echo "==> bench: continuous benchmark suite (quick)"
 # The quick suite doubles as a smoke test of the bench pipeline itself:
 # it must build every design through the registry, run the pinned micro
@@ -146,5 +241,6 @@ echo "==> bench: continuous benchmark suite (quick)"
 go run ./cmd/mayabench -quick -out "$TMP/BENCH.json"
 test -s "$TMP/BENCH.json"
 grep -q '"mc"' "$TMP/BENCH.json"
+grep -q '"serve"' "$TMP/BENCH.json"
 
 echo "ci: all green"

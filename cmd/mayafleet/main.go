@@ -14,7 +14,7 @@
 //	                     [-snapshot-dir DIR] [-snapshot-every N]
 //	                     [-checkpoint FILE] [-fault SPEC]... [-addr-file FILE]
 //	mayafleet work       -addr HOST:PORT [-name LABEL] [-snapshot-dir DIR]
-//	                     [-fault SPEC]... [-grace 30s]
+//	                     [-fault SPEC]... [-grace 30s] [-leases N]
 //
 // Grid flags: -designs Baseline,Maya -benches mcf,lbm -cores 8
 // -warmup N -roi N -seed S -seeds K (K seeds derived from S by the Monte
@@ -381,7 +381,9 @@ func serveTCP(ctx context.Context, coord *dist.Coordinator, addr, addrFile strin
 	defer ln.Close()
 	logf("coordinating on %s", ln.Addr())
 	if addrFile != "" {
-		if err := os.WriteFile(addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+		// Atomic write: a script polling the file must never observe a
+		// partially written address.
+		if err := harness.WriteFileAtomic(addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
 			return fail("writing -addr-file: %v", err)
 		}
 	}
@@ -436,6 +438,7 @@ func runWork(args []string) int {
 		name       = fs.String("name", "", "optional worker label included in the coordinator's logs")
 		snapDir    = fs.String("snapshot-dir", "", "directory for durable mid-cell state (default: a temp dir)")
 		grace      = fs.Duration("grace", 30*time.Second, "how long the first signal waits for the in-flight cell to snapshot before cancelling")
+		leases     = fs.Int("leases", 1, "concurrent cell leases this worker holds and executes")
 		faultSpecs multiFlag
 	)
 	fs.Var(&faultSpecs, "fault", "inject a fault (repeatable): distkill:<substr>:<n> | distdrop:<substr>:<n> | distdelay:<substr>:<dur> | panic:<substr> | error:<substr> | transient:<substr>:<k>")
@@ -447,6 +450,9 @@ func runWork(args []string) int {
 	}
 	if *grace < 0 {
 		return fail("-grace must be >= 0 (got %v)", *grace)
+	}
+	if *leases < 1 {
+		return fail("-leases must be >= 1 (got %d)", *leases)
 	}
 	dists, hook, err := parseFaults(faultSpecs)
 	if err != nil {
@@ -476,6 +482,7 @@ func runWork(args []string) int {
 		Faults:  dists,
 		Hook:    hook,
 		Trigger: trig,
+		Leases:  *leases,
 		Logf:    logf,
 	})
 	if err != nil {

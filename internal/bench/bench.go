@@ -105,6 +105,10 @@ type Report struct {
 	// machine the speedup is necessarily ~1; the row records what the
 	// hardware delivered.
 	MC []MCResult `json:"mc"`
+	// Serve measures the session service (internal/serve) over its HTTP
+	// surface: a steady scenario (admission + turnaround latency,
+	// sessions/sec) and an overload scenario (shed rate under a burst).
+	Serve []ServeResult `json:"serve"`
 }
 
 // buildLLC constructs a design through the registry at the bench's pinned
@@ -325,6 +329,11 @@ func Run(opts Options) (*Report, error) {
 		return nil, err
 	}
 	r.MC = mc
+	sv, err := runServeSuite(opts.Quick, seed)
+	if err != nil {
+		return nil, err
+	}
+	r.Serve = sv
 	return r, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"mayacache/internal/mc"
 	"mayacache/internal/snapshot"
 )
 
@@ -387,7 +388,11 @@ var _ snapshot.Stateful = (*DRAM)(nil)
 // degrades to a plain RunCtx. On a deadline stop the partial state has
 // been persisted and the error is snapshot.ErrStopped.
 func RunResumable(ctx context.Context, sys *System, cell *snapshot.Cell, sub string, warmup, roi uint64) (Results, error) {
+	// A tracker on the context (mc.WithTracker) streams retired-instruction
+	// progress on every path, including the degraded plain-RunCtx one.
+	tracker := mc.TrackerFrom(ctx)
 	if cell == nil || !sys.Snapshottable() {
+		sys.SetProgress(tracker)
 		return sys.RunCtx(ctx, warmup, roi)
 	}
 	var cached Results
@@ -407,8 +412,12 @@ func RunResumable(ctx context.Context, sys *System, cell *snapshot.Cell, sub str
 		if rerr := sys.RestoreState(st); rerr != nil {
 			return Results{}, fmt.Errorf("resume %q: %w", sub, rerr)
 		}
+		// Installed after the restore so the tracker baseline is the
+		// resumed state: only instructions retired here are reported.
+		sys.SetProgress(tracker)
 		res, err = sys.ResumeCtx(ctx)
 	} else {
+		sys.SetProgress(tracker)
 		res, err = sys.RunCtx(ctx, warmup, roi)
 	}
 	if err != nil {

@@ -20,6 +20,7 @@ import (
 	"mayacache/internal/baseline"
 	"mayacache/internal/cachemodel"
 	"mayacache/internal/invariant"
+	"mayacache/internal/mc"
 	"mayacache/internal/snapshot"
 	"mayacache/internal/trace"
 )
@@ -123,6 +124,12 @@ type System struct {
 	started     bool  // a run is in progress (RunCtx began or RestoreState succeeded)
 
 	auto *AutoSnapshot
+
+	// Progress reporting (not serialized: a restored System starts a new
+	// tracker epoch; progressSent rebases on the restored retired counts
+	// at the first report).
+	progress     *mc.Tracker
+	progressSent uint64
 }
 
 // AutoSnapshot configures in-run state capture. The drive loop saves the
@@ -139,6 +146,38 @@ type AutoSnapshot struct {
 // SetAutoSnapshot installs (or, with nil, removes) auto-snapshotting for
 // subsequent RunCtx/ResumeCtx calls.
 func (s *System) SetAutoSnapshot(a *AutoSnapshot) { s.auto = a }
+
+// SetProgress installs (or, with nil, removes) a progress tracker for
+// subsequent RunCtx/ResumeCtx calls. The drive loop forwards cumulative
+// retired-instruction deltas (summed across cores, warmup included) at
+// the same cadence as the cancellation poll, plus once at phase end, so
+// a streaming consumer sees liveness without a per-step atomic. Resumed
+// runs report only instructions retired in this process: the tracker
+// baseline is the System's state at SetProgress time.
+func (s *System) SetProgress(t *mc.Tracker) {
+	s.progress = t
+	s.progressSent = 0
+	if t != nil {
+		for _, c := range s.cores {
+			s.progressSent += c.retired
+		}
+	}
+}
+
+// reportProgress forwards retired-instruction growth to the tracker.
+func (s *System) reportProgress() {
+	if s.progress == nil {
+		return
+	}
+	var sum uint64
+	for _, c := range s.cores {
+		sum += c.retired
+	}
+	if sum > s.progressSent {
+		s.progress.Add(sum - s.progressSent)
+		s.progressSent = sum
+	}
+}
 
 // New assembles a system; workloads must have exactly cfg.Cores
 // generators (one per core).
@@ -263,6 +302,7 @@ func (s *System) runFrom(ctx context.Context) (Results, error) {
 	if err := s.drive(ctx); err != nil {
 		return Results{}, err
 	}
+	s.reportProgress()
 	return s.collect(), nil
 }
 
@@ -337,6 +377,7 @@ func (s *System) drive(ctx context.Context) error {
 		for ru == nil || next.clock < ru.clock || (next.clock == ru.clock && nextIdx < ruIdx) {
 			steps++
 			if steps%cancelCheckPeriod == 0 {
+				s.reportProgress()
 				// The trigger outranks plain cancellation: a deadline stop
 				// must persist its snapshot before the context unwinds.
 				if s.auto != nil && s.auto.Trigger.Fired() {

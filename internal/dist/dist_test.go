@@ -498,3 +498,18 @@ func TestNewCoordinatorRejectsBadTiming(t *testing.T) {
 		t.Fatal("empty grid accepted")
 	}
 }
+
+// A single worker holding several concurrent leases produces the same
+// bytes as the serial harness: lease multiplexing is a throughput knob,
+// never a determinism hazard.
+func TestFabricLeasesByteMatchesSerial(t *testing.T) {
+	g := testGrid()
+	want := serialTSV(t, g)
+
+	workers := inprocWorkers(t, 1, nil)
+	workers[0].Opts.Leases = 3
+	got := fabricTSV(t, fabricCoord(t, g, 2), workers)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("multi-lease fabric != serial\nfabric:\n%s\nserial:\n%s", got, want)
+	}
+}

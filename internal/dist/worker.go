@@ -7,6 +7,7 @@ import (
 	"net/rpc"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -47,6 +48,11 @@ type WorkerOptions struct {
 	// gracefully: the worker exits without completing, and the lease
 	// expiry migrates the cell — losing nothing.
 	Trigger *snapshot.Trigger
+	// Leases is how many cell leases this worker holds and executes
+	// concurrently (0 or 1 = one at a time). Each lease runs the same
+	// pull/execute loop; cells land in distinct state files (keyed by
+	// cell key), so results stay byte-identical to a serial run.
+	Leases int
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -119,10 +125,31 @@ func (w *Worker) call(ctx context.Context, method string, args, reply any, cellK
 
 // Run pulls and executes leases until the coordinator dismisses the
 // worker (every cell resolved, or coordinator shutdown), ctx ends, or
-// the shutdown trigger fires. The returned error reports transport
-// failures only; cell failures travel to the coordinator as structured
-// Complete records.
+// the shutdown trigger fires. With Leases > 1 it drives that many
+// concurrent pull/execute loops over the one registration and RPC
+// client. The returned error reports transport failures only; cell
+// failures travel to the coordinator as structured Complete records.
 func (w *Worker) Run(ctx context.Context) error {
+	n := w.opts.Leases
+	if n <= 1 {
+		return w.runLoop(ctx)
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(ctx context.Context, i int) {
+			defer wg.Done()
+			errs[i] = w.runLoop(ctx)
+		}(ctx, i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// runLoop is one lease-holding loop: request a lease, run the cell,
+// repeat until dismissed, cancelled, or signalled.
+func (w *Worker) runLoop(ctx context.Context) error {
 	for {
 		if ctx.Err() != nil || w.opts.Trigger.Fired() {
 			return nil

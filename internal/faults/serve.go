@@ -1,0 +1,90 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ServeFault is one serve-side injector, compiled from a CLI fault
+// specification. The serve layer consults every configured injector at
+// two deterministic sites:
+//
+//	slowtenant:<tenant>:<dur>  stall every run admitted for tenant by dur
+//	                           before it starts — a tenant whose sessions
+//	                           hog workers, for proving that quotas and
+//	                           shedding isolate the other tenants;
+//	snapfail:<substr>:<n>      fail the n-th durable state save (1-based)
+//	                           of any session whose cell key contains
+//	                           substr — a failing disk at a deterministic
+//	                           point; the session must surface a
+//	                           structured error while siblings complete.
+//
+// The third serve-side fault, killsnap:<substr>:<n> (SIGKILL the daemon
+// at the n-th save), rides the existing KillOnSave hook unchanged.
+// Methods are nil-safe so callers can consult an absent injector.
+type ServeFault struct {
+	kind   string
+	tenant string
+	delay  time.Duration
+	substr string
+	n      int
+}
+
+// ParseServe compiles a serve-side fault specification. A spec of a
+// different kind (killsnap, the harness kinds) returns (nil, nil) so
+// callers can probe each parser in turn, mirroring KillOnSave.
+func ParseServe(spec string) (*ServeFault, error) {
+	kind, rest, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, nil
+	}
+	switch kind {
+	case "slowtenant":
+		tenant, durStr, ok := strings.Cut(rest, ":")
+		if !ok || tenant == "" {
+			return nil, fmt.Errorf("faults: bad spec %q (want slowtenant:<tenant>:<dur>)", spec)
+		}
+		d, err := time.ParseDuration(durStr)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("faults: bad slowtenant duration %q (want a positive duration)", durStr)
+		}
+		return &ServeFault{kind: kind, tenant: tenant, delay: d}, nil
+	case "snapfail":
+		substr, nStr, ok := strings.Cut(rest, ":")
+		if !ok || substr == "" {
+			return nil, fmt.Errorf("faults: bad spec %q (want snapfail:<substr>:<n>)", spec)
+		}
+		n, err := strconv.Atoi(nStr)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("faults: bad snapfail save count %q (want a positive integer)", nStr)
+		}
+		return &ServeFault{kind: kind, substr: substr, n: n}, nil
+	default:
+		return nil, nil
+	}
+}
+
+// RunDelay returns how long a run for tenant must stall before starting
+// (zero for unaffected tenants and non-slowtenant injectors).
+func (f *ServeFault) RunDelay(tenant string) time.Duration {
+	if f == nil || f.kind != "slowtenant" || f.tenant != tenant {
+		return 0
+	}
+	return f.delay
+}
+
+// SaveErr returns the injected error for the save with ordinal saves
+// (1-based) of the session cell key, or nil. Only the configured ordinal
+// fails: the aborted run never reaches later ordinals in this process,
+// and a restarted daemon re-injects at the same deterministic point.
+func (f *ServeFault) SaveErr(key string, saves int) error {
+	if f == nil || f.kind != "snapfail" {
+		return nil
+	}
+	if saves == f.n && strings.Contains(key, f.substr) {
+		return fmt.Errorf("%w: snapshot write %d of %s failed", ErrInjected, saves, key)
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestParseServeSlowTenant(t *testing.T) {
+	f, err := ParseServe("slowtenant:acme:150ms")
+	if err != nil || f == nil {
+		t.Fatalf("ParseServe: f=%v err=%v", f, err)
+	}
+	if d := f.RunDelay("acme"); d != 150*time.Millisecond {
+		t.Fatalf("RunDelay(acme) = %v", d)
+	}
+	if d := f.RunDelay("other"); d != 0 {
+		t.Fatalf("RunDelay(other) = %v, want 0", d)
+	}
+	if err := f.SaveErr("serve|s000001|acme", 1); err != nil {
+		t.Fatalf("slowtenant injected a save error: %v", err)
+	}
+}
+
+func TestParseServeSnapfail(t *testing.T) {
+	f, err := ParseServe("snapfail:s000002:3")
+	if err != nil || f == nil {
+		t.Fatalf("ParseServe: f=%v err=%v", f, err)
+	}
+	if err := f.SaveErr("serve|s000002|acme", 2); err != nil {
+		t.Fatalf("save 2 failed early: %v", err)
+	}
+	if err := f.SaveErr("serve|s000002|acme", 3); !errors.Is(err, ErrInjected) {
+		t.Fatalf("save 3 = %v, want ErrInjected", err)
+	}
+	if err := f.SaveErr("serve|s000001|acme", 3); err != nil {
+		t.Fatalf("non-matching key failed: %v", err)
+	}
+	if err := f.SaveErr("serve|s000002|acme", 4); err != nil {
+		t.Fatalf("save 4 failed: only the configured ordinal should: %v", err)
+	}
+	if d := f.RunDelay("acme"); d != 0 {
+		t.Fatalf("snapfail injected a run delay: %v", d)
+	}
+}
+
+func TestParseServeForeignAndBad(t *testing.T) {
+	for _, spec := range []string{"", "killsnap:x:1", "panic:x", "distkill:x:1", "nonsense"} {
+		f, err := ParseServe(spec)
+		if f != nil || err != nil {
+			t.Fatalf("ParseServe(%q) = %v, %v; want nil, nil", spec, f, err)
+		}
+	}
+	for _, spec := range []string{
+		"slowtenant::1s", "slowtenant:acme:", "slowtenant:acme:fast", "slowtenant:acme:-1s",
+		"snapfail::1", "snapfail:x:", "snapfail:x:0", "snapfail:x:zero",
+	} {
+		if _, err := ParseServe(spec); err == nil {
+			t.Fatalf("ParseServe(%q) accepted a malformed spec", spec)
+		}
+	}
+}
+
+func TestServeFaultNilSafe(t *testing.T) {
+	var f *ServeFault
+	if d := f.RunDelay("acme"); d != 0 {
+		t.Fatalf("nil RunDelay = %v", d)
+	}
+	if err := f.SaveErr("key", 1); err != nil {
+		t.Fatalf("nil SaveErr = %v", err)
+	}
+}

@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path so that a concurrent reader observes
+// either the previous contents or the complete new contents, never a
+// partial write: the data lands in a temp file in the same directory,
+// is fsynced, and is renamed over path. The containing directory is
+// synced best-effort afterwards so the rename itself survives a crash.
+//
+// The CLIs use it for small rendezvous files (listener address, pid)
+// that other processes poll for; a plain os.WriteFile there can expose
+// a torn address to a fast poller.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("harness: atomic write %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		_ = tmp.Close()
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("harness: atomic write %s: %w", path, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("harness: atomic write %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("harness: atomic write %s: %w", path, err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync() // best effort: not all filesystems support dir fsync
+		_ = d.Close()
+	}
+	return nil
+}

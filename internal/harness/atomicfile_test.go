@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "addr")
+
+	if err := WriteFileAtomic(path, []byte("127.0.0.1:4100"), 0o644); err != nil {
+		t.Fatalf("WriteFileAtomic: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if !bytes.Equal(got, []byte("127.0.0.1:4100")) {
+		t.Fatalf("content = %q", got)
+	}
+
+	// Overwrite replaces the full content, never appends or truncates short.
+	if err := WriteFileAtomic(path, []byte("[::1]:65535"), 0o600); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	got, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read back 2: %v", err)
+	}
+	if !bytes.Equal(got, []byte("[::1]:65535")) {
+		t.Fatalf("content after overwrite = %q", got)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	if perm := info.Mode().Perm(); perm != 0o600 {
+		t.Fatalf("perm = %o, want 600", perm)
+	}
+
+	// No temp litter left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("readdir: %v", err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("leftover temp file %q", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("dir has %d entries, want 1", len(entries))
+	}
+}
+
+func TestWriteFileAtomicMissingDir(t *testing.T) {
+	err := WriteFileAtomic(filepath.Join(t.TempDir(), "nope", "addr"), []byte("x"), 0o644)
+	if err == nil {
+		t.Fatal("expected error for missing parent directory")
+	}
+}

@@ -259,6 +259,23 @@ func (c *Checkpoint) appendLocked(e checkpointEntry) error {
 	return nil
 }
 
+// Sync flushes appended records to stable storage. Per-record appends
+// only reach the OS page cache (losing the in-flight cells of a machine
+// crash is acceptable for sweeps); callers whose records acknowledge
+// external work — the serve layer admitting a tenant session — call Sync
+// before acting on the record. In-memory checkpoints are a no-op.
+func (c *Checkpoint) Sync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	if err := c.f.Sync(); err != nil {
+		return fmt.Errorf("harness: syncing checkpoint: %w", err)
+	}
+	return nil
+}
+
 // Len returns the number of stored cells.
 func (c *Checkpoint) Len() int {
 	c.mu.Lock()

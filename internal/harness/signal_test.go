@@ -1,0 +1,126 @@
+//go:build unix
+
+package harness
+
+import (
+	"context"
+	"os"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"mayacache/internal/snapshot"
+)
+
+// These tests signal the whole test process, so they must not run in
+// parallel with each other (no t.Parallel) — a second NotifyShutdown
+// handler would consume signals meant for the first.
+
+func sendSelf(t *testing.T, sig syscall.Signal) {
+	t.Helper()
+	if err := syscall.Kill(os.Getpid(), sig); err != nil {
+		t.Fatalf("kill(self, %v): %v", sig, err)
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestNotifyShutdownSecondSignal: the first signal fires the trigger and
+// keeps the context alive for the grace window; a second signal demands
+// immediate cancellation without waiting out the grace.
+func TestNotifyShutdownSecondSignal(t *testing.T) {
+	var trig snapshot.Trigger
+	var mu sync.Mutex
+	var warned bool
+	// A grace far beyond the test timeout: if the second-signal path were
+	// broken, the test would fail by deadline rather than pass by luck.
+	ctx, cancel := NotifyShutdown(context.Background(), &trig, time.Hour, func(string) {
+		mu.Lock()
+		warned = true
+		mu.Unlock()
+	})
+	defer cancel()
+
+	sendSelf(t, syscall.SIGTERM)
+	// Wait until the handler has consumed signal #1 (trigger fired) before
+	// sending #2 — pending standard signals coalesce, so sending both
+	// back-to-back could deliver only one.
+	waitFor(t, "trigger to fire", trig.Fired)
+	mu.Lock()
+	w := warned
+	mu.Unlock()
+	if !w {
+		t.Fatal("first signal did not invoke warn")
+	}
+	select {
+	case <-ctx.Done():
+		t.Fatal("context cancelled before the grace window or a second signal")
+	default:
+	}
+
+	sendSelf(t, syscall.SIGTERM)
+	select {
+	case <-ctx.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("second signal did not cancel immediately")
+	}
+}
+
+// TestNotifyShutdownGraceElapses: with no second signal, the context
+// cancels on its own once the grace window passes.
+func TestNotifyShutdownGraceElapses(t *testing.T) {
+	var trig snapshot.Trigger
+	ctx, cancel := NotifyShutdown(context.Background(), &trig, 50*time.Millisecond, nil)
+	defer cancel()
+
+	sendSelf(t, syscall.SIGTERM)
+	waitFor(t, "trigger to fire", trig.Fired)
+	select {
+	case <-ctx.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("grace window elapsed without cancellation")
+	}
+}
+
+// TestNotifyShutdownNoTrigger: without a trigger there is nothing to
+// save, so the first signal cancels immediately.
+func TestNotifyShutdownNoTrigger(t *testing.T) {
+	ctx, cancel := NotifyShutdown(context.Background(), nil, time.Hour, nil)
+	defer cancel()
+
+	sendSelf(t, syscall.SIGTERM)
+	select {
+	case <-ctx.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("signal without trigger did not cancel immediately")
+	}
+}
+
+// TestNotifyShutdownParentCancel: cancelling the parent releases the
+// handler without any signal traffic, and the returned context follows.
+func TestNotifyShutdownParentCancel(t *testing.T) {
+	parent, pcancel := context.WithCancel(context.Background())
+	var trig snapshot.Trigger
+	ctx, cancel := NotifyShutdown(parent, &trig, time.Hour, nil)
+	defer cancel()
+
+	pcancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("child context did not follow parent cancellation")
+	}
+	if trig.Fired() {
+		t.Fatal("parent cancellation fired the snapshot trigger")
+	}
+}

@@ -238,3 +238,19 @@ func (t *Tracker) Total() uint64 {
 	}
 	return t.total
 }
+
+type trackerCtxKey struct{}
+
+// WithTracker attaches a Tracker to ctx so layers that cannot take one as
+// a parameter (the simulator behind cachesim.RunResumable) can still
+// report progress. A nil tracker is fine: TrackerFrom returns it and all
+// Tracker methods are nil-safe.
+func WithTracker(ctx context.Context, t *Tracker) context.Context {
+	return context.WithValue(ctx, trackerCtxKey{}, t)
+}
+
+// TrackerFrom returns the Tracker attached to ctx, or nil.
+func TrackerFrom(ctx context.Context) *Tracker {
+	t, _ := ctx.Value(trackerCtxKey{}).(*Tracker)
+	return t
+}

@@ -214,3 +214,26 @@ func TestTrackerNilSafe(t *testing.T) {
 		t.Fatalf("done=%d calls=%d", tr.Done(), calls)
 	}
 }
+
+// TestTrackerContext: WithTracker/TrackerFrom round-trip, and absence
+// yields nil (which every Tracker method accepts).
+func TestTrackerContext(t *testing.T) {
+	if got := TrackerFrom(context.Background()); got != nil {
+		t.Fatalf("empty context yielded tracker %v", got)
+	}
+	tr := NewTracker(10, nil)
+	ctx := WithTracker(context.Background(), tr)
+	if got := TrackerFrom(ctx); got != tr {
+		t.Fatalf("TrackerFrom = %v, want the attached tracker", got)
+	}
+	// A nil tracker attaches and retrieves cleanly.
+	ctx = WithTracker(context.Background(), nil)
+	if got := TrackerFrom(ctx); got != nil {
+		t.Fatalf("nil tracker round-tripped as %v", got)
+	}
+	got := TrackerFrom(ctx)
+	got.Add(3) // nil-safe
+	if got.Done() != 0 {
+		t.Fatal("nil tracker accumulated")
+	}
+}

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// API (all JSON unless noted):
+//
+//	POST /v1/sessions          admit a Spec → 201 {"id":...}
+//	                           400 bad spec · 429 shed (Retry-After) ·
+//	                           503 draining (Retry-After)
+//	GET  /v1/sessions          list session summaries
+//	GET  /v1/sessions/{id}     one session's state + progress
+//	GET  /v1/sessions/{id}/result  raw journaled Results bytes
+//	GET  /v1/sessions/{id}/events  server-sent events (progress stream)
+//	GET  /healthz              200 ok · 503 draining
+//	GET  /statsz               scheduler statistics
+//
+// The result endpoint serves the journal's bytes verbatim, so two
+// daemons that computed the same session agree byte-for-byte — the
+// chaos test's equality oracle.
+
+// Handler returns the service's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.handleAdmit)
+	mux.HandleFunc("GET /v1/sessions", s.handleList)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSession)
+	mux.HandleFunc("GET /v1/sessions/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// retryAfterHeader renders a Retry-After in whole seconds (ceiling, so a
+// compliant client never retries early).
+func retryAfterHeader(w http.ResponseWriter, d time.Duration) {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}
+
+func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	var sp Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding spec: %v", err))
+		return
+	}
+	id, err := s.Admit(sp)
+	if err != nil {
+		var shed *ShedError
+		switch {
+		case errors.As(err, &shed):
+			retryAfterHeader(w, shed.RetryAfter)
+			writeJSON(w, http.StatusTooManyRequests, map[string]any{
+				"error":          shed.Error(),
+				"reason":         shed.Reason,
+				"retry_after_ms": shed.RetryAfter.Milliseconds(),
+			})
+		case errors.Is(err, ErrDraining):
+			retryAfterHeader(w, 10*time.Second)
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+		case errors.Is(err, ErrBadSpec):
+			writeError(w, http.StatusBadRequest, err.Error())
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": id})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Sessions())
+}
+
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	info := s.Session(r.PathValue("id"))
+	if info == nil {
+		writeError(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.Session(id) == nil {
+		writeError(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	raw, errMsg, terminal := s.Result(id)
+	switch {
+	case !terminal:
+		writeError(w, http.StatusConflict, "session not finished")
+	case errMsg != "":
+		writeError(w, http.StatusInternalServerError, errMsg)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(raw)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.StatsNow()
+	if st.Draining {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatsNow())
+}

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"mayacache/internal/rng"
+)
+
+// Quotas bounds what the service accepts. Zero values select the
+// defaults; a negative value disables that bound (tests only — a real
+// deployment always bounds its queue).
+type Quotas struct {
+	// TenantRunning caps one tenant's concurrently running sessions.
+	TenantRunning int
+	// TenantQueued caps one tenant's admitted-but-not-running sessions.
+	TenantQueued int
+	// GlobalQueued caps the total queue depth across tenants.
+	GlobalQueued int
+}
+
+// Default quota values.
+const (
+	DefaultTenantRunning = 2
+	DefaultTenantQueued  = 8
+	DefaultGlobalQueued  = 64
+)
+
+func (q Quotas) tenantRunning() int { return defaulted(q.TenantRunning, DefaultTenantRunning) }
+func (q Quotas) tenantQueued() int  { return defaulted(q.TenantQueued, DefaultTenantQueued) }
+func (q Quotas) globalQueued() int  { return defaulted(q.GlobalQueued, DefaultGlobalQueued) }
+
+func defaulted(v, def int) int {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 1 << 30 // effectively unbounded
+	default:
+		return v
+	}
+}
+
+// shedder decides Retry-After hints and the latency-watermark shed. It
+// keeps a ring of recent run durations; p99 over the ring crossing the
+// watermark sheds new admissions even when the queue still has room —
+// queue depth alone underestimates pressure when individual runs are
+// slow (the slow-tenant fault makes exactly that happen).
+type shedder struct {
+	mu        sync.Mutex
+	durs      [64]time.Duration
+	n         int // total observations (ring index = n % len)
+	jitter    *rng.Rand
+	watermark time.Duration // 0 disables the latency shed
+	shedCount uint64
+}
+
+func newShedder(watermark time.Duration, jitterSeed uint64) *shedder {
+	return &shedder{watermark: watermark, jitter: rng.New(jitterSeed)}
+}
+
+// observe records one completed run's duration.
+func (s *shedder) observe(d time.Duration) {
+	s.mu.Lock()
+	s.durs[s.n%len(s.durs)] = d
+	s.n++
+	s.mu.Unlock()
+}
+
+// p99 returns the 99th-percentile run duration over the ring (0 with no
+// observations yet).
+func (s *shedder) p99() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.p99Locked()
+}
+
+func (s *shedder) p99Locked() time.Duration {
+	n := s.n
+	if n > len(s.durs) {
+		n = len(s.durs)
+	}
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, n)
+	copy(sorted, s.durs[:n])
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[(n-1)*99/100]
+}
+
+// avgLocked returns the mean observed run duration, or a floor estimate
+// before any run completes.
+func (s *shedder) avgLocked() time.Duration {
+	n := s.n
+	if n > len(s.durs) {
+		n = len(s.durs)
+	}
+	if n == 0 {
+		return time.Second
+	}
+	var sum time.Duration
+	for _, d := range s.durs[:n] {
+		sum += d
+	}
+	return sum / time.Duration(n)
+}
+
+// latencyShed reports whether the p99 watermark is crossed.
+func (s *shedder) latencyShed() bool {
+	if s.watermark <= 0 {
+		return false
+	}
+	return s.p99() > s.watermark
+}
+
+// retryAfter estimates when a retry has a chance: the backlog's expected
+// drain time ((queued+running)/workers runs at the average duration),
+// clamped to [1s, 5min] and jittered by a seeded ±25% so a thundering
+// herd of shed clients does not re-arrive in one wave. The jitter stream
+// is the only randomness in the serve layer and it never touches
+// simulation results.
+func (s *shedder) retryAfter(queued, running, workers int) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if workers < 1 {
+		workers = 1
+	}
+	waves := (queued+running+workers-1)/workers + 1
+	est := time.Duration(waves) * s.avgLocked()
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > 5*time.Minute {
+		est = 5 * time.Minute
+	}
+	// jitter in [0.75, 1.25)
+	factor := 0.75 + s.jitter.Float64()/2
+	return time.Duration(float64(est) * factor)
+}
+
+// shed counts one rejected admission.
+func (s *shedder) shed() {
+	s.mu.Lock()
+	s.shedCount++
+	s.mu.Unlock()
+}
+
+// sheds returns the cumulative shed count.
+func (s *shedder) sheds() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shedCount
+}

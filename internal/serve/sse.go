@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// DefaultHeartbeat is the SSE keepalive cadence. A client that has seen
+// no frame for several heartbeats can conclude the server is dead, not
+// slow — the distinction progress streaming exists to make.
+const DefaultHeartbeat = 5 * time.Second
+
+// heartbeatEvery is variable for tests.
+var heartbeatEvery = DefaultHeartbeat
+
+// handleEvents streams one session's lifecycle as server-sent events:
+//
+//	event: progress   data: {"done":N,"total":M,"state":...}   on change
+//	event: done       data: the final SessionInfo              terminal
+//	: heartbeat                                                keepalive
+//
+// The stream ends after the done event (or when the client goes away or
+// the server stops). Progress kicks are coalesced: a burst of tracker
+// updates becomes one frame.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sess := s.sessions[id]
+	srvCtx := s.ctx
+	s.mu.Unlock()
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(event string) bool {
+		info := s.Session(id)
+		data, err := json.Marshal(info)
+		if err != nil {
+			return false
+		}
+		_, werr := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		fl.Flush()
+		return werr == nil
+	}
+	if !emit("progress") {
+		return
+	}
+	hb := time.NewTicker(heartbeatEvery)
+	defer hb.Stop()
+	var srvDone <-chan struct{}
+	if srvCtx != nil {
+		srvDone = srvCtx.Done()
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-srvDone:
+			return
+		case <-sess.done:
+			emit("done")
+			return
+		case <-sess.notify:
+			// Terminal kick races the done channel; let done win so the
+			// last frame is the terminal one.
+			select {
+			case <-sess.done:
+				emit("done")
+				return
+			default:
+			}
+			if !emit("progress") {
+				return
+			}
+		case <-hb.C:
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

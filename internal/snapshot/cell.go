@@ -40,6 +40,12 @@ type CellSpec struct {
 	// cumulative save count — the hook the kill-mid-ROI fault injector
 	// uses to die at a deterministic point.
 	OnSave func(saves int)
+	// PreSave, if set, runs before every durable snapshot write with the
+	// ordinal of the save about to happen (1 for the first). A non-nil
+	// error aborts the save and is returned from SaveSystem — the hook
+	// the snapshot-write-error fault injector uses to simulate a failing
+	// disk at a deterministic point.
+	PreSave func(saves int) error
 }
 
 // Cell is the mid-cell resume state for one sweep cell. Methods are safe
@@ -186,6 +192,14 @@ func (c *Cell) SystemState(sub string) []byte {
 // SaveSystem durably records state as the in-progress snapshot of sub,
 // replacing any previous one, then invokes the OnSave hook.
 func (c *Cell) SaveSystem(sub string, state []byte) error {
+	if c.spec.PreSave != nil {
+		c.mu.Lock()
+		next := c.saves + 1
+		c.mu.Unlock()
+		if err := c.spec.PreSave(next); err != nil {
+			return err
+		}
+	}
 	c.mu.Lock()
 	c.curSub, c.curState = sub, state
 	err := c.persistLocked()
