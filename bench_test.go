@@ -22,6 +22,15 @@ import (
 	"mayacache/internal/trace"
 )
 
+// mustLLC unwraps a checked cache constructor for statically valid test
+// geometries.
+func mustLLC[T cachemodel.LLC](c T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
 // benchScale keeps each benchmark iteration around a second.
 func benchScale() experiments.Scale {
 	return experiments.Scale{WarmupInstr: 400_000, ROIInstr: 200_000, Seed: 1, Parallel: true}
@@ -115,14 +124,14 @@ func Benchmark_Fig8_OccupancyAttack(b *testing.B) {
 			occupancy int
 		}{
 			{"16-way", func(seed uint64) cachemodel.LLC {
-				return baseline.New(baseline.Config{Sets: sets, Ways: 16, Replacement: baseline.LRU, Seed: seed, MatchSDID: true})
+				return mustLLC(baseline.NewChecked(baseline.Config{Sets: sets, Ways: 16, Replacement: baseline.LRU, Seed: seed, MatchSDID: true}))
 			}, sets * 16},
 			{"Maya", func(seed uint64) cachemodel.LLC {
-				return maya.New(maya.Config{SetsPerSkew: sets, Skews: 2, BaseWays: 6, ReuseWays: 3, InvalidWays: 6, Seed: seed,
-					Hasher: cachemodel.NewXorHasher(2, 6, seed)})
+				return mustLLC(maya.NewChecked(maya.Config{SetsPerSkew: sets, Skews: 2, BaseWays: 6, ReuseWays: 3, InvalidWays: 6, Seed: seed,
+					Hasher: cachemodel.NewXorHasher(2, 6, seed)}))
 			}, 2 * sets * 12},
 			{"FA", func(seed uint64) cachemodel.LLC {
-				return baseline.NewFullyAssociative(sets*16, seed, true)
+				return mustLLC(baseline.NewFullyAssociativeChecked(sets*16, seed, true))
 			}, 2 * sets * 16},
 		}
 		for _, d := range designs {

@@ -233,14 +233,21 @@ if [ "$shed" -ne 1 ]; then
 fi
 kill -9 "$SRV"; wait "$SRV" 2>/dev/null || true
 
-echo "==> bench: continuous benchmark suite (quick)"
+echo "==> bench: continuous benchmark suite (quick) + regression gate"
 # The quick suite doubles as a smoke test of the bench pipeline itself:
 # it must build every design through the registry, run the pinned micro
-# and macro workloads (plus the shard-parallel Monte-Carlo micro), and
-# emit a parseable BENCH.json.
-go run ./cmd/mayabench -quick -out "$TMP/BENCH.json"
+# and macro workloads (serial and parallel rows per design, plus the
+# shard-parallel Monte-Carlo micro), emit a parseable BENCH.json, and
+# hold every design's macro events/sec within 10% of the committed
+# baseline (ci-bench-baseline.json) after normalizing out the run-wide
+# machine-speed factor, so shared-runner noise does not flake the gate
+# (regenerate the baseline with
+# `go run ./cmd/mayabench -quick -out ci-bench-baseline.json` after an
+# intentional perf change).
+go run ./cmd/mayabench -quick -out "$TMP/BENCH.json" -compare ci-bench-baseline.json
 test -s "$TMP/BENCH.json"
 grep -q '"mc"' "$TMP/BENCH.json"
 grep -q '"serve"' "$TMP/BENCH.json"
+grep -q '"parallelism"' "$TMP/BENCH.json"
 
 echo "ci: all green"

@@ -92,30 +92,39 @@ type designUnderAttack struct {
 	occupancy int
 }
 
+// mustLLC unwraps a checked constructor; attacksim's geometries are
+// static, so a construction error is a programming bug.
+func mustLLC(c cachemodel.LLC, err error) cachemodel.LLC {
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
 func fig8Designs(sets int) []designUnderAttack {
 	capacity := sets * 16
 	return []designUnderAttack{
 		{
 			name: "16-way SA",
 			mk: func(seed uint64) cachemodel.LLC {
-				return baseline.New(baseline.Config{Sets: sets, Ways: 16, Replacement: baseline.LRU, Seed: seed, MatchSDID: true})
+				return mustLLC(baseline.NewChecked(baseline.Config{Sets: sets, Ways: 16, Replacement: baseline.LRU, Seed: seed, MatchSDID: true}))
 			},
 			occupancy: capacity,
 		},
 		{
 			name: "Maya",
 			mk: func(seed uint64) cachemodel.LLC {
-				return maya.New(maya.Config{
+				return mustLLC(maya.NewChecked(maya.Config{
 					SetsPerSkew: sets, Skews: 2, BaseWays: 6, ReuseWays: 3, InvalidWays: 6,
 					Seed: seed,
-				})
+				}))
 			},
 			occupancy: 2 * sets * 2 * 6,
 		},
 		{
 			name: "Fully associative",
 			mk: func(seed uint64) cachemodel.LLC {
-				return baseline.NewFullyAssociative(capacity, seed, true)
+				return mustLLC(baseline.NewFullyAssociativeChecked(capacity, seed, true))
 			},
 			occupancy: 2 * capacity,
 		},
@@ -179,22 +188,22 @@ func evictionSets(sets int, seed uint64) error {
 		mk   func() cachemodel.LLC
 	}{
 		{"Baseline 16-way", func() cachemodel.LLC {
-			return baseline.New(baseline.Config{Sets: sets, Ways: 16, Replacement: baseline.LRU, Seed: seed, MatchSDID: true})
+			return mustLLC(baseline.NewChecked(baseline.Config{Sets: sets, Ways: 16, Replacement: baseline.LRU, Seed: seed, MatchSDID: true}))
 		}},
 		{"CEASER", func() cachemodel.LLC {
-			return ceaser.New(ceaser.Config{Sets: sets, Ways: 16, Variant: ceaser.CEASER, Seed: seed})
+			return mustLLC(ceaser.NewChecked(ceaser.Config{Sets: sets, Ways: 16, Variant: ceaser.CEASER, Seed: seed}))
 		}},
 		{"CEASER-S", func() cachemodel.LLC {
-			return ceaser.New(ceaser.Config{Sets: sets, Ways: 16, Variant: ceaser.CEASERS, Seed: seed})
+			return mustLLC(ceaser.NewChecked(ceaser.Config{Sets: sets, Ways: 16, Variant: ceaser.CEASERS, Seed: seed}))
 		}},
 		{"ScatterCache", func() cachemodel.LLC {
-			return ceaser.New(ceaser.Config{Sets: sets, Ways: 16, Variant: ceaser.ScatterCache, Seed: seed})
+			return mustLLC(ceaser.NewChecked(ceaser.Config{Sets: sets, Ways: 16, Variant: ceaser.ScatterCache, Seed: seed}))
 		}},
 		{"Mirage", func() cachemodel.LLC {
-			return mirage.New(mirage.Config{SetsPerSkew: sets, Skews: 2, BaseWays: 8, ExtraWays: 6, Seed: seed})
+			return mustLLC(mirage.NewChecked(mirage.Config{SetsPerSkew: sets, Skews: 2, BaseWays: 8, ExtraWays: 6, Seed: seed}))
 		}},
 		{"Maya", func() cachemodel.LLC {
-			return maya.New(maya.Config{SetsPerSkew: sets, Skews: 2, BaseWays: 6, ReuseWays: 3, InvalidWays: 6, Seed: seed})
+			return mustLLC(maya.NewChecked(maya.Config{SetsPerSkew: sets, Skews: 2, BaseWays: 6, ReuseWays: 3, InvalidWays: 6, Seed: seed}))
 		}},
 	}
 	for _, d := range designs {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	mayabench [-quick] [-out BENCH.json] [-seed 1]
+//	mayabench [-quick] [-out BENCH.json] [-seed 1] [-compare baseline.json]
 //
 // The suite measures the cost of *simulating* each registered LLC design
 // (Maya, Mirage, Baseline, CEASER-S), not the designs' architectural
@@ -14,6 +14,10 @@
 //
 // -quick shrinks instruction budgets ~5x for CI smoke runs. A summary is
 // printed to stdout; the full report goes to -out as indented JSON.
+// -compare loads a previously written report and fails (exit 1) when any
+// macro row's events/sec falls more than 10% below its baseline row after
+// normalizing out the run-wide machine-speed factor — the CI perf gate
+// (see bench.CompareMacro for the exact rule).
 //
 // Exit status: 0 on success, 1 when any benchmark fails, 2 on flag
 // misuse.
@@ -36,6 +40,7 @@ func run() int {
 	quick := flag.Bool("quick", false, "shrink instruction budgets ~5x (CI smoke run)")
 	out := flag.String("out", "BENCH.json", "path for the JSON report")
 	seed := flag.Uint64("seed", 1, "seed for all benchmark randomness")
+	compare := flag.String("compare", "", "baseline BENCH.json: fail when any macro row regresses more than 10% against it (machine-speed normalized)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -71,9 +76,9 @@ func run() int {
 		fmt.Printf("%-10s %12.1f %14.4f %14.1f\n", m.Design, m.NsPerAccess, m.AllocsPerAccess, m.BytesPerAccess)
 	}
 	fmt.Println()
-	fmt.Printf("%-10s %14s %10s %8s\n", "design", "events/sec", "events", "IPCsum")
+	fmt.Printf("%-10s %4s %14s %10s %8s %8s\n", "design", "par", "events/sec", "events", "IPCsum", "speedup")
 	for _, m := range r.Macro {
-		fmt.Printf("%-10s %14.0f %10d %8.3f\n", m.Design, m.EventsPerSec, m.Events, m.IPCSum)
+		fmt.Printf("%-10s %4d %14.0f %10d %8.3f %7.2fx\n", m.Design, m.Parallelism, m.EventsPerSec, m.Events, m.IPCSum, m.Speedup)
 	}
 	fmt.Println()
 	fmt.Printf("%-12s %7s %8s %14s %8s\n", "mc config", "shards", "workers", "iters/sec", "speedup")
@@ -88,5 +93,17 @@ func run() int {
 			m.Label, m.Submitted, m.Shed, m.ShedRate, m.AdmitP99MS, m.TurnP99MS, m.SessionsPerSec, m.Workers)
 	}
 	fmt.Printf("\nreport written to %s\n", *out)
+	if *compare != "" {
+		base, err := bench.ReadJSON(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mayabench: %v\n", err)
+			return 1
+		}
+		if err := bench.CompareMacro(r, base, 0.10); err != nil {
+			fmt.Fprintf(os.Stderr, "mayabench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("macro throughput within 10%% of %s\n", *compare)
+	}
 	return 0
 }

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -88,7 +89,12 @@ func diag(bench string, d experiments.Design, cores int, warmup, roi, seed uint6
 		DRAM:  cachesim.DefaultDRAMConfig(),
 		Seed:  seed,
 	}, gens)
-	return sys.Run(warmup, roi)
+	res, err := cachesim.Run(context.Background(), sys, cachesim.RunSpec{Warmup: warmup, ROI: roi})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simulation failed: %v\n", err)
+		os.Exit(1)
+	}
+	return res
 }
 
 func valid(d experiments.Design) bool {

@@ -10,6 +10,14 @@ import (
 	"mayacache/maya"
 )
 
+// must unwraps a cache constructor; the demo configs are known good.
+func must[T maya.LLC](c T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
 func main() {
 	fmt.Println("== Eviction-set construction (Prime+Probe prerequisite) ==")
 	const sets = 64
@@ -22,22 +30,22 @@ func main() {
 		mk        func() maya.LLC
 	}{
 		{"Conventional 16-way LRU", sets * 16, func() maya.LLC {
-			return maya.NewBaseline(maya.BaselineConfig{
+			return must(maya.NewBaseline(maya.BaselineConfig{
 				Sets: sets, Ways: 16, Replacement: maya.LRU, Seed: 7, MatchSDID: true,
-			})
+			}))
 		}},
 		{"CEASER (encrypted index)", sets * 16, func() maya.LLC {
-			return maya.NewCeaser(maya.CeaserConfig{Sets: sets, Ways: 16, Variant: maya.CEASER, Seed: 7})
+			return must(maya.NewCeaser(maya.CeaserConfig{Sets: sets, Ways: 16, Variant: maya.CEASER, Seed: 7}))
 		}},
 		{"Mirage", 2 * sets * 16, func() maya.LLC {
 			c := maya.DefaultMirageConfig(7)
 			c.SetsPerSkew = sets
-			return maya.NewMirage(c)
+			return must(maya.NewMirage(c))
 		}},
 		{"Maya", 2 * sets * 12, func() maya.LLC {
 			c := maya.DefaultCacheConfig(7)
 			c.SetsPerSkew = sets
-			return maya.NewCache(c)
+			return must(maya.NewCache(c))
 		}},
 	}
 	for _, v := range victims {

@@ -13,7 +13,10 @@ func main() {
 	fmt.Println("== Maya cache state machine ==")
 	cfg := maya.DefaultCacheConfig(42)
 	cfg.SetsPerSkew = 1024 // scaled-down instance: 2 skews x 1024 sets, 768KB data store
-	cache := maya.NewCache(cfg)
+	cache, err := maya.NewCache(cfg)
+	if err != nil {
+		panic(err)
+	}
 
 	line := uint64(0xabc123)
 	show := func(step string, r maya.Result) {
@@ -45,7 +48,10 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
-		res := sys.Run(1_000_000, 500_000)
+		res, err := sys.Run(1_000_000, 500_000)
+		if err != nil {
+			panic(err)
+		}
 		st := res.LLCStats
 		fmt.Printf("%-9s  LLC MPKI %6.2f   dead-block %5.1f%%   tag-only hits %d\n",
 			design, res.MPKI(), st.DeadBlockFraction()*100, st.TagOnlyHits)

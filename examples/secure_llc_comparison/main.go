@@ -36,7 +36,10 @@ func main() {
 			if err != nil {
 				panic(err)
 			}
-			res := sys.Run(2_000_000, 800_000)
+			res, err := sys.Run(2_000_000, 800_000)
+			if err != nil {
+				panic(err)
+			}
 			ipc[d] = res.IPCSum()
 			mpki[d] = res.MPKI()
 		}

@@ -12,6 +12,15 @@ import (
 	"mayacache/internal/rng"
 )
 
+// mustLLC unwraps a checked cache constructor for statically valid test
+// geometries.
+func mustLLC[T cachemodel.LLC](c T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
 func TestAESMatchesCryptoAES(t *testing.T) {
 	// The T-table implementation must be real AES-128.
 	r := rng.New(7)
@@ -133,18 +142,18 @@ func TestModExpVictimDeterministic(t *testing.T) {
 }
 
 func smallSetAssoc(seed uint64) cachemodel.LLC {
-	return baseline.New(baseline.Config{Sets: 64, Ways: 16, Replacement: baseline.LRU, Seed: seed, MatchSDID: true})
+	return mustLLC(baseline.NewChecked(baseline.Config{Sets: 64, Ways: 16, Replacement: baseline.LRU, Seed: seed, MatchSDID: true}))
 }
 
 func smallMaya(seed uint64) cachemodel.LLC {
-	return maya.New(maya.Config{
+	return mustLLC(maya.NewChecked(maya.Config{
 		SetsPerSkew: 64, Skews: 2, BaseWays: 6, ReuseWays: 3, InvalidWays: 6,
 		Seed: seed, Hasher: cachemodel.NewXorHasher(2, 6, seed),
-	})
+	}))
 }
 
 func smallFA(seed uint64) cachemodel.LLC {
-	return baseline.NewFullyAssociative(1024, seed, true)
+	return mustLLC(baseline.NewFullyAssociativeChecked(1024, seed, true))
 }
 
 func TestOccupancySignalExists(t *testing.T) {
@@ -223,7 +232,7 @@ func BenchmarkOccupancySample(b *testing.B) {
 func TestFlushReloadLeaksOnBaseline(t *testing.T) {
 	// Without SDID matching, the shared line is one physical copy: the
 	// classic Flush+Reload works.
-	c := baseline.New(baseline.Config{Sets: 64, Ways: 16, Replacement: baseline.LRU, Seed: 1})
+	c := mustLLC(baseline.NewChecked(baseline.Config{Sets: 64, Ways: 16, Replacement: baseline.LRU, Seed: 1}))
 	res := FlushReload(c, 42, 1, 2, 400, 1)
 	if !res.Leaks() {
 		t.Fatalf("Flush+Reload did not leak on a shared-line baseline (accuracy %.2f)", res.Accuracy())
@@ -244,10 +253,10 @@ func TestFlushReloadDefeatedByMaya(t *testing.T) {
 }
 
 func TestFlushReloadDefeatedByMirage(t *testing.T) {
-	c := mirage.New(mirage.Config{
+	c := mustLLC(mirage.NewChecked(mirage.Config{
 		SetsPerSkew: 64, Skews: 2, BaseWays: 8, ExtraWays: 6, Seed: 1,
 		Hasher: cachemodel.NewXorHasher(2, 6, 1),
-	})
+	}))
 	res := FlushReload(c, 42, 1, 2, 400, 1)
 	if res.Leaks() {
 		t.Fatalf("Flush+Reload leaked against Mirage (accuracy %.2f)", res.Accuracy())
@@ -277,7 +286,7 @@ func TestReloadRefreshPredictableOnLRU(t *testing.T) {
 	// Recency-based replacement makes the victim's eviction predictable
 	// — the Reload+Refresh prerequisite.
 	p := ReplacementPredictability(func(seed uint64) cachemodel.LLC {
-		return baseline.New(baseline.Config{Sets: 16, Ways: 8, Replacement: baseline.LRU, Seed: seed, MatchSDID: true})
+		return mustLLC(baseline.NewChecked(baseline.Config{Sets: 16, Ways: 8, Replacement: baseline.LRU, Seed: seed, MatchSDID: true}))
 	}, 40, 1)
 	if p < 0.9 {
 		t.Fatalf("LRU victim-eviction predictability %.2f, want ~1", p)
@@ -288,10 +297,10 @@ func TestReloadRefreshDefeatedByMaya(t *testing.T) {
 	// Global random eviction: no conditioning makes a specific line the
 	// next victim (Section IV-C's Reload+Refresh mitigation).
 	p := ReplacementPredictability(func(seed uint64) cachemodel.LLC {
-		return maya.New(maya.Config{
+		return mustLLC(maya.NewChecked(maya.Config{
 			SetsPerSkew: 16, Skews: 2, BaseWays: 6, ReuseWays: 3, InvalidWays: 6,
 			Seed: seed, Hasher: cachemodel.NewXorHasher(2, 4, seed),
-		})
+		}))
 	}, 40, 2)
 	if p > 0.5 {
 		t.Fatalf("Maya victim-eviction predictability %.2f, want near chance", p)

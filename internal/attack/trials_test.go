@@ -11,7 +11,7 @@ import (
 )
 
 func trialCache(seed uint64) cachemodel.LLC {
-	return baseline.New(baseline.Config{Sets: 16, Ways: 8, Replacement: baseline.LRU, Seed: seed, MatchSDID: true})
+	return mustLLC(baseline.NewChecked(baseline.Config{Sets: 16, Ways: 8, Replacement: baseline.LRU, Seed: seed, MatchSDID: true}))
 }
 
 func trialVictims(c cachemodel.LLC) (Victim, Victim) {
@@ -68,7 +68,7 @@ func TestMedianDistinguishStreamSeeds(t *testing.T) {
 // worker counts, with per-trial results in trial order.
 func TestEvictionSetTrials(t *testing.T) {
 	mk := func(seed uint64) cachemodel.LLC {
-		return baseline.New(baseline.Config{Sets: 8, Ways: 4, Replacement: baseline.LRU, Seed: seed, MatchSDID: true})
+		return mustLLC(baseline.NewChecked(baseline.Config{Sets: 8, Ways: 4, Replacement: baseline.LRU, Seed: seed, MatchSDID: true}))
 	}
 	var want *EvictionSetTrialsResult
 	for _, workers := range []int{1, 3} {
@@ -98,7 +98,7 @@ func TestEvictionSetTrials(t *testing.T) {
 // design (fraction near 1 for LRU; determinism across worker counts).
 func TestReplacementPredictabilityCtx(t *testing.T) {
 	mkLRU := func(seed uint64) cachemodel.LLC {
-		return baseline.New(baseline.Config{Sets: 8, Ways: 4, Replacement: baseline.LRU, Seed: seed, MatchSDID: true})
+		return mustLLC(baseline.NewChecked(baseline.Config{Sets: 8, Ways: 4, Replacement: baseline.LRU, Seed: seed, MatchSDID: true}))
 	}
 	var want float64
 	for i, workers := range []int{1, 4} {

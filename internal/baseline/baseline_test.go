@@ -7,9 +7,27 @@ import (
 	"mayacache/internal/cachemodel"
 )
 
+// mustNew unwraps NewChecked for tests with known-good configs.
+func mustNew(cfg Config) *SetAssoc {
+	c, err := NewChecked(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// mustNewFA unwraps NewFullyAssociativeChecked likewise.
+func mustNewFA(capacity int, seed uint64, matchSDID bool) *FullyAssociative {
+	c, err := NewFullyAssociativeChecked(capacity, seed, matchSDID)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
 func mkCache(t *testing.T, k ReplacementKind, sets, ways int) *SetAssoc {
 	t.Helper()
-	return New(Config{Sets: sets, Ways: ways, Replacement: k, Seed: 1})
+	return mustNew(Config{Sets: sets, Ways: ways, Replacement: k, Seed: 1})
 }
 
 func read(line uint64) cachemodel.Access {
@@ -123,7 +141,7 @@ func TestFlush(t *testing.T) {
 }
 
 func TestSDIDMatching(t *testing.T) {
-	c := New(Config{Sets: 4, Ways: 4, Replacement: LRU, Seed: 1, MatchSDID: true})
+	c := mustNew(Config{Sets: 4, Ways: 4, Replacement: LRU, Seed: 1, MatchSDID: true})
 	c.Access(cachemodel.Access{Line: 5, Type: cachemodel.Read, SDID: 1})
 	if hit, _ := c.Probe(5, 2); hit {
 		t.Fatal("SDID 2 sees SDID 1's line with MatchSDID")
@@ -146,7 +164,7 @@ func TestDeadBlockAccounting(t *testing.T) {
 	c.Access(read(1)) // line 1 reused
 	c.Access(read(3)) // evicts 2 (dead)
 	c.Access(read(4)) // evicts 1 (reused)
-	s := c.Stats()
+	s := c.StatsSnapshot()
 	if s.DeadDataEvictions != 1 || s.ReusedDataEvictions != 1 {
 		t.Fatalf("dead/reused = %d/%d, want 1/1", s.DeadDataEvictions, s.ReusedDataEvictions)
 	}
@@ -156,14 +174,14 @@ func TestInterCoreEvictionAccounting(t *testing.T) {
 	c := mkCache(t, LRU, 1, 1)
 	c.Access(cachemodel.Access{Line: 1, Type: cachemodel.Read, Core: 0})
 	c.Access(cachemodel.Access{Line: 2, Type: cachemodel.Read, Core: 1}) // core 1 evicts core 0
-	if c.Stats().InterCoreEvictions != 1 {
-		t.Fatalf("InterCoreEvictions = %d, want 1", c.Stats().InterCoreEvictions)
+	if c.StatsSnapshot().InterCoreEvictions != 1 {
+		t.Fatalf("InterCoreEvictions = %d, want 1", c.StatsSnapshot().InterCoreEvictions)
 	}
 }
 
 func TestStatsConsistency(t *testing.T) {
 	f := func(seed uint64) bool {
-		c := New(Config{Sets: 8, Ways: 4, Replacement: SRRIP, Seed: seed})
+		c := mustNew(Config{Sets: 8, Ways: 4, Replacement: SRRIP, Seed: seed})
 		lines := make([]uint64, 0, 200)
 		s := seed
 		for i := 0; i < 200; i++ {
@@ -173,7 +191,7 @@ func TestStatsConsistency(t *testing.T) {
 		for _, l := range lines {
 			c.Access(read(l))
 		}
-		st := c.Stats()
+		st := c.StatsSnapshot()
 		return st.Accesses == 200 &&
 			st.TagHits+st.Misses == st.Accesses &&
 			st.Fills == st.Misses
@@ -203,14 +221,14 @@ func TestDRRIPBasic(t *testing.T) {
 		c.Access(read(uint64(i % 32)))  // hot
 		c.Access(read(uint64(10000 + i))) // stream
 	}
-	s := c.Stats()
+	s := c.StatsSnapshot()
 	if s.DataHits == 0 {
 		t.Fatal("DRRIP never hit on a hot working set")
 	}
 }
 
 func TestFAMissThenHitAndCapacity(t *testing.T) {
-	c := NewFullyAssociative(16, 1, false)
+	c := mustNewFA(16, 1, false)
 	if r := c.Access(read(1)); r.DataHit {
 		t.Fatal("first FA access hit")
 	}
@@ -227,7 +245,7 @@ func TestFAMissThenHitAndCapacity(t *testing.T) {
 
 func TestFANoConflictsUnderCapacity(t *testing.T) {
 	// Any 16 distinct lines must coexist — the defining FA property.
-	c := NewFullyAssociative(16, 1, false)
+	c := mustNewFA(16, 1, false)
 	for i := uint64(0); i < 16; i++ {
 		c.Access(read(i * 1024)) // same low bits: would conflict in a set-assoc cache
 	}
@@ -239,7 +257,7 @@ func TestFANoConflictsUnderCapacity(t *testing.T) {
 }
 
 func TestFAFlushAndRefill(t *testing.T) {
-	c := NewFullyAssociative(4, 1, true)
+	c := mustNewFA(4, 1, true)
 	c.Access(cachemodel.Access{Line: 9, Type: cachemodel.Read, SDID: 3})
 	if !c.Flush(9, 3) {
 		t.Fatal("flush failed")
@@ -257,7 +275,7 @@ func TestFAFlushAndRefill(t *testing.T) {
 }
 
 func TestFADirtyWriteback(t *testing.T) {
-	c := NewFullyAssociative(2, 1, false)
+	c := mustNewFA(2, 1, false)
 	c.Access(wb(1))
 	c.Access(wb(2))
 	sawWB := false
@@ -292,14 +310,14 @@ func TestReplacementKindString(t *testing.T) {
 }
 
 func BenchmarkSetAssocAccess(b *testing.B) {
-	c := New(Config{Sets: 16384, Ways: 16, Replacement: SRRIP, Seed: 1})
+	c := mustNew(Config{Sets: 16384, Ways: 16, Replacement: SRRIP, Seed: 1})
 	for i := 0; i < b.N; i++ {
 		c.Access(read(uint64(i) * 97))
 	}
 }
 
 func BenchmarkFAAccess(b *testing.B) {
-	c := NewFullyAssociative(262144, 1, false)
+	c := mustNewFA(262144, 1, false)
 	for i := 0; i < b.N; i++ {
 		c.Access(read(uint64(i) * 97))
 	}

@@ -38,19 +38,6 @@ type faEntry struct {
 	usedPos int32
 }
 
-// NewFullyAssociative creates a fully-associative cache with the given
-// number of line entries. If matchSDID is true, tags match on (line, SDID).
-//
-// Deprecated: use NewFullyAssociativeChecked, which reports configuration
-// errors instead of crashing.
-func NewFullyAssociative(capacity int, seed uint64, matchSDID bool) *FullyAssociative {
-	c, err := NewFullyAssociativeChecked(capacity, seed, matchSDID)
-	if err != nil {
-		panic(err)
-	}
-	return c
-}
-
 // NewFullyAssociativeChecked creates a fully-associative cache, returning
 // an error wrapping cachemodel.ErrBadConfig when capacity is invalid.
 func NewFullyAssociativeChecked(capacity int, seed uint64, matchSDID bool) (*FullyAssociative, error) {
@@ -195,11 +182,6 @@ func (c *FullyAssociative) LookupPenalty() int { return 0 }
 
 // StatsSnapshot implements cachemodel.LLC.
 func (c *FullyAssociative) StatsSnapshot() cachemodel.Stats { return c.stats }
-
-// Stats implements cachemodel.LLC.
-//
-// Deprecated: use StatsSnapshot; the pointer aliases live counters.
-func (c *FullyAssociative) Stats() *cachemodel.Stats { return &c.stats }
 
 // ResetStats implements cachemodel.LLC.
 func (c *FullyAssociative) ResetStats() { c.stats.Reset() }

@@ -16,6 +16,8 @@ func init() {
 			Ways:        16,
 			Replacement: SRRIP,
 			Seed:        o.Seed,
+			NoSWAR:      o.NoSWAR,
+			NoArena:     o.NoArena,
 		})
 	})
 }

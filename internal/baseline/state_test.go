@@ -32,20 +32,20 @@ func TestSetAssocStateRoundTrip(t *testing.T) {
 	for _, kind := range []ReplacementKind{LRU, SRRIP, BRRIP, DRRIP, RandomRepl} {
 		t.Run(kind.String(), func(t *testing.T) {
 			cfg := Config{Sets: 128, Ways: 8, Replacement: kind, Seed: 21}
-			orig := New(cfg)
+			orig := mustNew(cfg)
 			driveAccesses(orig, rng.New(77), 20000)
 
 			var e snapshot.Encoder
 			orig.SaveState(&e)
-			fresh := New(cfg)
+			fresh := mustNew(cfg)
 			if err := fresh.RestoreState(snapshot.NewDecoder(e.Data())); err != nil {
 				t.Fatalf("RestoreState: %v", err)
 			}
 
 			driveAccesses(orig, rng.New(13), 20000)
 			driveAccesses(fresh, rng.New(13), 20000)
-			if *orig.Stats() != *fresh.Stats() {
-				t.Fatalf("stats diverged:\n orig %+v\nfresh %+v", *orig.Stats(), *fresh.Stats())
+			if orig.StatsSnapshot() != fresh.StatsSnapshot() {
+				t.Fatalf("stats diverged:\n orig %+v\nfresh %+v", orig.StatsSnapshot(), fresh.StatsSnapshot())
 			}
 			var eo, ef snapshot.Encoder
 			orig.SaveState(&eo)
@@ -61,26 +61,26 @@ func TestSetAssocStateRoundTrip(t *testing.T) {
 // and foreign geometry all fail structurally.
 func TestSetAssocRestoreRejectsDamage(t *testing.T) {
 	cfg := Config{Sets: 64, Ways: 4, Replacement: SRRIP, Seed: 21}
-	orig := New(cfg)
+	orig := mustNew(cfg)
 	driveAccesses(orig, rng.New(7), 3000)
 	var e snapshot.Encoder
 	orig.SaveState(&e)
 	data := e.Data()
 
 	for _, n := range []int{0, 16, len(data) / 2, len(data) - 1} {
-		if err := New(cfg).RestoreState(snapshot.NewDecoder(data[:n])); err == nil {
+		if err := mustNew(cfg).RestoreState(snapshot.NewDecoder(data[:n])); err == nil {
 			t.Fatalf("truncation at %d accepted", n)
 		}
 	}
 	// The final byte is the last RRPV; force it out of the 2-bit range.
 	bad := append([]byte(nil), data...)
 	bad[len(bad)-1] = 9
-	if err := New(cfg).RestoreState(snapshot.NewDecoder(bad)); err == nil {
+	if err := mustNew(cfg).RestoreState(snapshot.NewDecoder(bad)); err == nil {
 		t.Fatal("out-of-range rrpv accepted")
 	}
 	other := cfg
 	other.Sets = 128
-	if err := New(other).RestoreState(snapshot.NewDecoder(data)); err == nil {
+	if err := mustNew(other).RestoreState(snapshot.NewDecoder(data)); err == nil {
 		t.Fatal("foreign geometry accepted")
 	}
 }

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func macroRow(design string, par int, eps float64) MacroResult {
+	return MacroResult{Design: design, Parallelism: par, EventsPerSec: eps}
+}
+
+func TestCompareMacroUniformSlowdownPasses(t *testing.T) {
+	base := &Report{Macro: []MacroResult{
+		macroRow("Maya", 1, 10e6), macroRow("Mirage", 1, 8e6), macroRow("Baseline", 1, 12e6),
+	}}
+	// The whole machine got 40% slower: every row moves together, the
+	// geomean normalization cancels it, the gate stays green.
+	cur := &Report{Macro: []MacroResult{
+		macroRow("Maya", 1, 6e6), macroRow("Mirage", 1, 4.8e6), macroRow("Baseline", 1, 7.2e6),
+	}}
+	if err := CompareMacro(cur, base, 0.10); err != nil {
+		t.Fatalf("uniform slowdown should pass: %v", err)
+	}
+}
+
+func TestCompareMacroRelativeRegressionFails(t *testing.T) {
+	base := &Report{Macro: []MacroResult{
+		macroRow("Maya", 1, 10e6), macroRow("Mirage", 1, 10e6), macroRow("Baseline", 1, 10e6), macroRow("CEASER-S", 1, 10e6),
+	}}
+	// Three rows hold steady, one loses 30%: that is a real per-design
+	// regression, not machine noise.
+	cur := &Report{Macro: []MacroResult{
+		macroRow("Maya", 1, 7e6), macroRow("Mirage", 1, 10e6), macroRow("Baseline", 1, 10e6), macroRow("CEASER-S", 1, 10e6),
+	}}
+	err := CompareMacro(cur, base, 0.10)
+	if err == nil {
+		t.Fatal("single-design regression should fail the gate")
+	}
+	if !strings.Contains(err.Error(), "Maya") {
+		t.Fatalf("error should name the regressed design: %v", err)
+	}
+}
+
+func TestCompareMacroSkipsUnmatchedRows(t *testing.T) {
+	base := &Report{Macro: []MacroResult{macroRow("Maya", 1, 10e6)}}
+	// A new design and a different parallel fan-out have no baseline
+	// counterpart; the gate must ignore them instead of erroring.
+	cur := &Report{Macro: []MacroResult{
+		macroRow("Maya", 1, 10e6), macroRow("NewDesign", 1, 1), macroRow("Maya", 8, 1),
+	}}
+	if err := CompareMacro(cur, base, 0.10); err != nil {
+		t.Fatalf("unmatched rows must be skipped: %v", err)
+	}
+}
+
+func TestCompareMacroEmptyIntersection(t *testing.T) {
+	if err := CompareMacro(&Report{}, &Report{}, 0.10); err != nil {
+		t.Fatalf("empty reports must pass vacuously: %v", err)
+	}
+}

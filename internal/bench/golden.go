@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+
 	"mayacache/internal/cachemodel"
 	"mayacache/internal/cachesim"
 	"mayacache/internal/trace"
@@ -45,5 +47,5 @@ func GoldenRun(design string) (cachesim.Results, error) {
 		DRAM:  cachesim.DefaultDRAMConfig(),
 		Seed:  seed,
 	}, gens)
-	return sys.Run(warmup, roi), nil
+	return cachesim.Run(context.Background(), sys, cachesim.RunSpec{Warmup: warmup, ROI: roi})
 }

@@ -103,13 +103,6 @@ type LLC interface {
 	// is decoupled from the cache: later accesses do not mutate it, so it
 	// can be stored in results or compared across points in time.
 	StatsSnapshot() Stats
-	// Stats exposes the design's live counters. The pointer stays valid
-	// for the cache's lifetime and observes every subsequent access.
-	//
-	// Deprecated: the escaping pointer invites aliasing bugs (a stored
-	// *Stats silently keeps counting). Use StatsSnapshot for reading;
-	// Stats remains for the few callers that genuinely want a live view.
-	Stats() *Stats
 	// ResetStats zeroes the counters (used after warmup).
 	ResetStats()
 	// Name identifies the design in reports.

@@ -44,6 +44,13 @@ type BuildOptions struct {
 	// DataScale multiplies Maya's base ways for the LLC-size sensitivity
 	// study (0 = default 1.0).
 	DataScale float64
+	// NoSWAR disables the designs' packed-fingerprint SWAR probe path
+	// (scalar per-way scans instead). Layout/speed only: results are
+	// identical either way, which tests cross-check.
+	NoSWAR bool
+	// NoArena allocates each design's parallel arrays individually
+	// instead of carving them from one flat arena. Layout only.
+	NoArena bool
 }
 
 // Sets returns the scaled set count, or an ErrBadConfig error when Cores

@@ -1,0 +1,61 @@
+package cachemodel_test
+
+import (
+	"testing"
+
+	"mayacache/internal/cachemodel"
+	"mayacache/internal/rng"
+
+	_ "mayacache/internal/baseline"
+	_ "mayacache/internal/ceaser"
+	_ "mayacache/internal/core"
+	_ "mayacache/internal/mirage"
+)
+
+// TestSWARMatchesScalar drives every registered design twice over the same
+// randomized access stream — once with the SWAR probe path + arena layout
+// (the default) and once with both disabled — and requires identical
+// results and stats at every step. This is the equivalence proof the
+// NoSWAR/NoArena knobs exist for.
+func TestSWARMatchesScalar(t *testing.T) {
+	for _, design := range cachemodel.Registered() {
+		t.Run(design, func(t *testing.T) {
+			opts := cachemodel.BuildOptions{Cores: 1, SetsPerCore: 256, Seed: 7, FastHash: true}
+			fast, err := cachemodel.Build(design, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts.NoSWAR, opts.NoArena = true, true
+			scalar, err := cachemodel.Build(design, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Footprint ~4x the capacity with a hot/cold mixture so hits,
+			// misses, evictions, and writebacks all occur.
+			r := rng.New(99)
+			for i := 0; i < 400_000; i++ {
+				line := uint64(r.Intn(16384)) * 64
+				typ := cachemodel.Read
+				if r.Intn(4) == 0 {
+					typ = cachemodel.Writeback
+				}
+				a := cachemodel.Access{Line: line, Type: typ, SDID: uint8(r.Intn(2)), Core: 0}
+				rf := fast.Access(a)
+				rs := scalar.Access(a)
+				if rf.TagHit != rs.TagHit || rf.DataHit != rs.DataHit || rf.SAE != rs.SAE ||
+					len(rf.Writebacks) != len(rs.Writebacks) {
+					t.Fatalf("access %d diverged: fast %+v scalar %+v", i, rf, rs)
+				}
+				for j := range rf.Writebacks {
+					if rf.Writebacks[j] != rs.Writebacks[j] {
+						t.Fatalf("access %d writeback %d diverged", i, j)
+					}
+				}
+			}
+			if fs, ss := fast.StatsSnapshot(), scalar.StatsSnapshot(); fs != ss {
+				t.Fatalf("stats diverged:\nfast   %+v\nscalar %+v", fs, ss)
+			}
+		})
+	}
+}

@@ -1,0 +1,262 @@
+package cachesim
+
+// The deterministic parallel run mode (RunSpec.Parallelism > 1) splits each
+// core's simulation into two halves with very different data dependencies:
+//
+//   - the *front*: trace generator, L1D, L2, and prefetcher. Which events a
+//     core issues and how they behave in its private hierarchy depend only
+//     on the access sequence, never on any clock or on other cores — the
+//     generators are pure state machines and the private caches decide
+//     hits, fills, and victims from access order alone. The front is
+//     therefore a timing-independent pure function of its own state and
+//     can be run ahead by a per-core worker goroutine.
+//
+//   - everything else: per-core clocks, the ROB/MSHR outstanding window,
+//     the shared LLC, and DRAM. These couple cores to each other (LLC and
+//     DRAM state are order-sensitive) and feed latencies back into clocks,
+//     so a single merge thread replays them in exactly the serial
+//     interleaving order.
+//
+// Workers stream per-step records — the event gap, how deep the access
+// went (L1 hit / L2 hit / LLC demand), and the ordered list of shared-LLC
+// operations the step performs — through bounded channels. The merge
+// consumes records in the serial drive loop's laggard order, so every
+// shared access, DRAM transaction, clock advance, and snapshot poll
+// happens with byte-identical state to the serial run.
+
+import (
+	"fmt"
+	"sync"
+
+	"mayacache/internal/baseline"
+	"mayacache/internal/cachemodel"
+	"mayacache/internal/snapshot"
+	"mayacache/internal/trace"
+)
+
+// Step record kinds: how deep the demand access went.
+const (
+	stepL1Hit = uint8(iota) // L1D hit; fully pipelined, no window entry
+	stepL2Hit               // L2 hit; long-latency, no shared ops from the demand
+	stepLLC                 // LLC demand access (the opDemand in the op list)
+)
+
+// Shared-operation kinds, in the order the merge must replay them.
+const (
+	opWB       = uint8(iota) // L2 dirty victim written back into the LLC
+	opDemand                 // the demand read reaching the LLC
+	opPrefetch               // a prefetch read reaching the LLC
+)
+
+// sharedOp is one LLC-touching operation a front step performs.
+type sharedOp struct {
+	line uint64
+	kind uint8
+	sdid uint8
+}
+
+// chunkSteps is the worker→merge transfer granularity. Large enough to
+// amortize channel operations, small enough to bound run-ahead (and with
+// it the replay distance snapshot replicas cover).
+const chunkSteps = 512
+
+// chunkBuffer is the per-core channel depth in chunks.
+const chunkBuffer = 4
+
+// chunk carries a batch of consecutive step records for one core, struct-
+// of-arrays so the common no-shared-ops steps cost six bytes. Step i's
+// shared ops are the next nOps[i] entries of ops, in replay order.
+type chunk struct {
+	gaps  []int32
+	kinds []uint8
+	nOps  []uint16
+	ops   []sharedOp
+}
+
+func newChunk() *chunk {
+	return &chunk{
+		gaps:  make([]int32, 0, chunkSteps),
+		kinds: make([]uint8, 0, chunkSteps),
+		nOps:  make([]uint16, 0, chunkSteps),
+		ops:   make([]sharedOp, 0, chunkSteps/4),
+	}
+}
+
+func (c *chunk) reset() {
+	c.gaps, c.kinds, c.nOps, c.ops = c.gaps[:0], c.kinds[:0], c.nOps[:0], c.ops[:0]
+}
+
+// front is the timing-independent half of one core. In a parallel run it
+// aliases the core's own generator, private caches, and prefetcher (the
+// merge never touches those during the run), so when the workers finish
+// the System's cores hold the exact end-of-run private state with no
+// copy-back. Snapshot replicas use independently cloned fronts instead.
+type front struct {
+	id  int
+	gen trace.Generator
+	l1d *baseline.SetAssoc
+	l2  *baseline.SetAssoc
+	pf  *prefetcher
+
+	retired uint64
+	target  uint64
+	roi     uint64
+	phase   uint8
+	done    bool
+}
+
+// frontOf snapshots core c's run-progress cursor into a front sharing its
+// components.
+func (s *System) frontOf(c *core) *front {
+	return &front{
+		id: c.id, gen: c.gen, l1d: c.l1d, l2: c.l2, pf: c.pf,
+		retired: c.retired, target: c.target, roi: s.roi,
+		phase: s.phase, done: c.done,
+	}
+}
+
+// privateStep advances the front by one trace event and appends its
+// record to ck. The access walk mirrors System.memAccess/prefetchAfter
+// exactly, with every LLC-touching call recorded instead of performed:
+// the op order here is the order the serial code would call the LLC.
+func (f *front) privateStep(ck *chunk) {
+	ev := f.gen.Next()
+	f.retired += uint64(ev.Gap) + 1
+	opStart := len(ck.ops)
+	id := uint8(f.id)
+
+	kind := stepL1Hit
+	l1Type := cachemodel.Read
+	if ev.Write {
+		l1Type = cachemodel.Writeback
+	}
+	r1 := f.l1d.Access(cachemodel.Access{Line: ev.Line, Type: l1Type, SDID: id, Core: id})
+	for _, wb := range r1.Writebacks {
+		f.l2WB(ck, wb)
+	}
+	if !r1.DataHit {
+		acc := cachemodel.Access{Line: ev.Line, Type: cachemodel.Read, SDID: id, Core: id}
+		r2 := f.l2.Access(acc)
+		if r2.DataHit {
+			kind = stepL2Hit
+		} else {
+			for _, wb := range r2.Writebacks {
+				ck.ops = append(ck.ops, sharedOp{line: wb.Line, kind: opWB, sdid: wb.SDID})
+			}
+			kind = stepLLC
+			ck.ops = append(ck.ops, sharedOp{line: ev.Line, kind: opDemand, sdid: id})
+		}
+	}
+
+	if f.pf != nil {
+		for _, pl := range f.pf.observe(ev.Line) {
+			acc := cachemodel.Access{Line: pl, Type: cachemodel.Read, SDID: id, Core: id}
+			if r1 := f.l1d.Access(acc); r1.DataHit {
+				continue
+			} else {
+				for _, wb := range r1.Writebacks {
+					f.l2WB(ck, wb)
+				}
+			}
+			if r2 := f.l2.Access(acc); r2.DataHit {
+				continue
+			} else {
+				for _, wb := range r2.Writebacks {
+					ck.ops = append(ck.ops, sharedOp{line: wb.Line, kind: opWB, sdid: wb.SDID})
+				}
+			}
+			ck.ops = append(ck.ops, sharedOp{line: pl, kind: opPrefetch, sdid: id})
+		}
+	}
+
+	ck.gaps = append(ck.gaps, ev.Gap)
+	ck.kinds = append(ck.kinds, kind)
+	ck.nOps = append(ck.nOps, uint16(len(ck.ops)-opStart))
+}
+
+// l2WB is the front half of System.l2WB: the L1 victim enters the L2 and
+// any L2 victims it displaces are recorded for the merge's LLC.
+func (f *front) l2WB(ck *chunk, wb cachemodel.WritebackOut) {
+	r := f.l2.Access(cachemodel.Access{Line: wb.Line, Type: cachemodel.Writeback, SDID: wb.SDID, Core: uint8(f.id)})
+	for _, w := range r.Writebacks {
+		ck.ops = append(ck.ops, sharedOp{line: w.Line, kind: opWB, sdid: w.SDID})
+	}
+}
+
+// localBeginROI is the front half of beginROI, applied at the core's own
+// warmup→ROI sequence boundary. The worker applies it when its warmup
+// budget is spent — before its first ROI-phase access, which is when the
+// reset becomes observable — while the serial code applies it at the
+// global phase barrier; the two orders are indistinguishable because a
+// finished core issues no accesses in between. (Snapshot replicas, whose
+// state IS observed in between, defer this to the global barrier; see
+// replica.advanceTo.)
+func (f *front) localBeginROI() {
+	f.phase = snapshot.PhaseROI
+	f.l1d.ResetStats()
+	f.l2.ResetStats()
+	f.target = f.retired + f.roi
+}
+
+// workerRun produces f's record stream until the run's instruction budget
+// is spent, mirroring the phase structure the merge's drive loop consumes:
+// warmup steps while retired < target (a restored not-yet-done core always
+// has retired < target), then — matching beginROI's unconditional
+// done=false — at least one ROI step even when the ROI budget is zero.
+// The error slot is written before the deferred close, so a merge that
+// observes the closed channel also observes the error.
+func workerRun(f *front, ch chan<- *chunk, stop <-chan struct{}, pool *sync.Pool, errp *error) {
+	defer close(ch)
+	defer func() {
+		if r := recover(); r != nil {
+			*errp = fmt.Errorf("cachesim: core %d worker: %v", f.id, r)
+		}
+	}()
+	ck := pool.Get().(*chunk)
+	ck.reset()
+	flush := func() bool {
+		select {
+		case ch <- ck:
+		case <-stop:
+			return false
+		}
+		ck = pool.Get().(*chunk)
+		ck.reset()
+		return true
+	}
+	step := func() bool {
+		f.privateStep(ck)
+		if len(ck.gaps) >= chunkSteps {
+			return flush()
+		}
+		return true
+	}
+
+	if f.phase == snapshot.PhaseWarmup {
+		if !f.done {
+			for f.retired < f.target {
+				if !step() {
+					return
+				}
+			}
+		}
+		f.localBeginROI()
+		for {
+			if !step() {
+				return
+			}
+			if f.retired >= f.target {
+				break
+			}
+		}
+	} else if !f.done {
+		for f.retired < f.target {
+			if !step() {
+				return
+			}
+		}
+	}
+	if len(ck.gaps) > 0 {
+		flush()
+	}
+}

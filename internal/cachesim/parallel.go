@@ -1,0 +1,367 @@
+package cachesim
+
+// Merge half of the deterministic parallel run mode: consumes the per-core
+// record streams the front workers produce (see front.go) in the exact
+// order the serial drive loop would generate them, applying every shared
+// LLC/DRAM operation, clock advance, and snapshot/cancellation poll with
+// byte-identical state transitions.
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"mayacache/internal/baseline"
+	"mayacache/internal/cachemodel"
+	"mayacache/internal/invariant"
+	"mayacache/internal/snapshot"
+	"mayacache/internal/trace"
+)
+
+// recordSource hands the merge one core's next step record, blocking on
+// that core's channel when the worker is behind. Blocking is what keeps
+// the replay order exact: the merge never skips ahead to another core just
+// because the laggard's records aren't ready yet.
+type recordSource struct {
+	chans    []chan *chunk
+	errs     []error // one slot per worker, written before its channel closes
+	cur      []*chunk
+	pos      []int
+	opPos    []int
+	consumed []uint64 // records applied per core; drives replica sync
+	pool     *sync.Pool
+}
+
+func newRecordSource(cores int, pool *sync.Pool) *recordSource {
+	rs := &recordSource{
+		chans:    make([]chan *chunk, cores),
+		errs:     make([]error, cores),
+		cur:      make([]*chunk, cores),
+		pos:      make([]int, cores),
+		opPos:    make([]int, cores),
+		consumed: make([]uint64, cores),
+		pool:     pool,
+	}
+	for i := range rs.chans {
+		rs.chans[i] = make(chan *chunk, chunkBuffer)
+	}
+	return rs
+}
+
+func (rs *recordSource) next(i int) (gap int32, kind uint8, ops []sharedOp, err error) {
+	ck := rs.cur[i]
+	if ck == nil || rs.pos[i] >= len(ck.gaps) {
+		if ck != nil {
+			ck.reset()
+			rs.pool.Put(ck)
+		}
+		nk, ok := <-rs.chans[i]
+		if !ok {
+			rs.cur[i] = nil
+			if rs.errs[i] != nil {
+				return 0, 0, nil, rs.errs[i]
+			}
+			// Unreachable unless the worker and merge disagree on the
+			// phase budgets — a bug, not a runtime condition.
+			return 0, 0, nil, fmt.Errorf("cachesim: core %d record stream ended early", i)
+		}
+		rs.cur[i] = nk
+		rs.pos[i], rs.opPos[i] = 0, 0
+		ck = nk
+	}
+	p := rs.pos[i]
+	n := int(ck.nOps[p])
+	gap, kind = ck.gaps[p], ck.kinds[p]
+	ops = ck.ops[rs.opPos[i] : rs.opPos[i]+n]
+	rs.pos[i]++
+	rs.opPos[i] += n
+	rs.consumed[i]++
+	return gap, kind, ops, nil
+}
+
+// applyStep is the merge half of System.step: clock/retired accounting,
+// the recorded shared LLC/DRAM operations in order, and the ROB/MSHR
+// outstanding window — all state the serial step would touch outside the
+// core's private hierarchy, mutated identically.
+func (s *System) applyStep(c *core, gap int32, kind uint8, ops []sharedOp) {
+	width := s.cfg.Core.RetireWidth
+	c.subIssue += int(gap)
+	if width&(width-1) == 0 {
+		c.clock += uint64(c.subIssue >> uint(bits.TrailingZeros(uint(width))))
+		c.subIssue &= width - 1
+	} else {
+		c.clock += uint64(c.subIssue / width)
+		c.subIssue %= width
+	}
+	c.retired += uint64(gap) + 1
+
+	p := &s.cfg.Core
+	var lat uint64
+	for _, op := range ops {
+		switch op.kind {
+		case opWB:
+			r := s.llc.Access(cachemodel.Access{Line: op.line, Type: cachemodel.Writeback, SDID: op.sdid, Core: uint8(c.id)})
+			s.pushWBs(c, r.Writebacks)
+		case opDemand:
+			llcLat := p.LLCLatency + uint64(s.llc.LookupPenalty())
+			r := s.llc.Access(cachemodel.Access{Line: op.line, Type: cachemodel.Read, SDID: op.sdid, Core: uint8(c.id)})
+			s.pushWBs(c, r.Writebacks)
+			lat = p.L1DLatency + p.L2Latency + llcLat
+			if !r.DataHit {
+				lat += s.dram.Read(c.clock+lat, op.line)
+			}
+		case opPrefetch:
+			r := s.llc.Access(cachemodel.Access{Line: op.line, Type: cachemodel.Read, SDID: op.sdid, Core: uint8(c.id)})
+			s.pushWBs(c, r.Writebacks)
+			if !r.DataHit {
+				s.dram.Read(c.clock, op.line) // bandwidth only; nothing waits
+			}
+		}
+	}
+
+	if kind == stepL1Hit {
+		return
+	}
+	if kind == stepL2Hit {
+		lat = p.L1DLatency + p.L2Latency
+	}
+	completion := c.clock + lat
+	limit := s.mlpCap(int(gap))
+	for len(c.outstanding)-c.outHead >= limit {
+		head := c.outstanding[c.outHead]
+		c.outHead++
+		if head > c.clock {
+			c.clock = head
+		}
+	}
+	if c.outHead > 64 && c.outHead*2 >= len(c.outstanding) {
+		c.outstanding = append(c.outstanding[:0], c.outstanding[c.outHead:]...)
+		c.outHead = 0
+	}
+	c.outstanding = append(c.outstanding, completion)
+}
+
+// replica reconstructs one core's private front at the merge's replay
+// position so mid-run snapshots can serialize it. Workers run ahead of
+// the merge, so their live fronts are at future positions; the replica is
+// an independent clone advanced lazily — only when a snapshot is due — by
+// re-executing the same deterministic private steps.
+type replica struct {
+	f       *front
+	pos     uint64 // private steps replayed so far
+	scratch *chunk // discard sink for the replayed records
+}
+
+// advanceTo replays private steps until the replica has executed n, then
+// applies the warmup→ROI stats reset if the merge has passed the global
+// phase barrier. The reset is keyed to the *global* phase, not the
+// replica's own boundary: serially, a core that finishes warmup early
+// keeps its warmup stats until every core arrives at beginROI, and a
+// snapshot taken in between must show them un-reset.
+func (r *replica) advanceTo(n uint64, globalPhase uint8) {
+	for r.pos < n {
+		if r.f.phase == snapshot.PhaseWarmup && r.f.retired >= r.f.target {
+			r.f.localBeginROI()
+		}
+		r.f.privateStep(r.scratch)
+		r.scratch.reset()
+		r.pos++
+	}
+	if r.f.phase == snapshot.PhaseWarmup && r.f.retired >= r.f.target && globalPhase == snapshot.PhaseROI {
+		r.f.localBeginROI()
+	}
+}
+
+// cloneableGen is the workload contract parallel snapshotting needs: the
+// synthetic generators and the trace replayer implement it; see
+// trace/clone.go.
+type cloneableGen interface {
+	Clone() trace.Generator
+}
+
+// cloneCache duplicates a private cache through its own snapshot codec
+// into a freshly built twin.
+func cloneCache(src *baseline.SetAssoc, mk func() *baseline.SetAssoc) (*baseline.SetAssoc, error) {
+	dst := mk()
+	var e snapshot.Encoder
+	src.SaveState(&e)
+	d := snapshot.NewDecoder(e.Data())
+	if err := dst.RestoreState(d); err != nil {
+		return nil, err
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+func (p *prefetcher) clone() *prefetcher {
+	if p == nil {
+		return nil
+	}
+	c := *p
+	c.entries = append([]strideEntry(nil), p.entries...)
+	return &c
+}
+
+// buildReplicas clones every core's front at the current run position.
+// Called before the workers start, while the live fronts are quiescent.
+func (s *System) buildReplicas() ([]*replica, error) {
+	reps := make([]*replica, len(s.cores))
+	for i, c := range s.cores {
+		cg, ok := c.gen.(cloneableGen)
+		if !ok {
+			return nil, fmt.Errorf("cachesim: parallel snapshots need a cloneable workload, %q is not", c.gen.Name())
+		}
+		l1d, err := cloneCache(c.l1d, func() *baseline.SetAssoc { return s.newL1D(i) })
+		if err != nil {
+			return nil, fmt.Errorf("cachesim: core %d L1D replica: %w", i, err)
+		}
+		l2, err := cloneCache(c.l2, func() *baseline.SetAssoc { return s.newL2(i) })
+		if err != nil {
+			return nil, fmt.Errorf("cachesim: core %d L2 replica: %w", i, err)
+		}
+		f := s.frontOf(c)
+		f.gen, f.l1d, f.l2, f.pf = cg.Clone(), l1d, l2, c.pf.clone()
+		reps[i] = &replica{f: f, scratch: newChunk()}
+	}
+	return reps, nil
+}
+
+// beginROIMerge is beginROI minus the private-cache stats resets, which
+// the workers (and replicas) apply at their own sequence boundaries.
+func (s *System) beginROIMerge() {
+	s.phase = snapshot.PhaseROI
+	s.llc.ResetStats()
+	s.dram.ResetCounters()
+	for _, c := range s.cores {
+		c.roiStartClock = c.clock
+		c.roiStartRetired = c.retired
+		c.target = c.retired + s.roi
+		c.done = false
+	}
+}
+
+// runPhasesParallel is runPhases with the fronts run ahead by worker
+// goroutines (one per core; the Go scheduler multiplexes them over
+// however many CPUs the process has) and the shared state replayed here
+// on the caller's goroutine. Every result and every snapshot is
+// byte-identical to the serial path.
+func (s *System) runPhasesParallel(ctx context.Context) (Results, error) {
+	var reps []*replica
+	if s.auto != nil {
+		var err error
+		reps, err = s.buildReplicas()
+		if err != nil {
+			return Results{}, err
+		}
+		s.snapHook = func(i int) frontView {
+			f := reps[i].f
+			return frontView{gen: f.gen, l1d: f.l1d, l2: f.l2, pf: f.pf}
+		}
+		defer func() { s.snapHook = nil }()
+	}
+
+	pool := &sync.Pool{New: func() any { return newChunk() }}
+	rs := newRecordSource(len(s.cores), pool)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i, c := range s.cores {
+		f := s.frontOf(c)
+		wg.Add(1)
+		go func(i int, f *front) {
+			defer wg.Done()
+			workerRun(f, rs.chans[i], stop, pool, &rs.errs[i])
+		}(i, f)
+	}
+	var stopOnce sync.Once
+	shutdown := func() { stopOnce.Do(func() { close(stop); wg.Wait() }) }
+	defer shutdown()
+
+	if s.phase == snapshot.PhaseWarmup {
+		if err := s.driveParallel(ctx, rs, reps); err != nil {
+			return Results{}, err
+		}
+		s.beginROIMerge()
+	}
+	if err := s.driveParallel(ctx, rs, reps); err != nil {
+		return Results{}, err
+	}
+	s.reportProgress()
+	// The workers have produced every record the budgets allow and the
+	// merge consumed them all, so the live fronts hold the exact
+	// end-of-run private state. Join before reading it.
+	shutdown()
+	return s.collect(), nil
+}
+
+// driveParallel is the drive loop with step(next) replaced by a record
+// replay. Laggard selection, the runner-up threshold, the steps counter,
+// and every poll cadence are identical, so snapshots fire at the same
+// global step with the same state.
+func (s *System) driveParallel(ctx context.Context, rs *recordSource, reps []*replica) error {
+	save := func() error {
+		for i, r := range reps {
+			r.advanceTo(rs.consumed[i], s.phase)
+		}
+		return s.saveAuto()
+	}
+	var steps uint64
+	for {
+		var next, ru *core
+		nextIdx, ruIdx := -1, -1
+		for i, c := range s.cores {
+			if c.done {
+				continue
+			}
+			switch {
+			case next == nil || c.clock < next.clock:
+				ru, ruIdx = next, nextIdx
+				next, nextIdx = c, i
+			case ru == nil || c.clock < ru.clock:
+				ru, ruIdx = c, i
+			}
+		}
+		if next == nil {
+			return nil
+		}
+		for ru == nil || next.clock < ru.clock || (next.clock == ru.clock && nextIdx < ruIdx) {
+			steps++
+			if steps%cancelCheckPeriod == 0 {
+				s.reportProgress()
+				if s.auto != nil && s.auto.Trigger.Fired() {
+					if err := save(); err != nil {
+						return err
+					}
+					return snapshot.ErrStopped
+				}
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if s.auto != nil && s.auto.Every > 0 && steps%s.auto.Every == 0 {
+				if err := save(); err != nil {
+					return err
+				}
+			}
+			if invariant.Enabled {
+				if invariant.Every(steps, llcAuditPeriod) {
+					if a, ok := s.llc.(auditor); ok {
+						invariant.CheckErr(a.Audit())
+					}
+				}
+			}
+			gap, kind, ops, err := rs.next(next.id)
+			if err != nil {
+				return err
+			}
+			s.applyStep(next, gap, kind, ops)
+			if next.retired >= next.target {
+				next.drain()
+				next.done = true
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package cachesim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"runtime"
+	"testing"
+)
+
+// resultsJSON renders Results deterministically for byte comparison.
+func resultsJSON(t *testing.T, r Results) []byte {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestParallelMatchesSerial proves the deterministic parallel mode's core
+// claim: for every LLC design, a parallel run returns byte-identical
+// Results to the serial path on the same configuration.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, d := range snapDesigns {
+		t.Run(d.name, func(t *testing.T) {
+			serial, err := Run(context.Background(), snapSystem(d.mk()),
+				RunSpec{Warmup: snapWarmup, ROI: snapROI})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := Run(context.Background(), snapSystem(d.mk()),
+				RunSpec{Warmup: snapWarmup, ROI: snapROI, Parallelism: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s, p := resultsJSON(t, serial), resultsJSON(t, par); !bytes.Equal(s, p) {
+				t.Fatalf("parallel diverged from serial:\nserial   %s\nparallel %s", s, p)
+			}
+		})
+	}
+}
+
+// TestParallelAtGOMAXPROCS runs one design at the machine's actual worker
+// count (what CI's -race leg exercises), pinning that the bit-exactness
+// claim holds at whatever parallelism the hardware delivers, not only at
+// the fixed fan-outs used above.
+func TestParallelAtGOMAXPROCS(t *testing.T) {
+	par := runtime.GOMAXPROCS(0)
+	if par < 2 {
+		par = 2
+	}
+	d := snapDesigns[0]
+	serial, err := Run(context.Background(), snapSystem(d.mk()),
+		RunSpec{Warmup: snapWarmup, ROI: snapROI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Run(context.Background(), snapSystem(d.mk()),
+		RunSpec{Warmup: snapWarmup, ROI: snapROI, Parallelism: par})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, pj := resultsJSON(t, serial), resultsJSON(t, p); !bytes.Equal(s, pj) {
+		t.Fatalf("parallelism %d diverged from serial:\nserial   %s\nparallel %s", par, s, pj)
+	}
+}
+
+// runCapturing runs sys to completion while collecting every auto-snapshot
+// blob the drive loop emits.
+func runCapturing(t *testing.T, sys *System, par int) (Results, [][]byte) {
+	t.Helper()
+	var snaps [][]byte
+	sys.SetAutoSnapshot(&AutoSnapshot{
+		Every: 4096,
+		Save: func(data []byte) error {
+			snaps = append(snaps, append([]byte(nil), data...))
+			return nil
+		},
+	})
+	res, err := Run(context.Background(), sys, RunSpec{Warmup: snapWarmup, ROI: snapROI, Parallelism: par})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, snaps
+}
+
+// TestParallelSnapshotsByteIdentical compares every mid-run snapshot a
+// parallel run takes against the serial run's snapshot at the same step:
+// same count, and byte-for-byte equal blobs. This exercises the replica
+// replay machinery (workers are far ahead of the merge when each snapshot
+// fires) across warmup, the phase barrier, and the ROI.
+func TestParallelSnapshotsByteIdentical(t *testing.T) {
+	for _, d := range snapDesigns[:2] { // maya + mirage: remap-heavy designs
+		t.Run(d.name, func(t *testing.T) {
+			sres, ssnaps := runCapturing(t, snapSystem(d.mk()), 1)
+			pres, psnaps := runCapturing(t, snapSystem(d.mk()), 4)
+			if len(ssnaps) == 0 {
+				t.Fatal("serial run took no snapshots; cadence too coarse for the budgets")
+			}
+			if len(ssnaps) != len(psnaps) {
+				t.Fatalf("snapshot count diverged: serial %d parallel %d", len(ssnaps), len(psnaps))
+			}
+			for i := range ssnaps {
+				if !bytes.Equal(ssnaps[i], psnaps[i]) {
+					t.Fatalf("snapshot %d/%d differs between serial and parallel", i+1, len(ssnaps))
+				}
+			}
+			if s, p := resultsJSON(t, sres), resultsJSON(t, pres); !bytes.Equal(s, p) {
+				t.Fatalf("results diverged:\nserial   %s\nparallel %s", s, p)
+			}
+		})
+	}
+}
+
+// TestParallelResumeFromSerialSnapshot restores a serial mid-ROI snapshot
+// and finishes it in parallel mode; the results must match finishing it
+// serially. Resume is where restored done-flags, mid-phase targets, and
+// partially drained windows all feed the worker/merge split.
+func TestParallelResumeFromSerialSnapshot(t *testing.T) {
+	d := snapDesigns[0]
+	state := captureMidROI(t, snapSystem(d.mk()))
+
+	finish := func(par int) Results {
+		sys := snapSystem(d.mk())
+		if err := sys.RestoreState(state); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(context.Background(), sys, RunSpec{Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if s, p := resultsJSON(t, finish(1)), resultsJSON(t, finish(4)); !bytes.Equal(s, p) {
+		t.Fatalf("resumed results diverged:\nserial   %s\nparallel %s", s, p)
+	}
+}
+
+// TestErrSpent pins the reuse-after-failure contract: a cancelled run
+// leaves the System spent, every further run attempt fails fast with
+// ErrSpent (instead of silently continuing from mid-run garbage), and
+// RestoreState clears the mark.
+func TestErrSpent(t *testing.T) {
+	d := snapDesigns[2]
+	sys := snapSystem(d.mk())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.RunCtx(ctx, snapWarmup, snapROI); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v", err)
+	}
+
+	if _, err := sys.RunCtx(context.Background(), snapWarmup, snapROI); !errors.Is(err, ErrSpent) {
+		t.Fatalf("RunCtx after cancel returned %v, want ErrSpent", err)
+	}
+	if _, err := sys.ResumeCtx(context.Background()); !errors.Is(err, ErrSpent) {
+		t.Fatalf("ResumeCtx after cancel returned %v, want ErrSpent", err)
+	}
+	if _, err := Run(context.Background(), sys, RunSpec{Warmup: 1, ROI: 1}); !errors.Is(err, ErrSpent) {
+		t.Fatalf("Run after cancel returned %v, want ErrSpent", err)
+	}
+
+	// A restore installs coherent state: the System is usable again.
+	state := captureMidROI(t, snapSystem(d.mk()))
+	if err := sys.RestoreState(state); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), sys, RunSpec{}); err != nil {
+		t.Fatalf("run after restore returned %v", err)
+	}
+}
+
+// TestParallelSpentOnCancel checks the parallel path honours the same
+// lifecycle: cancellation mid-run marks the System spent and joins the
+// worker goroutines rather than leaking them.
+func TestParallelSpentOnCancel(t *testing.T) {
+	sys := snapSystem(snapDesigns[2].mk())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, sys, RunSpec{Warmup: snapWarmup, ROI: snapROI, Parallelism: 4}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled parallel run returned %v", err)
+	}
+	if _, err := Run(context.Background(), sys, RunSpec{Warmup: 1, ROI: 1, Parallelism: 4}); !errors.Is(err, ErrSpent) {
+		t.Fatalf("parallel run after cancel returned %v, want ErrSpent", err)
+	}
+}

@@ -75,7 +75,7 @@ func TestPrefetchImprovesStreaming(t *testing.T) {
 		sys := New(Config{
 			Cores: 1,
 			Core:  params,
-			LLC:   baseline.New(baseline.Config{Sets: 2048, Ways: 16, Replacement: baseline.SRRIP, Seed: 1}),
+			LLC:   mustLLC(baseline.NewChecked(baseline.Config{Sets: 2048, Ways: 16, Replacement: baseline.SRRIP, Seed: 1})),
 			DRAM:  DefaultDRAMConfig(),
 			Seed:  1,
 		}, []trace.Generator{g})

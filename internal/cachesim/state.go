@@ -5,8 +5,9 @@ import (
 	"fmt"
 	"strings"
 
-	"mayacache/internal/mc"
+	"mayacache/internal/baseline"
 	"mayacache/internal/snapshot"
+	"mayacache/internal/trace"
 )
 
 // SystemKind identifies a full-System snapshot container.
@@ -34,6 +35,25 @@ func (s *System) workloadNames() string {
 		names[i] = c.gen.Name()
 	}
 	return strings.Join(names, ",")
+}
+
+// frontView is the slice of a core EncodeState serializes from a
+// position-dependent source: the core itself in serial runs, a replica
+// advanced to the merge position in parallel runs (workers have mutated
+// the live front past the point being snapshotted).
+type frontView struct {
+	gen trace.Generator
+	l1d *baseline.SetAssoc
+	l2  *baseline.SetAssoc
+	pf  *prefetcher
+}
+
+func (s *System) snapFront(i int) frontView {
+	if s.snapHook != nil {
+		return s.snapHook(i)
+	}
+	c := s.cores[i]
+	return frontView{gen: c.gen, l1d: c.l1d, l2: c.l2, pf: c.pf}
 }
 
 // Snapshottable reports whether every pluggable component (the LLC design
@@ -88,23 +108,25 @@ func (s *System) EncodeState() ([]byte, error) {
 	})
 
 	var ce snapshot.Encoder
-	for _, c := range s.cores {
-		c.saveState(&ce)
+	for i, c := range s.cores {
+		c.saveState(&ce, s.snapFront(i).pf)
 	}
 	snap.Add("cores", ce.Data())
 
 	var pe snapshot.Encoder
-	for _, c := range s.cores {
-		c.l1d.SaveState(&pe)
-		c.l2.SaveState(&pe)
+	for i := range s.cores {
+		v := s.snapFront(i)
+		v.l1d.SaveState(&pe)
+		v.l2.SaveState(&pe)
 	}
 	snap.Add("private", pe.Data())
 
 	var ge snapshot.Encoder
-	for _, c := range s.cores {
-		gen, ok := c.gen.(snapshot.Stateful)
+	for i := range s.cores {
+		g := s.snapFront(i).gen
+		gen, ok := g.(snapshot.Stateful)
 		if !ok {
-			return nil, fmt.Errorf("cachesim: workload %q does not support snapshots", c.gen.Name())
+			return nil, fmt.Errorf("cachesim: workload %q does not support snapshots", g.Name())
 		}
 		gen.SaveState(&ge)
 	}
@@ -241,13 +263,17 @@ func (s *System) RestoreState(data []byte) error {
 
 	s.warmup, s.roi, s.phase = h.Warmup, h.ROI, h.Phase
 	s.started = true
+	s.spent = false // the restored state is coherent; runs may proceed
 	return nil
 }
 
-// saveState serializes one core's pipeline scheduling state and
-// prefetcher. The outstanding window is written compacted (from outHead)
-// — only the live entries affect future behaviour.
-func (c *core) saveState(e *snapshot.Encoder) {
+// saveState serializes one core's pipeline scheduling state and the
+// given prefetcher (the core's own in serial runs, a replica's in
+// parallel runs — pf lives in the timing-independent front, unlike the
+// merge-owned fields above it). The outstanding window is written
+// compacted (from outHead) — only the live entries affect future
+// behaviour.
+func (c *core) saveState(e *snapshot.Encoder, pf *prefetcher) {
 	e.U64(c.clock)
 	e.Int(c.subIssue)
 	win := c.outstanding[c.outHead:]
@@ -260,21 +286,21 @@ func (c *core) saveState(e *snapshot.Encoder) {
 	e.Bool(c.done)
 	e.U64(c.roiStartClock)
 	e.U64(c.roiStartRetired)
-	if c.pf == nil {
+	if pf == nil {
 		e.Bool(false)
 		return
 	}
 	e.Bool(true)
-	e.Count(len(c.pf.entries))
-	for i := range c.pf.entries {
-		se := &c.pf.entries[i]
+	e.Count(len(pf.entries))
+	for i := range pf.entries {
+		se := &pf.entries[i]
 		e.U64(se.region)
 		e.I32(se.lastOffset)
 		e.I32(se.stride)
 		e.I8(se.confidence)
 		e.Bool(se.valid)
 	}
-	e.U64(c.pf.issued)
+	e.U64(pf.issued)
 }
 
 func (c *core) restoreState(d *snapshot.Decoder, s *System) error {
@@ -387,44 +413,8 @@ var _ snapshot.Stateful = (*DRAM)(nil)
 // A nil cell, or a system whose design or workloads cannot serialize,
 // degrades to a plain RunCtx. On a deadline stop the partial state has
 // been persisted and the error is snapshot.ErrStopped.
+//
+// Deprecated: use Run with a RunSpec carrying Cell and Sub.
 func RunResumable(ctx context.Context, sys *System, cell *snapshot.Cell, sub string, warmup, roi uint64) (Results, error) {
-	// A tracker on the context (mc.WithTracker) streams retired-instruction
-	// progress on every path, including the degraded plain-RunCtx one.
-	tracker := mc.TrackerFrom(ctx)
-	if cell == nil || !sys.Snapshottable() {
-		sys.SetProgress(tracker)
-		return sys.RunCtx(ctx, warmup, roi)
-	}
-	var cached Results
-	if ok, err := cell.LookupResult(sub, &cached); err != nil {
-		return Results{}, err
-	} else if ok {
-		return cached, nil
-	}
-	sys.SetAutoSnapshot(&AutoSnapshot{
-		Every:   cell.Every(),
-		Trigger: cell.Trigger(),
-		Save:    func(state []byte) error { return cell.SaveSystem(sub, state) },
-	})
-	var res Results
-	var err error
-	if st := cell.SystemState(sub); st != nil {
-		if rerr := sys.RestoreState(st); rerr != nil {
-			return Results{}, fmt.Errorf("resume %q: %w", sub, rerr)
-		}
-		// Installed after the restore so the tracker baseline is the
-		// resumed state: only instructions retired here are reported.
-		sys.SetProgress(tracker)
-		res, err = sys.ResumeCtx(ctx)
-	} else {
-		sys.SetProgress(tracker)
-		res, err = sys.RunCtx(ctx, warmup, roi)
-	}
-	if err != nil {
-		return Results{}, err
-	}
-	if err := cell.RecordResult(sub, res); err != nil {
-		return Results{}, err
-	}
-	return res, nil
+	return Run(ctx, sys, RunSpec{Warmup: warmup, ROI: roi, Cell: cell, Sub: sub})
 }

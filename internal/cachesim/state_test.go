@@ -24,22 +24,22 @@ var snapDesigns = []struct {
 	mk   func() cachemodel.LLC
 }{
 	{"maya", func() cachemodel.LLC {
-		return maya.New(maya.Config{
+		return mustLLC(maya.NewChecked(maya.Config{
 			SetsPerSkew: 256, Skews: 2, BaseWays: 6, ReuseWays: 3, InvalidWays: 6,
 			Seed: 9, Hasher: cachemodel.NewXorHasher(2, 8, 9),
-		})
+		}))
 	}},
 	{"mirage", func() cachemodel.LLC {
-		return mirage.New(mirage.Config{
+		return mustLLC(mirage.NewChecked(mirage.Config{
 			SetsPerSkew: 256, Skews: 2, BaseWays: 8, ExtraWays: 6,
 			Seed: 9, Hasher: cachemodel.NewXorHasher(2, 8, 9),
-		})
+		}))
 	}},
 	{"baseline", func() cachemodel.LLC {
-		return baseline.New(baseline.Config{Sets: 512, Ways: 16, Replacement: baseline.DRRIP, Seed: 9})
+		return mustLLC(baseline.NewChecked(baseline.Config{Sets: 512, Ways: 16, Replacement: baseline.DRRIP, Seed: 9}))
 	}},
 	{"ceaser", func() cachemodel.LLC {
-		return ceaser.New(ceaser.Config{Sets: 512, Ways: 16, Variant: ceaser.CEASERS, RemapPeriod: 5000, Seed: 9})
+		return mustLLC(ceaser.NewChecked(ceaser.Config{Sets: 512, Ways: 16, Variant: ceaser.CEASERS, RemapPeriod: 5000, Seed: 9}))
 	}},
 }
 

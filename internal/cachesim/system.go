@@ -100,7 +100,8 @@ type core struct {
 	// indexes the oldest entry; the slice is compacted when it drifts.
 	outstanding []uint64
 	outHead     int
-	pf          *prefetcher
+	//mayavet:ignore snapshotfields -- saved through saveState's pf parameter (parallel runs substitute a snapshot replica's prefetcher)
+	pf *prefetcher
 	retired     uint64
 	target      uint64
 	done        bool
@@ -122,8 +123,17 @@ type System struct {
 	warmup, roi uint64
 	phase       uint8 // snapshot.PhaseWarmup or snapshot.PhaseROI
 	started     bool  // a run is in progress (RunCtx began or RestoreState succeeded)
+	// spent marks the state as consumed by a failed or cancelled run:
+	// simulation state is never rewound, so continuing from it would
+	// silently compute garbage. Run entrypoints return ErrSpent instead;
+	// RestoreState clears the mark (a restore installs coherent state).
+	spent bool
 
 	auto *AutoSnapshot
+	// snapHook, when set (parallel runs with snapshots armed), redirects
+	// EncodeState's view of each core's private front to a replica at the
+	// merge's replay position; see parallel.go.
+	snapHook func(i int) frontView
 
 	// Progress reporting (not serialized: a restored System starts a new
 	// tracker epoch; progressSent rebases on the restored retired counts
@@ -194,24 +204,45 @@ func New(cfg Config, workloads []trace.Generator) *System {
 	s := &System{cfg: cfg, llc: cfg.LLC, dram: NewDRAM(cfg.DRAM)}
 	for i := 0; i < cfg.Cores; i++ {
 		c := &core{
-			id:  i,
-			gen: workloads[i],
-			l1d: baseline.New(baseline.Config{
-				Sets: cfg.Core.L1DSets, Ways: cfg.Core.L1DWays,
-				Replacement: baseline.LRU, Seed: cfg.Seed + uint64(i)*2 + 1,
-				NamePrefix: fmt.Sprintf("L1D[%d]", i),
-			}),
-			l2: baseline.New(baseline.Config{
-				Sets: cfg.Core.L2Sets, Ways: cfg.Core.L2Ways,
-				Replacement: baseline.LRU, Seed: cfg.Seed + uint64(i)*2 + 2,
-				NamePrefix: fmt.Sprintf("L2[%d]", i),
-			}),
+			id:          i,
+			gen:         workloads[i],
+			l1d:         s.newL1D(i),
+			l2:          s.newL2(i),
 			outstanding: make([]uint64, 0, cfg.Core.MSHRs),
 			pf:          newPrefetcher(cfg.Core.Prefetch),
 		}
 		s.cores = append(s.cores, c)
 	}
 	return s
+}
+
+// newL1D builds core i's L1D. Factored so snapshot replicas (parallel
+// runs) construct byte-identical twins.
+func (s *System) newL1D(i int) *baseline.SetAssoc {
+	return mustCache(baseline.NewChecked(baseline.Config{
+		Sets: s.cfg.Core.L1DSets, Ways: s.cfg.Core.L1DWays,
+		Replacement: baseline.LRU, Seed: s.cfg.Seed + uint64(i)*2 + 1,
+		NamePrefix: fmt.Sprintf("L1D[%d]", i),
+	}))
+}
+
+// newL2 builds core i's L2.
+func (s *System) newL2(i int) *baseline.SetAssoc {
+	return mustCache(baseline.NewChecked(baseline.Config{
+		Sets: s.cfg.Core.L2Sets, Ways: s.cfg.Core.L2Ways,
+		Replacement: baseline.LRU, Seed: s.cfg.Seed + uint64(i)*2 + 2,
+		NamePrefix: fmt.Sprintf("L2[%d]", i),
+	}))
+}
+
+// mustCache panics on private-cache construction errors: the geometries
+// come from CoreParams, so a failure is a caller bug exactly like the
+// panics New already raises for bad Config fields.
+func mustCache(c *baseline.SetAssoc, err error) *baseline.SetAssoc {
+	if err != nil {
+		panic(fmt.Sprintf("cachesim: private cache: %v", err))
+	}
+	return c
 }
 
 // CoreResult reports one core's ROI statistics.
@@ -255,6 +286,9 @@ func (r Results) IPCSum() float64 {
 
 // Run simulates warmup instructions per core without statistics, then
 // roi instructions per core with statistics, and returns the results.
+//
+// Deprecated: use the package-level Run with a RunSpec, which subsumes
+// all four legacy entrypoints. This wrapper remains for existing callers.
 func (s *System) Run(warmup, roi uint64) Results {
 	res, err := s.RunCtx(context.Background(), warmup, roi)
 	if err != nil {
@@ -268,8 +302,20 @@ func (s *System) Run(warmup, roi uint64) Results {
 // cancelCheckPeriod steps and abandons the simulation with ctx.Err() when
 // it is cancelled, which is how the experiment harness implements per-run
 // timeouts and Ctrl-C. A cancelled run returns zero Results; simulation
-// state is not rewound, so the System must not be reused afterwards.
+// state is not rewound, so any further run attempt on the same System
+// returns ErrSpent.
+//
+// Deprecated: use the package-level Run with a RunSpec.
 func (s *System) RunCtx(ctx context.Context, warmup, roi uint64) (Results, error) {
+	return s.runWith(ctx, warmup, roi, 1)
+}
+
+// runWith starts a fresh run with the given per-phase budgets, serial
+// when par <= 1 and in the deterministic parallel mode otherwise.
+func (s *System) runWith(ctx context.Context, warmup, roi uint64, par int) (Results, error) {
+	if s.spent {
+		return Results{}, ErrSpent
+	}
 	s.warmup, s.roi = warmup, roi
 	s.phase = snapshot.PhaseWarmup
 	s.started = true
@@ -277,22 +323,53 @@ func (s *System) RunCtx(ctx context.Context, warmup, roi uint64) (Results, error
 		c.target = warmup
 		c.done = warmup == 0
 	}
-	return s.runFrom(ctx)
+	return s.runFrom(ctx, par)
 }
 
 // ResumeCtx continues a run restored by RestoreState from wherever the
 // snapshot was taken — mid-warmup or mid-ROI — and returns the final
 // results. Calling it on a System that has neither run nor been restored
 // is an error.
+//
+// Deprecated: use the package-level Run with a RunSpec; a restored System
+// resumes automatically.
 func (s *System) ResumeCtx(ctx context.Context) (Results, error) {
+	return s.resumeWith(ctx, 1)
+}
+
+func (s *System) resumeWith(ctx context.Context, par int) (Results, error) {
+	if s.spent {
+		return Results{}, ErrSpent
+	}
 	if !s.started {
 		return Results{}, fmt.Errorf("cachesim: ResumeCtx before RunCtx or RestoreState")
 	}
-	return s.runFrom(ctx)
+	return s.runFrom(ctx, par)
 }
 
-// runFrom drives the remaining phases of the current run.
-func (s *System) runFrom(ctx context.Context) (Results, error) {
+// runFrom drives the remaining phases of the current run and maintains
+// the spent/started lifecycle: an error of any kind (cancellation,
+// deadline stop, snapshot-save failure) leaves partial state behind and
+// marks the System spent.
+func (s *System) runFrom(ctx context.Context, par int) (Results, error) {
+	var res Results
+	var err error
+	if par > 1 {
+		res, err = s.runPhasesParallel(ctx)
+	} else {
+		res, err = s.runPhases(ctx)
+	}
+	if err != nil {
+		s.spent = true
+		return Results{}, err
+	}
+	s.started = false
+	return res, nil
+}
+
+// runPhases is the serial drive path — exactly the code every run used
+// before the parallel mode existed (Parallelism <= 1 still lands here).
+func (s *System) runPhases(ctx context.Context) (Results, error) {
 	if s.phase == snapshot.PhaseWarmup {
 		if err := s.drive(ctx); err != nil {
 			return Results{}, err

@@ -9,9 +9,18 @@ import (
 	"mayacache/internal/trace"
 )
 
+// mustLLC unwraps a checked cache constructor for statically valid test
+// geometries.
+func mustLLC[T cachemodel.LLC](c T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
 // testLLC returns a small 2MB-ish baseline LLC for single-core tests.
 func testLLC(seed uint64) cachemodel.LLC {
-	return baseline.New(baseline.Config{Sets: 2048, Ways: 16, Replacement: baseline.SRRIP, Seed: seed})
+	return mustLLC(baseline.NewChecked(baseline.Config{Sets: 2048, Ways: 16, Replacement: baseline.SRRIP, Seed: seed}))
 }
 
 func singleCoreSystem(t *testing.T, bench string, llc cachemodel.LLC) *System {
@@ -103,7 +112,7 @@ func TestMultiCoreSharedLLCContention(t *testing.T) {
 		return New(Config{
 			Cores: cores,
 			Core:  DefaultCoreParams(),
-			LLC:   baseline.New(baseline.Config{Sets: 4096, Ways: 16, Replacement: baseline.SRRIP, Seed: 1}),
+			LLC:   mustLLC(baseline.NewChecked(baseline.Config{Sets: 4096, Ways: 16, Replacement: baseline.SRRIP, Seed: 1})),
 			DRAM:  DefaultDRAMConfig(),
 			Seed:  1,
 		}, gens)
@@ -123,7 +132,7 @@ func TestMayaLLCIntegration(t *testing.T) {
 		SetsPerSkew: 2048, Skews: 2, BaseWays: 6, ReuseWays: 3, InvalidWays: 6,
 		Seed: 1, Hasher: cachemodel.NewXorHasher(2, 11, 1),
 	}
-	s := singleCoreSystem(t, "mcf", maya.New(cfg))
+	s := singleCoreSystem(t, "mcf", mustLLC(maya.NewChecked(cfg)))
 	res := s.Run(50000, 200000)
 	if res.LLCStats.TagOnlyHits == 0 {
 		t.Fatal("Maya never saw a tag-only hit under mcf")
@@ -200,7 +209,7 @@ func BenchmarkSystemStep(b *testing.B) {
 	g := trace.MustGenerator(trace.MustLookup("mcf"), 0, 1)
 	s := New(Config{
 		Cores: 1, Core: DefaultCoreParams(),
-		LLC:  baseline.New(baseline.Config{Sets: 2048, Ways: 16, Replacement: baseline.SRRIP, Seed: 1}),
+		LLC:  mustLLC(baseline.NewChecked(baseline.Config{Sets: 2048, Ways: 16, Replacement: baseline.SRRIP, Seed: 1})),
 		DRAM: DefaultDRAMConfig(), Seed: 1,
 	}, []trace.Generator{g})
 	b.ResetTimer()

@@ -95,18 +95,6 @@ type Cache struct {
 	skewIdx []int32 //mayavet:ignore snapshotfields -- per-access scratch; dead between accesses
 }
 
-// New constructs the selected variant, panicking on invalid geometry.
-//
-// Deprecated: use NewChecked, which reports configuration errors instead
-// of crashing; New remains for callers with statically known-good configs.
-func New(cfg Config) *Cache {
-	c, err := NewChecked(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return c
-}
-
 // NewChecked constructs the selected variant, returning an error wrapping
 // cachemodel.ErrBadConfig when the geometry is invalid.
 func NewChecked(cfg Config) (*Cache, error) {
@@ -298,11 +286,6 @@ func (c *Cache) LookupPenalty() int { return prince.LatencyCycles }
 
 // StatsSnapshot implements cachemodel.LLC.
 func (c *Cache) StatsSnapshot() cachemodel.Stats { return c.stats }
-
-// Stats implements cachemodel.LLC.
-//
-// Deprecated: use StatsSnapshot; the pointer aliases live counters.
-func (c *Cache) Stats() *cachemodel.Stats { return &c.stats }
 
 // ResetStats implements cachemodel.LLC.
 func (c *Cache) ResetStats() { c.stats.Reset() }

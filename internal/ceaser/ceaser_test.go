@@ -7,6 +7,15 @@ import (
 	"mayacache/internal/rng"
 )
 
+// mustNew unwraps NewChecked for tests with known-good configs.
+func mustNew(cfg Config) *Cache {
+	c, err := NewChecked(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
 func read(line uint64) cachemodel.Access {
 	return cachemodel.Access{Line: line, Type: cachemodel.Read}
 }
@@ -27,7 +36,7 @@ func fastCfg(v Variant, seed uint64) Config {
 
 func TestMissThenHitAllVariants(t *testing.T) {
 	for _, v := range []Variant{CEASER, CEASERS, ScatterCache} {
-		c := New(fastCfg(v, 1))
+		c := mustNew(fastCfg(v, 1))
 		if r := c.Access(read(42)); r.DataHit {
 			t.Fatalf("%v: first access hit", v)
 		}
@@ -39,12 +48,12 @@ func TestMissThenHitAllVariants(t *testing.T) {
 
 func TestEvictionsOccurUnderPressure(t *testing.T) {
 	for _, v := range []Variant{CEASER, CEASERS, ScatterCache} {
-		c := New(fastCfg(v, 2))
+		c := mustNew(fastCfg(v, 2))
 		r := rng.New(1)
 		for i := 0; i < 50000; i++ {
 			c.Access(read(uint64(r.Uint32())))
 		}
-		if c.Stats().SAEs == 0 {
+		if c.StatsSnapshot().SAEs == 0 {
 			t.Errorf("%v: no set-associative evictions under pressure — randomized caches still conflict", v)
 		}
 	}
@@ -53,12 +62,12 @@ func TestEvictionsOccurUnderPressure(t *testing.T) {
 func TestCEASERRemapFlushes(t *testing.T) {
 	cfg := fastCfg(CEASER, 3)
 	cfg.RemapPeriod = 1000
-	c := New(cfg)
+	c := mustNew(cfg)
 	c.Access(read(7))
 	for i := uint64(100); i < 1101; i++ {
 		c.Access(read(i))
 	}
-	if c.Stats().Rekeys == 0 {
+	if c.StatsSnapshot().Rekeys == 0 {
 		t.Fatal("no remap after RemapPeriod fills")
 	}
 	if hit, _ := c.Probe(7, 0); hit {
@@ -67,7 +76,7 @@ func TestCEASERRemapFlushes(t *testing.T) {
 }
 
 func TestSDIDSeparation(t *testing.T) {
-	c := New(fastCfg(ScatterCache, 4))
+	c := mustNew(fastCfg(ScatterCache, 4))
 	c.Access(cachemodel.Access{Line: 5, Type: cachemodel.Read, SDID: 1})
 	if hit, _ := c.Probe(5, 2); hit {
 		t.Fatal("cross-domain hit")
@@ -75,7 +84,7 @@ func TestSDIDSeparation(t *testing.T) {
 }
 
 func TestDirtyWriteback(t *testing.T) {
-	c := New(fastCfg(CEASER, 5))
+	c := mustNew(fastCfg(CEASER, 5))
 	c.Access(cachemodel.Access{Line: 9, Type: cachemodel.Writeback})
 	saw := false
 	r := rng.New(2)
@@ -96,14 +105,14 @@ func TestVariantNames(t *testing.T) {
 	for v, want := range map[Variant]string{
 		CEASER: "CEASER", CEASERS: "CEASER-S", ScatterCache: "ScatterCache",
 	} {
-		if got := New(fastCfg(v, 6)).Name(); got != want {
+		if got := mustNew(fastCfg(v, 6)).Name(); got != want {
 			t.Errorf("Name() = %q, want %q", got, want)
 		}
 	}
 }
 
 func TestGeometry(t *testing.T) {
-	c := New(fastCfg(CEASERS, 7))
+	c := mustNew(fastCfg(CEASERS, 7))
 	g := c.Geometry()
 	if g.Skews != 2 || g.WaysPerSkew != 8 || g.DataEntries != 256*16 {
 		t.Fatalf("unexpected geometry %+v", g)

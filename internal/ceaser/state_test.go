@@ -32,23 +32,23 @@ func TestCeaserStateRoundTrip(t *testing.T) {
 	for _, variant := range []Variant{CEASER, CEASERS, ScatterCache} {
 		t.Run(variant.String(), func(t *testing.T) {
 			cfg := Config{Sets: 128, Ways: 8, Variant: variant, RemapPeriod: 3000, Seed: 31}
-			orig := New(cfg)
+			orig := mustNew(cfg)
 			driveAccesses(orig, rng.New(8), 20000)
-			if orig.Stats().Rekeys == 0 {
+			if orig.StatsSnapshot().Rekeys == 0 {
 				t.Fatal("test did not exercise remapping")
 			}
 
 			var e snapshot.Encoder
 			orig.SaveState(&e)
-			fresh := New(cfg)
+			fresh := mustNew(cfg)
 			if err := fresh.RestoreState(snapshot.NewDecoder(e.Data())); err != nil {
 				t.Fatalf("RestoreState: %v", err)
 			}
 
 			driveAccesses(orig, rng.New(14), 20000)
 			driveAccesses(fresh, rng.New(14), 20000)
-			if *orig.Stats() != *fresh.Stats() {
-				t.Fatalf("stats diverged:\n orig %+v\nfresh %+v", *orig.Stats(), *fresh.Stats())
+			if orig.StatsSnapshot() != fresh.StatsSnapshot() {
+				t.Fatalf("stats diverged:\n orig %+v\nfresh %+v", orig.StatsSnapshot(), fresh.StatsSnapshot())
 			}
 			var eo, ef snapshot.Encoder
 			orig.SaveState(&eo)
@@ -64,19 +64,19 @@ func TestCeaserStateRoundTrip(t *testing.T) {
 // fail without panicking.
 func TestCeaserRestoreRejectsDamage(t *testing.T) {
 	cfg := Config{Sets: 64, Ways: 8, Variant: CEASERS, Seed: 31}
-	orig := New(cfg)
+	orig := mustNew(cfg)
 	driveAccesses(orig, rng.New(8), 3000)
 	var e snapshot.Encoder
 	orig.SaveState(&e)
 	data := e.Data()
 	for _, n := range []int{0, 16, len(data) / 2, len(data) - 1} {
-		if err := New(cfg).RestoreState(snapshot.NewDecoder(data[:n])); err == nil {
+		if err := mustNew(cfg).RestoreState(snapshot.NewDecoder(data[:n])); err == nil {
 			t.Fatalf("truncation at %d accepted", n)
 		}
 	}
 	other := cfg
 	other.Sets = 128
-	if err := New(other).RestoreState(snapshot.NewDecoder(data)); err == nil {
+	if err := mustNew(other).RestoreState(snapshot.NewDecoder(data)); err == nil {
 		t.Fatal("foreign geometry accepted")
 	}
 }

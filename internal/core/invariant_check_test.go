@@ -51,7 +51,7 @@ func drive(m *Maya, seed uint64, n int) {
 }
 
 func TestMayacheckCleanRunPasses(t *testing.T) {
-	m := New(smallCheckConfig(7))
+	m := mustNew(smallCheckConfig(7))
 	drive(m, 8, 3*auditPeriod)
 	if err := m.Audit(); err != nil {
 		t.Fatalf("clean run failed audit: %v", err)
@@ -59,7 +59,7 @@ func TestMayacheckCleanRunPasses(t *testing.T) {
 }
 
 func TestMayacheckDetectsBrokenRPTR(t *testing.T) {
-	m := New(smallCheckConfig(11))
+	m := mustNew(smallCheckConfig(11))
 	drive(m, 12, auditPeriod/2)
 	if len(m.dataUsed) == 0 {
 		t.Fatal("no data entries populated")
@@ -71,7 +71,7 @@ func TestMayacheckDetectsBrokenRPTR(t *testing.T) {
 }
 
 func TestMayacheckDetectsOccupancySkew(t *testing.T) {
-	m := New(smallCheckConfig(17))
+	m := mustNew(smallCheckConfig(17))
 	drive(m, 18, auditPeriod/2)
 	// Double-count a data slot: priority-1 tag count no longer matches
 	// data-store occupancy.

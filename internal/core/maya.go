@@ -24,6 +24,7 @@ import (
 	"mayacache/internal/cachemodel"
 	"mayacache/internal/invariant"
 	"mayacache/internal/prince"
+	"mayacache/internal/probe"
 	"mayacache/internal/rng"
 )
 
@@ -67,6 +68,13 @@ type Config struct {
 	// one extra cycle for five or more reuse ways per skew (the wider
 	// tag lookup); Fig 4's sweep sets this for those points.
 	ExtraLookupLatency int
+	// NoSWAR disables the packed-fingerprint SWAR probe path and scans
+	// the tagLine mirror per way instead. Results are identical either
+	// way; the scalar path exists for cross-checking and debugging.
+	NoSWAR bool
+	// NoArena allocates the design's arrays individually instead of
+	// carving them from one flat arena. Layout only; results identical.
+	NoArena bool
 }
 
 // DefaultConfig returns the paper's 12MB Maya configuration: 2 skews x 16K
@@ -125,6 +133,13 @@ type Maya struct {
 	tagLine []uint64 //mayavet:ignore snapshotfields -- derived: rebuilt from tags on restore
 	tagMeta []uint16 //mayavet:ignore snapshotfields -- derived: rebuilt from tags on restore
 
+	// tagFP packs one 16-bit probe fingerprint per way (probe.Fingerprint
+	// of the line, 0 when invalid), fpWords words per (skew,set), so
+	// lookup compares a whole set's ways in a few SWAR operations and
+	// verifies candidates against tagLine/tagMeta. Nil when cfg.NoSWAR.
+	tagFP   []uint64 //mayavet:ignore snapshotfields -- derived: rebuilt from tags on restore
+	fpWords int
+
 	data     []dataEntry
 	dataUsed []int32 // dense list of valid data slots
 	dataFree []int32 // free slots (filled by flush / initial)
@@ -144,18 +159,6 @@ type Maya struct {
 	// collects priority-0 eviction candidates during an SAE.
 	skewIdx []int32 //mayavet:ignore snapshotfields -- per-access scratch; dead between accesses
 	candBuf []int32
-}
-
-// New constructs a Maya cache from cfg, panicking on invalid geometry.
-//
-// Deprecated: use NewChecked, which reports configuration errors instead
-// of crashing; New remains for callers with statically known-good configs.
-func New(cfg Config) *Maya {
-	m, err := NewChecked(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return m
 }
 
 // NewChecked constructs a Maya cache from cfg, returning an error wrapping
@@ -180,33 +183,61 @@ func NewChecked(cfg Config) (*Maya, error) {
 	if nTags > math.MaxInt32 {
 		return nil, cachemodel.BadConfigf("core: geometry with %d tag entries overflows int32 indices", nTags)
 	}
+	nSets := cfg.Skews * cfg.SetsPerSkew
+	fpWords := probe.WordsFor(ways)
+	nFP := nSets * fpWords
+	if cfg.NoSWAR {
+		nFP = 0
+	}
+	// p0List transiently reaches p0Cap+1 between an install and the
+	// enforceP0Cap that follows it; give it headroom so append never
+	// reallocates away from the arena.
+	p0ListCap := cfg.Skews*cfg.SetsPerSkew*maxInt(cfg.ReuseWays, 1) + ways
+	// One flat arena for all parallel arrays, ordered probe-hottest
+	// first so lookup and install touch adjacent cache lines. Alloc
+	// falls back to standalone allocations on a nil arena (NoArena) or
+	// if the sizing below ever goes stale.
+	var ar *probe.Arena
+	if !cfg.NoArena {
+		ar = probe.NewArena(
+			probe.Size[uint64](nFP) +
+				probe.Size[uint64](nTags) + // tagLine
+				probe.Size[uint16](nTags) + // tagMeta
+				probe.Size[uint64](nSets) + // invMask
+				probe.Size[uint16](nSets) + // validCnt
+				probe.Size[tagEntry](nTags) +
+				probe.Size[dataEntry](nData) +
+				probe.Size[int32](2*nData+p0ListCap))
+	}
 	m := &Maya{
 		cfg:      cfg,
 		ways:     ways,
 		sets:     cfg.SetsPerSkew,
 		skews:    cfg.Skews,
-		tags:     make([]tagEntry, nTags),
-		validCnt: make([]uint16, cfg.Skews*cfg.SetsPerSkew),
-		tagLine:  make([]uint64, nTags),
-		tagMeta:  make([]uint16, nTags),
-		data:     make([]dataEntry, nData),
-		dataUsed: make([]int32, 0, nData),
-		dataFree: make([]int32, 0, nData),
-		p0List:   make([]int32, 0, cfg.Skews*cfg.SetsPerSkew*maxInt(cfg.ReuseWays, 1)),
+		fpWords:  fpWords,
+		tagFP:    probe.Alloc[uint64](ar, nFP),
+		tagLine:  probe.Alloc[uint64](ar, nTags),
+		tagMeta:  probe.Alloc[uint16](ar, nTags),
+		validCnt: probe.Alloc[uint16](ar, nSets),
 		p0Cap:    cfg.Skews * cfg.SetsPerSkew * cfg.ReuseWays,
 		r:        rng.New(cfg.Seed ^ 0x4d617961), // "Maya"
 		skewIdx:  make([]int32, cfg.Skews),
 		candBuf:  make([]int32, 0, ways),
 	}
-	for i := range m.tags {
-		m.tags[i].fptr = -1
-		m.tags[i].p0pos = -1
-	}
 	if ways <= 64 {
-		m.invMask = make([]uint64, cfg.Skews*cfg.SetsPerSkew)
+		m.invMask = probe.Alloc[uint64](ar, nSets)
 		for i := range m.invMask {
 			m.invMask[i] = fullInvMask(ways)
 		}
+	}
+	m.tags = probe.Alloc[tagEntry](ar, nTags)
+	m.data = probe.Alloc[dataEntry](ar, nData)
+	m.dataUsed = probe.Alloc[int32](ar, nData)[:0]
+	m.dataFree = probe.Alloc[int32](ar, nData)[:0]
+	m.p0List = probe.Alloc[int32](ar, p0ListCap)[:0]
+	for i := range m.tags {
+		m.tags[i].fptr = -1
+		m.tags[i].p0pos = -1
 	}
 	for i := nData - 1; i >= 0; i-- {
 		m.dataFree = append(m.dataFree, int32(i))
@@ -247,7 +278,47 @@ func (m *Maya) setBase(skew, set int) int32 {
 // As a side effect it records each skew's set index in skewIdx, so the
 // install path that follows a miss (chooseSkew) never recomputes the hash —
 // with the PRINCE randomizer that halves cipher invocations per miss.
+//
+// The SWAR path compares a whole set's ways in fpWords packed operations;
+// every flagged lane is verified against the authoritative tagLine/tagMeta
+// mirrors, and lanes are visited lowest-first, so the first verified hit
+// is exactly the way the scalar scan would return.
 func (m *Maya) lookup(line uint64, sdid uint8) int32 {
+	if m.tagFP == nil {
+		return m.lookupScalar(line, sdid)
+	}
+	want := tagMetaOf(sdid)
+	bfp := probe.Broadcast(probe.Fingerprint(line))
+	for skew := 0; skew < m.skews; skew++ {
+		idx := m.hasher.Index(skew, line)
+		m.skewIdx[skew] = int32(idx)
+		base := m.setBase(skew, idx)
+		fpBase := (skew*m.sets + idx) * m.fpWords
+		words := m.tagFP[fpBase : fpBase+m.fpWords]
+		for wi := range words {
+			cand := probe.Candidates(words[wi], bfp)
+			for cand != 0 {
+				var lane int
+				lane, cand = probe.NextLane(cand)
+				w := wi*probe.LanesPerWord + lane
+				if w >= m.ways {
+					// Padding lanes past the last way hold fingerprint 0
+					// and can only flag as false positives; higher lanes
+					// in this word are padding too.
+					break
+				}
+				if ti := base + int32(w); m.tagLine[ti] == line && m.tagMeta[ti] == want {
+					return ti
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// lookupScalar is the per-way scan the SWAR path must agree with
+// (cfg.NoSWAR selects it; tests cross-check the two).
+func (m *Maya) lookupScalar(line uint64, sdid uint8) int32 {
 	want := tagMetaOf(sdid)
 	for skew := 0; skew < m.skews; skew++ {
 		idx := m.hasher.Index(skew, line)
@@ -263,6 +334,16 @@ func (m *Maya) lookup(line uint64, sdid uint8) int32 {
 		}
 	}
 	return -1
+}
+
+// setFP writes tag ti's packed probe fingerprint (0 marks invalid). It is
+// called everywhere tagLine/tagMeta flip validity or identity.
+func (m *Maya) setFP(ti int32, fp uint16) {
+	if m.tagFP == nil {
+		return
+	}
+	skewSet := int(ti) / m.ways
+	probe.Set(m.tagFP[skewSet*m.fpWords:], int(ti)-skewSet*m.ways, fp)
 }
 
 // Access implements cachemodel.LLC. The transitions follow Fig 3 and the
@@ -420,6 +501,7 @@ func (m *Maya) installP0(a cachemodel.Access) bool {
 	*e = tagEntry{line: a.Line, sdid: a.SDID, core: a.Core, state: stP0, fptr: -1, p0pos: -1}
 	m.tagLine[ti] = a.Line
 	m.tagMeta[ti] = tagMetaOf(a.SDID)
+	m.setFP(ti, probe.Fingerprint(a.Line))
 	m.addP0(ti)
 	m.validCnt[skew*m.sets+set]++
 	m.markValid(ti)
@@ -446,6 +528,7 @@ func (m *Maya) installP1(a cachemodel.Access) bool {
 	*e = tagEntry{line: a.Line, sdid: a.SDID, core: a.Core, state: stP1, dirty: true, fptr: -1, p0pos: -1}
 	m.tagLine[ti] = a.Line
 	m.tagMeta[ti] = tagMetaOf(a.SDID)
+	m.setFP(ti, probe.Fingerprint(a.Line))
 	m.validCnt[skew*m.sets+set]++
 	m.markValid(ti)
 	m.stats.Fills++
@@ -616,6 +699,7 @@ func (m *Maya) invalidateTag(ti int32) {
 	*e = tagEntry{fptr: -1, p0pos: -1}
 	m.tagLine[ti] = 0
 	m.tagMeta[ti] = 0
+	m.setFP(ti, 0)
 }
 
 // markValid clears tag ti's bit in the invalid-way mask after a fill.
@@ -663,6 +747,9 @@ func (m *Maya) rekeyAndFlush() {
 		*e = tagEntry{fptr: -1, p0pos: -1}
 		m.tagLine[ti] = 0
 		m.tagMeta[ti] = 0
+	}
+	for i := range m.tagFP {
+		m.tagFP[i] = 0
 	}
 	for i := range m.validCnt {
 		m.validCnt[i] = 0
@@ -713,11 +800,6 @@ func (m *Maya) LookupPenalty() int {
 
 // StatsSnapshot implements cachemodel.LLC.
 func (m *Maya) StatsSnapshot() cachemodel.Stats { return m.stats }
-
-// Stats implements cachemodel.LLC.
-//
-// Deprecated: use StatsSnapshot; see cachemodel.LLC.
-func (m *Maya) Stats() *cachemodel.Stats { return &m.stats }
 
 // ResetStats implements cachemodel.LLC.
 func (m *Maya) ResetStats() { m.stats.Reset() }
@@ -789,6 +871,16 @@ func (m *Maya) Audit() error {
 		}
 		if m.tagMeta[ti] != wantMeta {
 			return fmt.Errorf("tagMeta mirror diverged at tag %d: %#x != %#x", ti, m.tagMeta[ti], wantMeta)
+		}
+		if m.tagFP != nil {
+			wantFP := uint16(0)
+			if e.state != stInvalid {
+				wantFP = probe.Fingerprint(e.line)
+			}
+			skewSet := ti / m.ways
+			if got := probe.Get(m.tagFP[skewSet*m.fpWords:], ti-skewSet*m.ways); got != wantFP {
+				return fmt.Errorf("tagFP mirror diverged at tag %d: %#x != %#x", ti, got, wantFP)
+			}
 		}
 	}
 	if p0 != len(m.p0List) {

@@ -8,6 +8,15 @@ import (
 	"mayacache/internal/rng"
 )
 
+// mustNew unwraps NewChecked for tests with known-good configs.
+func mustNew(cfg Config) *Maya {
+	m, err := NewChecked(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
 // smallConfig returns a Maya cache scaled down for fast tests: 2 skews x
 // 64 sets x (6+3+6) ways, 768 data entries, with the fast hasher.
 func smallConfig(seed uint64) Config {
@@ -31,7 +40,7 @@ func wb(line uint64) cachemodel.Access {
 }
 
 func TestReuseFiltering(t *testing.T) {
-	m := New(smallConfig(1))
+	m := mustNew(smallConfig(1))
 	// First access: full miss, priority-0 fill, no data.
 	r := m.Access(read(42))
 	if r.TagHit || r.DataHit {
@@ -53,7 +62,7 @@ func TestReuseFiltering(t *testing.T) {
 	if !r.DataHit {
 		t.Fatal("third access missed; data should be resident")
 	}
-	s := m.Stats()
+	s := m.StatsSnapshot()
 	if s.TagOnlyHits != 1 || s.DataHits != 1 || s.Misses != 2 {
 		t.Fatalf("stats: TagOnlyHits=%d DataHits=%d Misses=%d, want 1/1/2",
 			s.TagOnlyHits, s.DataHits, s.Misses)
@@ -61,7 +70,7 @@ func TestReuseFiltering(t *testing.T) {
 }
 
 func TestWritebackMissInstallsPriority1Dirty(t *testing.T) {
-	m := New(smallConfig(2))
+	m := mustNew(smallConfig(2))
 	r := m.Access(wb(7))
 	if r.TagHit || r.DataHit {
 		t.Fatal("writeback miss should report a miss")
@@ -90,23 +99,23 @@ func TestWritebackMissInstallsPriority1Dirty(t *testing.T) {
 }
 
 func TestPromotionOnWritebackMarksDirty(t *testing.T) {
-	m := New(smallConfig(3))
+	m := mustNew(smallConfig(3))
 	m.Access(read(5)) // P0
 	m.Access(wb(5))   // promote, dirty
 	if th, dh := m.Probe(5, 0); !th || !dh {
 		t.Fatal("promotion via writeback failed")
 	}
 	// Flush must count a memory writeback for the dirty data.
-	before := m.Stats().WritebacksToMem
+	before := m.StatsSnapshot().WritebacksToMem
 	m.Flush(5, 0)
-	if m.Stats().WritebacksToMem != before+1 {
+	if m.StatsSnapshot().WritebacksToMem != before+1 {
 		t.Fatal("flush of dirty line did not write back")
 	}
 }
 
 func TestSteadyStatePopulations(t *testing.T) {
 	cfg := smallConfig(4)
-	m := New(cfg)
+	m := mustNew(cfg)
 	r := rng.New(99)
 	// Drive with a mixed stream until well past capacity.
 	for i := 0; i < 100000; i++ {
@@ -133,7 +142,7 @@ func TestSteadyStatePopulations(t *testing.T) {
 
 func TestInvariantsUnderRandomStream(t *testing.T) {
 	f := func(seed uint64) bool {
-		m := New(smallConfig(seed))
+		m := mustNew(smallConfig(seed))
 		r := rng.New(seed ^ 0xf00d)
 		for i := 0; i < 5000; i++ {
 			line := uint64(r.Intn(2000))
@@ -156,20 +165,20 @@ func TestInvariantsUnderRandomStream(t *testing.T) {
 func TestNoSAEWithProvisionedInvalidWays(t *testing.T) {
 	// With 6 invalid ways per skew and load-aware selection, SAEs occur
 	// ~once per 10^32 installs; a million installs must see none.
-	m := New(smallConfig(5))
+	m := mustNew(smallConfig(5))
 	r := rng.New(1)
 	for i := 0; i < 1000000; i++ {
 		m.Access(read(uint64(r.Uint32())))
 	}
-	if m.Stats().SAEs != 0 {
-		t.Fatalf("%d SAEs with provisioned invalid ways", m.Stats().SAEs)
+	if m.StatsSnapshot().SAEs != 0 {
+		t.Fatalf("%d SAEs with provisioned invalid ways", m.StatsSnapshot().SAEs)
 	}
 }
 
 func TestSAEWithNoInvalidWays(t *testing.T) {
 	cfg := smallConfig(6)
 	cfg.InvalidWays = 0
-	m := New(cfg)
+	m := mustNew(cfg)
 	r := rng.New(2)
 	// Writeback misses install priority-1 entries, filling sets up to
 	// their base+reuse capacity; with no invalid ways, load imbalance
@@ -181,7 +190,7 @@ func TestSAEWithNoInvalidWays(t *testing.T) {
 			m.Access(read(uint64(r.Uint32())))
 		}
 	}
-	if m.Stats().SAEs == 0 {
+	if m.StatsSnapshot().SAEs == 0 {
 		t.Fatal("no SAEs despite zero invalid ways")
 	}
 	if err := m.Audit(); err != nil {
@@ -190,14 +199,14 @@ func TestSAEWithNoInvalidWays(t *testing.T) {
 }
 
 func TestGlobalEvictionCounters(t *testing.T) {
-	m := New(smallConfig(7))
+	m := mustNew(smallConfig(7))
 	r := rng.New(3)
 	// Promote lines until the data store cycles.
 	for i := 0; i < 50000; i++ {
 		line := uint64(r.Intn(3000))
 		m.Access(read(line))
 	}
-	s := m.Stats()
+	s := m.StatsSnapshot()
 	if s.GlobalTagEvictions == 0 {
 		t.Error("no global tag evictions under tag-store pressure")
 	}
@@ -207,7 +216,7 @@ func TestGlobalEvictionCounters(t *testing.T) {
 }
 
 func TestSDIDIsolation(t *testing.T) {
-	m := New(smallConfig(8))
+	m := mustNew(smallConfig(8))
 	m.Access(cachemodel.Access{Line: 9, Type: cachemodel.Read, SDID: 1})
 	if th, _ := m.Probe(9, 2); th {
 		t.Fatal("domain 2 observes domain 1's fill")
@@ -230,7 +239,7 @@ func TestSDIDIsolation(t *testing.T) {
 }
 
 func TestProbeDoesNotMutate(t *testing.T) {
-	m := New(smallConfig(9))
+	m := mustNew(smallConfig(9))
 	m.Access(read(1))
 	for i := 0; i < 100; i++ {
 		m.Probe(1, 0)
@@ -239,20 +248,20 @@ func TestProbeDoesNotMutate(t *testing.T) {
 	if th, dh := m.Probe(1, 0); !th || dh {
 		t.Fatal("Probe mutated priority state")
 	}
-	if m.Stats().Accesses != 1 {
+	if m.StatsSnapshot().Accesses != 1 {
 		t.Fatal("Probe counted as access")
 	}
 }
 
 func TestLookupPenalty(t *testing.T) {
-	m := New(smallConfig(10))
+	m := mustNew(smallConfig(10))
 	if p := m.LookupPenalty(); p != 4 {
 		t.Fatalf("LookupPenalty = %d, want 4 (3 PRINCE + 1 indirection)", p)
 	}
 }
 
 func TestDefaultGeometryMatchesPaper(t *testing.T) {
-	m := New(DefaultConfig(1))
+	m := mustNew(DefaultConfig(1))
 	g := m.Geometry()
 	if g.TagEntries != 491520 {
 		t.Errorf("tag entries = %d, want 480K (491520)", g.TagEntries)
@@ -272,16 +281,16 @@ func TestRekeyOnSAE(t *testing.T) {
 	cfg := smallConfig(11)
 	cfg.InvalidWays = 0
 	cfg.RekeyOnSAE = true
-	m := New(cfg)
+	m := mustNew(cfg)
 	r := rng.New(4)
-	for i := 0; i < 100000 && m.Stats().Rekeys == 0; i++ {
+	for i := 0; i < 100000 && m.StatsSnapshot().Rekeys == 0; i++ {
 		if r.Bool(0.5) {
 			m.Access(wb(uint64(r.Uint32())))
 		} else {
 			m.Access(read(uint64(r.Uint32())))
 		}
 	}
-	if m.Stats().Rekeys == 0 {
+	if m.StatsSnapshot().Rekeys == 0 {
 		t.Fatal("no rekey despite SAEs being forced")
 	}
 	if err := m.Audit(); err != nil {
@@ -298,14 +307,14 @@ func TestRekeyOnSAE(t *testing.T) {
 }
 
 func TestDeadBlockAccounting(t *testing.T) {
-	m := New(smallConfig(12))
+	m := mustNew(smallConfig(12))
 	r := rng.New(5)
 	// A re-referenced working set larger than the 768-entry data store:
 	// promotions must cycle the data store and account evictions.
 	for i := 0; i < 50000; i++ {
 		m.Access(read(uint64(r.Intn(2000))))
 	}
-	s := m.Stats()
+	s := m.StatsSnapshot()
 	if s.DeadDataEvictions+s.ReusedDataEvictions == 0 {
 		t.Fatal("no data evictions accounted")
 	}
@@ -323,20 +332,20 @@ func TestConfigValidation(t *testing.T) {
 					t.Errorf("%s: New did not panic", name)
 				}
 			}()
-			New(cfg)
+			mustNew(cfg)
 		}()
 	}
 }
 
 func TestFlushAbsentLine(t *testing.T) {
-	m := New(smallConfig(13))
+	m := mustNew(smallConfig(13))
 	if m.Flush(12345, 0) {
 		t.Fatal("flush of absent line reported success")
 	}
 }
 
 func BenchmarkMayaAccess(b *testing.B) {
-	m := New(DefaultConfig(1))
+	m := mustNew(DefaultConfig(1))
 	r := rng.New(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -347,7 +356,7 @@ func BenchmarkMayaAccess(b *testing.B) {
 func BenchmarkMayaAccessXorHasher(b *testing.B) {
 	cfg := DefaultConfig(1)
 	cfg.Hasher = cachemodel.NewXorHasher(2, 14, 1)
-	m := New(cfg)
+	m := mustNew(cfg)
 	r := rng.New(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -32,6 +32,7 @@ func init() {
 			}
 		}
 		cfg.Hasher = o.Hasher(cfg.Skews, sets)
+		cfg.NoSWAR, cfg.NoArena = o.NoSWAR, o.NoArena
 		return NewChecked(cfg)
 	})
 	cachemodel.Register("Maya-ISO", func(o cachemodel.BuildOptions) (cachemodel.LLC, error) {
@@ -44,6 +45,7 @@ func init() {
 		cfg.BaseWays = 8
 		cfg.ReuseWays = 4
 		cfg.Hasher = o.Hasher(cfg.Skews, sets)
+		cfg.NoSWAR, cfg.NoArena = o.NoSWAR, o.NoArena
 		return NewChecked(cfg)
 	})
 }

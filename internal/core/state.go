@@ -1,6 +1,7 @@
 package core
 
 import (
+	"mayacache/internal/probe"
 	"mayacache/internal/snapshot"
 )
 
@@ -112,13 +113,17 @@ func (m *Maya) RestoreState(d *snapshot.Decoder) error {
 	if err := d.Err(); err != nil {
 		return err
 	}
-	// tagLine, tagMeta, and invMask are derived mirrors of tags; rebuild
-	// rather than serialize them.
+	// tagLine, tagMeta, tagFP, and invMask are derived mirrors of tags;
+	// rebuild rather than serialize them.
+	for i := range m.tagFP {
+		m.tagFP[i] = 0
+	}
 	for i := range m.tags {
 		m.tagLine[i] = m.tags[i].line
 		m.tagMeta[i] = 0
 		if m.tags[i].state != stInvalid {
 			m.tagMeta[i] = tagMetaOf(m.tags[i].sdid)
+			m.setFP(int32(i), probe.Fingerprint(m.tags[i].line)) //mayavet:checked i < nTags <= MaxInt32 (New)
 		}
 	}
 	if m.invMask != nil {

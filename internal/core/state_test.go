@@ -30,12 +30,12 @@ func driveAccesses(llc cachemodel.LLC, r *rng.Rand, n int) {
 // shared continuation. Encoded-state equality is the strongest check —
 // it covers the RNG words, the dense list order, and every tag bit.
 func TestMayaStateRoundTrip(t *testing.T) {
-	orig := New(smallConfig(7))
+	orig := mustNew(smallConfig(7))
 	driveAccesses(orig, rng.New(99), 20000)
 
 	var e snapshot.Encoder
 	orig.SaveState(&e)
-	fresh := New(smallConfig(7))
+	fresh := mustNew(smallConfig(7))
 	if err := fresh.RestoreState(snapshot.NewDecoder(e.Data())); err != nil {
 		t.Fatalf("RestoreState: %v", err)
 	}
@@ -45,8 +45,8 @@ func TestMayaStateRoundTrip(t *testing.T) {
 
 	driveAccesses(orig, rng.New(1234), 20000)
 	driveAccesses(fresh, rng.New(1234), 20000)
-	if *orig.Stats() != *fresh.Stats() {
-		t.Fatalf("stats diverged after resume:\n orig %+v\nfresh %+v", *orig.Stats(), *fresh.Stats())
+	if orig.StatsSnapshot() != fresh.StatsSnapshot() {
+		t.Fatalf("stats diverged after resume:\n orig %+v\nfresh %+v", orig.StatsSnapshot(), fresh.StatsSnapshot())
 	}
 	var eo, ef snapshot.Encoder
 	orig.SaveState(&eo)
@@ -60,21 +60,21 @@ func TestMayaStateRoundTrip(t *testing.T) {
 // geometry produce errors, never panics, and leave no audit-invalid state
 // in use.
 func TestMayaRestoreRejectsDamage(t *testing.T) {
-	orig := New(smallConfig(7))
+	orig := mustNew(smallConfig(7))
 	driveAccesses(orig, rng.New(3), 5000)
 	var e snapshot.Encoder
 	orig.SaveState(&e)
 	data := e.Data()
 
 	for _, n := range []int{0, 1, 8, 32, len(data) / 2, len(data) - 1} {
-		fresh := New(smallConfig(7))
+		fresh := mustNew(smallConfig(7))
 		if err := fresh.RestoreState(snapshot.NewDecoder(data[:n])); err == nil {
 			t.Fatalf("truncation at %d accepted", n)
 		}
 	}
 	other := smallConfig(7)
 	other.SetsPerSkew = 128
-	if err := New(other).RestoreState(snapshot.NewDecoder(data)); err == nil {
+	if err := mustNew(other).RestoreState(snapshot.NewDecoder(data)); err == nil {
 		t.Fatal("foreign geometry accepted")
 	}
 }

@@ -30,8 +30,8 @@ func TestAllDesignsConvergeOnFittingWorkingSet(t *testing.T) {
 		for i := 0; i < 20_000; i++ {
 			c.Access(cachemodel.Access{Line: uint64(r.Intn(1000)), Type: cachemodel.Read})
 		}
-		if hr := c.Stats().DataHitRate(); hr < 0.98 {
-			t.Errorf("%s: hit rate %.3f on a trivially fitting set", d, hr)
+		if st := c.StatsSnapshot(); st.DataHitRate() < 0.98 {
+			t.Errorf("%s: hit rate %.3f on a trivially fitting set", d, st.DataHitRate())
 		}
 	}
 }
@@ -47,7 +47,7 @@ func TestSecureDesignsSeeNoSAEsUnderLoad(t *testing.T) {
 			}
 			c.Access(cachemodel.Access{Line: uint64(r.Uint32()), Type: typ})
 		}
-		if s := c.Stats().SAEs; s != 0 {
+		if s := c.StatsSnapshot().SAEs; s != 0 {
 			t.Errorf("%s: %d SAEs under random load", d, s)
 		}
 	}
@@ -59,7 +59,7 @@ func TestBaselineSeesSAEsUnderLoad(t *testing.T) {
 	for i := 0; i < 200_000; i++ {
 		c.Access(cachemodel.Access{Line: uint64(r.Uint32()), Type: cachemodel.Read})
 	}
-	if c.Stats().SAEs == 0 {
+	if c.StatsSnapshot().SAEs == 0 {
 		t.Fatal("conventional cache logged no SAEs under pressure")
 	}
 }

@@ -19,6 +19,10 @@ type Scale struct {
 	ROIInstr    uint64
 	Seed        uint64
 	Parallel    bool // run independent configurations on all CPUs
+	// IntraParallelism forwards to cachesim.RunSpec.Parallelism: worker
+	// goroutines inside each simulation (0/1 = serial). Like Parallel it
+	// is a scheduling knob only — results are identical at any value.
+	IntraParallelism int
 	// StreamSeeds selects rng.Stream(Seed, i) derivation for multi-seed
 	// sweeps. When false (default) they keep the historical Seed+i
 	// scheme, so existing pinned results stay valid.

@@ -30,9 +30,10 @@ func scaleKey(sc Scale) string {
 // ctx cancellation and returning trace/construction failures as errors.
 // sub names this sub-run within its sweep cell ("mix|<design>",
 // "alone|<bench>"); when the harness attached a snapshot.Cell to ctx the
-// run goes through cachesim.RunResumable, so completed sub-runs are
-// served from the cell record, an interrupted one resumes mid-simulation,
-// and deadline stops persist state before returning snapshot.ErrStopped.
+// run goes through the checkpointing path of cachesim.Run, so completed
+// sub-runs are served from the cell record, an interrupted one resumes
+// mid-simulation, and deadline stops persist state before returning
+// snapshot.ErrStopped.
 func runMixCtx(ctx context.Context, sub string, benchNames []string, llc cachemodel.LLC, sc Scale) (cachesim.Results, error) {
 	gens := make([]trace.Generator, len(benchNames))
 	for i, b := range benchNames {
@@ -53,7 +54,13 @@ func runMixCtx(ctx context.Context, sub string, benchNames []string, llc cachemo
 		DRAM:  dramFor(len(benchNames)),
 		Seed:  sc.Seed,
 	}, gens)
-	return cachesim.RunResumable(ctx, sys, snapshot.CellFrom(ctx), sub, sc.WarmupInstr, sc.ROIInstr)
+	return cachesim.Run(ctx, sys, cachesim.RunSpec{
+		Warmup:      sc.WarmupInstr,
+		ROI:         sc.ROIInstr,
+		Cell:        snapshot.CellFrom(ctx),
+		Sub:         sub,
+		Parallelism: sc.IntraParallelism,
+	})
 }
 
 // AloneIPCCtx is AloneIPC under a context; failed computations are not

@@ -18,9 +18,12 @@ import (
 
 func filledMaya(t *testing.T, seed uint64) *core.Maya {
 	t.Helper()
-	m := core.New(core.Config{
+	m, err := core.NewChecked(core.Config{
 		SetsPerSkew: 64, Skews: 2, BaseWays: 4, ReuseWays: 2, InvalidWays: 3, Seed: seed,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	r := rng.New(seed)
 	for i := 0; i < 30_000; i++ {
 		typ := cachemodel.Read
@@ -62,9 +65,12 @@ func TestAuditFlagsFlippedTagBits(t *testing.T) {
 }
 
 func TestFlipTagBitOnEmptyCacheIsInert(t *testing.T) {
-	m := core.New(core.Config{
+	m, err := core.NewChecked(core.Config{
 		SetsPerSkew: 16, Skews: 2, BaseWays: 2, ReuseWays: 1, InvalidWays: 1, Seed: 1,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	desc, ok := FlipTagBit(m, 3, 5)
 	if !ok {
 		t.Fatal("hook missing")

@@ -32,7 +32,7 @@ func drive(c *Mirage, seed uint64, n int) {
 }
 
 func TestMayacheckCleanRunPasses(t *testing.T) {
-	c := New(smallCheckConfig(3))
+	c := mustNew(smallCheckConfig(3))
 	drive(c, 4, 3*auditPeriod)
 	if err := c.Audit(); err != nil {
 		t.Fatalf("clean run failed audit: %v", err)
@@ -40,7 +40,7 @@ func TestMayacheckCleanRunPasses(t *testing.T) {
 }
 
 func TestMayacheckDetectsValidCntDrift(t *testing.T) {
-	c := New(smallCheckConfig(5))
+	c := mustNew(smallCheckConfig(5))
 	drive(c, 6, auditPeriod/2)
 	// Skew the valid/invalid-way accounting that load-aware skew
 	// selection depends on.

@@ -19,6 +19,7 @@ import (
 	"mayacache/internal/cachemodel"
 	"mayacache/internal/invariant"
 	"mayacache/internal/prince"
+	"mayacache/internal/probe"
 	"mayacache/internal/rng"
 )
 
@@ -46,6 +47,12 @@ type Config struct {
 	RekeyOnSAE bool
 	// NameSuffix distinguishes variants (e.g. "-Lite") in reports.
 	NameSuffix string
+	// NoSWAR disables the packed-fingerprint SWAR probe path (scalar
+	// tagLine scan instead). Results are identical either way.
+	NoSWAR bool
+	// NoArena allocates the design's arrays individually instead of
+	// carving them from one flat arena. Layout only; results identical.
+	NoArena bool
 }
 
 // DefaultConfig is the paper's Mirage configuration for a 16MB LLC:
@@ -111,6 +118,13 @@ type Mirage struct {
 	tagLine []uint64 //mayavet:ignore snapshotfields -- derived: rebuilt from tags on restore
 	tagMeta []uint16 //mayavet:ignore snapshotfields -- derived: rebuilt from tags on restore
 
+	// tagFP packs one 16-bit probe fingerprint per way (probe.Fingerprint
+	// of the line, 0 when invalid), fpWords words per (skew,set); lookup
+	// SWAR-compares a whole set and verifies candidates against
+	// tagLine/tagMeta. Nil when cfg.NoSWAR.
+	tagFP   []uint64 //mayavet:ignore snapshotfields -- derived: rebuilt from tags on restore
+	fpWords int
+
 	data     []dataEntry
 	dataUsed []int32
 	dataFree []int32
@@ -123,18 +137,6 @@ type Mirage struct {
 	// skewIdx caches the per-skew set indices computed by lookup so the
 	// install path that follows a miss never re-hashes the same line.
 	skewIdx []int32 //mayavet:ignore snapshotfields -- per-access scratch; dead between accesses
-}
-
-// New constructs a Mirage cache from cfg, panicking on invalid geometry.
-//
-// Deprecated: use NewChecked, which reports configuration errors instead
-// of crashing; New remains for callers with statically known-good configs.
-func New(cfg Config) *Mirage {
-	c, err := NewChecked(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return c
 }
 
 // NewChecked constructs a Mirage cache from cfg, returning an error
@@ -159,29 +161,52 @@ func NewChecked(cfg Config) (*Mirage, error) {
 	if nTags > math.MaxInt32 {
 		return nil, cachemodel.BadConfigf("mirage: geometry with %d tag entries overflows int32 indices", nTags)
 	}
+	nSets := cfg.Skews * cfg.SetsPerSkew
+	fpWords := probe.WordsFor(ways)
+	nFP := nSets * fpWords
+	if cfg.NoSWAR {
+		nFP = 0
+	}
+	// One flat arena for the parallel arrays, probe-hottest first (see
+	// core.NewChecked). Alloc falls back to standalone allocations on a
+	// nil arena or stale sizing.
+	var ar *probe.Arena
+	if !cfg.NoArena {
+		ar = probe.NewArena(
+			probe.Size[uint64](nFP) +
+				probe.Size[uint64](nTags) + // tagLine
+				probe.Size[uint16](nTags) + // tagMeta
+				probe.Size[uint64](nSets) + // invMask
+				probe.Size[uint16](nSets) + // validCnt
+				probe.Size[tagEntry](nTags) +
+				probe.Size[dataEntry](nData) +
+				probe.Size[int32](2*nData))
+	}
 	c := &Mirage{
 		cfg:      cfg,
 		ways:     ways,
 		sets:     cfg.SetsPerSkew,
 		skews:    cfg.Skews,
-		tags:     make([]tagEntry, nTags),
-		validCnt: make([]uint16, cfg.Skews*cfg.SetsPerSkew),
-		tagLine:  make([]uint64, nTags),
-		tagMeta:  make([]uint16, nTags),
-		data:     make([]dataEntry, nData),
-		dataUsed: make([]int32, 0, nData),
-		dataFree: make([]int32, 0, nData),
+		fpWords:  fpWords,
+		tagFP:    probe.Alloc[uint64](ar, nFP),
+		tagLine:  probe.Alloc[uint64](ar, nTags),
+		tagMeta:  probe.Alloc[uint16](ar, nTags),
+		validCnt: probe.Alloc[uint16](ar, nSets),
 		r:        rng.New(cfg.Seed ^ 0x4d697261), // "Mira"
 		skewIdx:  make([]int32, cfg.Skews),
 	}
-	for i := range c.tags {
-		c.tags[i].fptr = -1
-	}
 	if ways <= 64 {
-		c.invMask = make([]uint64, cfg.Skews*cfg.SetsPerSkew)
+		c.invMask = probe.Alloc[uint64](ar, nSets)
 		for i := range c.invMask {
 			c.invMask[i] = fullInvMask(ways)
 		}
+	}
+	c.tags = probe.Alloc[tagEntry](ar, nTags)
+	c.data = probe.Alloc[dataEntry](ar, nData)
+	c.dataUsed = probe.Alloc[int32](ar, nData)[:0]
+	c.dataFree = probe.Alloc[int32](ar, nData)[:0]
+	for i := range c.tags {
+		c.tags[i].fptr = -1
 	}
 	for i := nData - 1; i >= 0; i-- {
 		c.dataFree = append(c.dataFree, int32(i))
@@ -209,7 +234,45 @@ func (c *Mirage) setBase(skew, set int) int32 {
 // lookup finds the tag index of (line, sdid) or -1. As a side effect it
 // records each skew's set index in skewIdx for the install path (see
 // chooseSkew), halving hash computations per miss.
+//
+// The SWAR path compares a whole set's ways per packed word and verifies
+// flagged lanes (lowest first) against tagLine/tagMeta, so the first
+// verified hit is exactly the way the scalar scan would return.
 func (c *Mirage) lookup(line uint64, sdid uint8) int32 {
+	if c.tagFP == nil {
+		return c.lookupScalar(line, sdid)
+	}
+	want := tagMetaOf(sdid)
+	bfp := probe.Broadcast(probe.Fingerprint(line))
+	for skew := 0; skew < c.skews; skew++ {
+		idx := c.hasher.Index(skew, line)
+		c.skewIdx[skew] = int32(idx)
+		base := c.setBase(skew, idx)
+		fpBase := (skew*c.sets + idx) * c.fpWords
+		words := c.tagFP[fpBase : fpBase+c.fpWords]
+		for wi := range words {
+			cand := probe.Candidates(words[wi], bfp)
+			for cand != 0 {
+				var lane int
+				lane, cand = probe.NextLane(cand)
+				w := wi*probe.LanesPerWord + lane
+				if w >= c.ways {
+					// Padding lanes hold fingerprint 0 and only flag as
+					// false positives; the rest of the word is padding.
+					break
+				}
+				if ti := base + int32(w); c.tagLine[ti] == line && c.tagMeta[ti] == want {
+					return ti
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// lookupScalar is the per-way scan the SWAR path must agree with
+// (cfg.NoSWAR selects it; tests cross-check the two).
+func (c *Mirage) lookupScalar(line uint64, sdid uint8) int32 {
 	want := tagMetaOf(sdid)
 	for skew := 0; skew < c.skews; skew++ {
 		idx := c.hasher.Index(skew, line)
@@ -225,6 +288,16 @@ func (c *Mirage) lookup(line uint64, sdid uint8) int32 {
 		}
 	}
 	return -1
+}
+
+// setFP writes tag ti's packed probe fingerprint (0 marks invalid). It is
+// called everywhere tagLine/tagMeta flip validity or identity.
+func (c *Mirage) setFP(ti int32, fp uint16) {
+	if c.tagFP == nil {
+		return
+	}
+	skewSet := int(ti) / c.ways
+	probe.Set(c.tagFP[skewSet*c.fpWords:], int(ti)-skewSet*c.ways, fp)
 }
 
 // Access implements cachemodel.LLC.
@@ -333,6 +406,7 @@ func (c *Mirage) install(a cachemodel.Access) bool {
 	*e = tagEntry{line: a.Line, sdid: a.SDID, core: a.Core, valid: true, dirty: a.Type == cachemodel.Writeback, fptr: -1}
 	c.tagLine[ti] = a.Line
 	c.tagMeta[ti] = tagMetaOf(a.SDID)
+	c.setFP(ti, probe.Fingerprint(a.Line))
 	c.validCnt[skew*c.sets+set]++
 	c.markValid(ti)
 	c.stats.Fills++
@@ -400,6 +474,7 @@ func (c *Mirage) evictTag(ti int32, evictorCore uint8, account bool) {
 	*e = tagEntry{fptr: -1}
 	c.tagLine[ti] = 0
 	c.tagMeta[ti] = 0
+	c.setFP(ti, 0)
 }
 
 // tagMetaOf is the tagMeta value of a valid tag owned by sdid; bit 0 is
@@ -453,6 +528,9 @@ func (c *Mirage) rekeyAndFlush() {
 		c.tagLine[ti] = 0
 		c.tagMeta[ti] = 0
 	}
+	for i := range c.tagFP {
+		c.tagFP[i] = 0
+	}
 	for i := range c.validCnt {
 		c.validCnt[i] = 0
 	}
@@ -486,11 +564,6 @@ func (c *Mirage) LookupPenalty() int { return prince.LatencyCycles + 1 }
 
 // StatsSnapshot implements cachemodel.LLC.
 func (c *Mirage) StatsSnapshot() cachemodel.Stats { return c.stats }
-
-// Stats implements cachemodel.LLC.
-//
-// Deprecated: use StatsSnapshot; see cachemodel.LLC.
-func (c *Mirage) Stats() *cachemodel.Stats { return &c.stats }
 
 // ResetStats implements cachemodel.LLC.
 func (c *Mirage) ResetStats() { c.stats.Reset() }
@@ -529,6 +602,16 @@ func (c *Mirage) Audit() error {
 		}
 		if c.tagMeta[ti] != wantMeta {
 			return fmt.Errorf("tagMeta mirror diverged at tag %d: %#x != %#x", ti, c.tagMeta[ti], wantMeta)
+		}
+		if c.tagFP != nil {
+			wantFP := uint16(0)
+			if e.valid {
+				wantFP = probe.Fingerprint(e.line)
+			}
+			skewSet := ti / c.ways
+			if got := probe.Get(c.tagFP[skewSet*c.fpWords:], ti-skewSet*c.ways); got != wantFP {
+				return fmt.Errorf("tagFP mirror diverged at tag %d: %#x != %#x", ti, got, wantFP)
+			}
 		}
 		if !e.valid {
 			continue

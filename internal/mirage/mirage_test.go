@@ -8,6 +8,15 @@ import (
 	"mayacache/internal/rng"
 )
 
+// mustNew unwraps NewChecked for tests with known-good configs.
+func mustNew(cfg Config) *Mirage {
+	c, err := NewChecked(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
 func smallConfig(seed uint64) Config {
 	return Config{
 		SetsPerSkew: 64,
@@ -28,7 +37,7 @@ func wb(line uint64) cachemodel.Access {
 }
 
 func TestMissThenHit(t *testing.T) {
-	c := New(smallConfig(1))
+	c := mustNew(smallConfig(1))
 	if r := c.Access(read(42)); r.DataHit {
 		t.Fatal("first access hit")
 	}
@@ -39,7 +48,7 @@ func TestMissThenHit(t *testing.T) {
 
 func TestEveryValidTagOwnsData(t *testing.T) {
 	// Unlike Maya, a single access suffices for full residency.
-	c := New(smallConfig(2))
+	c := mustNew(smallConfig(2))
 	c.Access(read(1))
 	if th, dh := c.Probe(1, 0); !th || !dh {
 		t.Fatalf("Probe = (%v,%v), want (true,true)", th, dh)
@@ -48,7 +57,7 @@ func TestEveryValidTagOwnsData(t *testing.T) {
 
 func TestGlobalEvictionKeepsOccupancyAtCapacity(t *testing.T) {
 	cfg := smallConfig(3)
-	c := New(cfg)
+	c := mustNew(cfg)
 	capacity := cfg.Skews * cfg.SetsPerSkew * cfg.BaseWays
 	r := rng.New(1)
 	for i := 0; i < 50000; i++ {
@@ -60,31 +69,31 @@ func TestGlobalEvictionKeepsOccupancyAtCapacity(t *testing.T) {
 	if c.Occupancy() != capacity {
 		t.Fatalf("steady-state occupancy %d, want %d", c.Occupancy(), capacity)
 	}
-	if c.Stats().GlobalDataEvictions == 0 {
+	if c.StatsSnapshot().GlobalDataEvictions == 0 {
 		t.Fatal("no global evictions at steady state")
 	}
 }
 
 func TestNoSAEWithProvisionedExtraWays(t *testing.T) {
-	c := New(smallConfig(4))
+	c := mustNew(smallConfig(4))
 	r := rng.New(2)
 	for i := 0; i < 1000000; i++ {
 		c.Access(read(uint64(r.Uint32())))
 	}
-	if c.Stats().SAEs != 0 {
-		t.Fatalf("%d SAEs with 6 extra ways per skew", c.Stats().SAEs)
+	if c.StatsSnapshot().SAEs != 0 {
+		t.Fatalf("%d SAEs with 6 extra ways per skew", c.StatsSnapshot().SAEs)
 	}
 }
 
 func TestSAEWithNoExtraWays(t *testing.T) {
 	cfg := smallConfig(5)
 	cfg.ExtraWays = 0
-	c := New(cfg)
+	c := mustNew(cfg)
 	r := rng.New(3)
 	for i := 0; i < 200000; i++ {
 		c.Access(read(uint64(r.Uint32())))
 	}
-	if c.Stats().SAEs == 0 {
+	if c.StatsSnapshot().SAEs == 0 {
 		t.Fatal("no SAEs despite zero extra ways")
 	}
 	if err := c.Audit(); err != nil {
@@ -94,7 +103,7 @@ func TestSAEWithNoExtraWays(t *testing.T) {
 
 func TestInvariantsUnderRandomStream(t *testing.T) {
 	f := func(seed uint64) bool {
-		c := New(smallConfig(seed))
+		c := mustNew(smallConfig(seed))
 		r := rng.New(seed ^ 0xbeef)
 		for i := 0; i < 5000; i++ {
 			line := uint64(r.Intn(3000))
@@ -115,7 +124,7 @@ func TestInvariantsUnderRandomStream(t *testing.T) {
 }
 
 func TestDirtyWritebackOnEviction(t *testing.T) {
-	c := New(smallConfig(6))
+	c := mustNew(smallConfig(6))
 	c.Access(wb(99))
 	saw := false
 	r := rng.New(4)
@@ -133,7 +142,7 @@ func TestDirtyWritebackOnEviction(t *testing.T) {
 }
 
 func TestSDIDIsolation(t *testing.T) {
-	c := New(smallConfig(7))
+	c := mustNew(smallConfig(7))
 	c.Access(cachemodel.Access{Line: 9, Type: cachemodel.Read, SDID: 1})
 	if th, _ := c.Probe(9, 2); th {
 		t.Fatal("cross-domain visibility")
@@ -148,10 +157,10 @@ func TestSDIDIsolation(t *testing.T) {
 }
 
 func TestFlushDoesNotSkewDeadBlockStats(t *testing.T) {
-	c := New(smallConfig(8))
+	c := mustNew(smallConfig(8))
 	c.Access(read(5))
 	c.Flush(5, 0)
-	s := c.Stats()
+	s := c.StatsSnapshot()
 	if s.DeadDataEvictions != 0 || s.ReusedDataEvictions != 0 {
 		t.Fatalf("flush counted as eviction: dead=%d reused=%d",
 			s.DeadDataEvictions, s.ReusedDataEvictions)
@@ -159,7 +168,7 @@ func TestFlushDoesNotSkewDeadBlockStats(t *testing.T) {
 }
 
 func TestDefaultGeometryMatchesPaper(t *testing.T) {
-	c := New(DefaultConfig(1))
+	c := mustNew(DefaultConfig(1))
 	g := c.Geometry()
 	if g.TagEntries != 458752 {
 		t.Errorf("tag entries = %d, want 448K (458752)", g.TagEntries)
@@ -173,7 +182,7 @@ func TestDefaultGeometryMatchesPaper(t *testing.T) {
 }
 
 func TestLiteConfig(t *testing.T) {
-	c := New(LiteConfig(1))
+	c := mustNew(LiteConfig(1))
 	if c.Geometry().WaysPerSkew != 13 {
 		t.Errorf("Mirage-Lite ways per skew = %d, want 13", c.Geometry().WaysPerSkew)
 	}
@@ -183,7 +192,7 @@ func TestLiteConfig(t *testing.T) {
 }
 
 func TestLookupPenalty(t *testing.T) {
-	if p := New(smallConfig(9)).LookupPenalty(); p != 4 {
+	if p := mustNew(smallConfig(9)).LookupPenalty(); p != 4 {
 		t.Fatalf("LookupPenalty = %d, want 4", p)
 	}
 }
@@ -192,12 +201,12 @@ func TestRekeyOnSAE(t *testing.T) {
 	cfg := smallConfig(10)
 	cfg.ExtraWays = 0
 	cfg.RekeyOnSAE = true
-	c := New(cfg)
+	c := mustNew(cfg)
 	r := rng.New(5)
-	for i := 0; i < 200000 && c.Stats().Rekeys == 0; i++ {
+	for i := 0; i < 200000 && c.StatsSnapshot().Rekeys == 0; i++ {
 		c.Access(read(uint64(r.Uint32())))
 	}
-	if c.Stats().Rekeys == 0 {
+	if c.StatsSnapshot().Rekeys == 0 {
 		t.Fatal("no rekey despite forced SAEs")
 	}
 	if err := c.Audit(); err != nil {
@@ -206,7 +215,7 @@ func TestRekeyOnSAE(t *testing.T) {
 }
 
 func BenchmarkMirageAccess(b *testing.B) {
-	c := New(DefaultConfig(1))
+	c := mustNew(DefaultConfig(1))
 	r := rng.New(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -12,6 +12,7 @@ func init() {
 			cfg := base(o.Seed)
 			cfg.SetsPerSkew = sets
 			cfg.Hasher = o.Hasher(cfg.Skews, sets)
+			cfg.NoSWAR, cfg.NoArena = o.NoSWAR, o.NoArena
 			return NewChecked(cfg)
 		})
 	}

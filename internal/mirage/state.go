@@ -1,6 +1,7 @@
 package mirage
 
 import (
+	"mayacache/internal/probe"
 	"mayacache/internal/snapshot"
 )
 
@@ -97,13 +98,17 @@ func (c *Mirage) RestoreState(d *snapshot.Decoder) error {
 	if err := d.Err(); err != nil {
 		return err
 	}
-	// tagLine, tagMeta, and invMask are derived mirrors of tags; rebuild
-	// rather than serialize them.
+	// tagLine, tagMeta, tagFP, and invMask are derived mirrors of tags;
+	// rebuild rather than serialize them.
+	for i := range c.tagFP {
+		c.tagFP[i] = 0
+	}
 	for i := range c.tags {
 		c.tagLine[i] = c.tags[i].line
 		c.tagMeta[i] = 0
 		if c.tags[i].valid {
 			c.tagMeta[i] = tagMetaOf(c.tags[i].sdid)
+			c.setFP(int32(i), probe.Fingerprint(c.tags[i].line)) //mayavet:checked i < nTags <= MaxInt32 (New)
 		}
 	}
 	if c.invMask != nil {

@@ -28,12 +28,12 @@ func driveAccesses(llc cachemodel.LLC, r *rng.Rand, n int) {
 // interior state, restore into a fresh instance, continue both, and
 // require identical stats and identical re-encoded state.
 func TestMirageStateRoundTrip(t *testing.T) {
-	orig := New(smallConfig(11))
+	orig := mustNew(smallConfig(11))
 	driveAccesses(orig, rng.New(5), 20000)
 
 	var e snapshot.Encoder
 	orig.SaveState(&e)
-	fresh := New(smallConfig(11))
+	fresh := mustNew(smallConfig(11))
 	if err := fresh.RestoreState(snapshot.NewDecoder(e.Data())); err != nil {
 		t.Fatalf("RestoreState: %v", err)
 	}
@@ -43,8 +43,8 @@ func TestMirageStateRoundTrip(t *testing.T) {
 
 	driveAccesses(orig, rng.New(42), 20000)
 	driveAccesses(fresh, rng.New(42), 20000)
-	if *orig.Stats() != *fresh.Stats() {
-		t.Fatalf("stats diverged after resume:\n orig %+v\nfresh %+v", *orig.Stats(), *fresh.Stats())
+	if orig.StatsSnapshot() != fresh.StatsSnapshot() {
+		t.Fatalf("stats diverged after resume:\n orig %+v\nfresh %+v", orig.StatsSnapshot(), fresh.StatsSnapshot())
 	}
 	var eo, ef snapshot.Encoder
 	orig.SaveState(&eo)
@@ -57,19 +57,19 @@ func TestMirageStateRoundTrip(t *testing.T) {
 // TestMirageRestoreRejectsDamage checks truncated and foreign-geometry
 // state is refused without panicking.
 func TestMirageRestoreRejectsDamage(t *testing.T) {
-	orig := New(smallConfig(11))
+	orig := mustNew(smallConfig(11))
 	driveAccesses(orig, rng.New(5), 5000)
 	var e snapshot.Encoder
 	orig.SaveState(&e)
 	data := e.Data()
 	for _, n := range []int{0, 8, len(data) / 2, len(data) - 1} {
-		if err := New(smallConfig(11)).RestoreState(snapshot.NewDecoder(data[:n])); err == nil {
+		if err := mustNew(smallConfig(11)).RestoreState(snapshot.NewDecoder(data[:n])); err == nil {
 			t.Fatalf("truncation at %d accepted", n)
 		}
 	}
 	other := smallConfig(11)
 	other.BaseWays++
-	if err := New(other).RestoreState(snapshot.NewDecoder(data)); err == nil {
+	if err := mustNew(other).RestoreState(snapshot.NewDecoder(data)); err == nil {
 		t.Fatal("foreign geometry accepted")
 	}
 }

@@ -69,6 +69,15 @@ type Cache struct {
 	stats cachemodel.Stats
 }
 
+// mustPart unwraps the checked baseline constructor: every partition
+// geometry below is derived from an already-validated Config.
+func mustPart(c *baseline.SetAssoc, err error) *baseline.SetAssoc {
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
 // New constructs a partitioned cache.
 func New(cfg Config) *Cache {
 	if cfg.Domains <= 0 {
@@ -81,13 +90,13 @@ func New(cfg Config) *Cache {
 			panic(fmt.Sprintf("partition: %d ways not divisible by %d domains", cfg.Ways, cfg.Domains))
 		}
 		for d := 0; d < cfg.Domains; d++ {
-			c.parts = append(c.parts, baseline.New(baseline.Config{
+			c.parts = append(c.parts, mustPart(baseline.NewChecked(baseline.Config{
 				Sets:        cfg.Sets,
 				Ways:        cfg.Ways / cfg.Domains,
 				Replacement: cfg.Replacement,
 				Seed:        cfg.Seed + uint64(d),
 				NamePrefix:  fmt.Sprintf("%s[%d]", cfg.Kind, d),
-			}))
+			})))
 		}
 	case SetPartition, FlexSetPartition:
 		if cfg.Sets%cfg.Domains != 0 {
@@ -110,7 +119,7 @@ func New(cfg Config) *Cache {
 				// lines into the domain's set group.
 				hcfg.Hasher = cachemodel.NewXorHasher(1, log2(per), cfg.Seed^uint64(d)<<8)
 			}
-			c.parts = append(c.parts, baseline.New(hcfg))
+			c.parts = append(c.parts, mustPart(baseline.NewChecked(hcfg)))
 		}
 	default:
 		panic("partition: unknown kind")
@@ -178,15 +187,6 @@ func (c *Cache) LookupPenalty() int { return 0 }
 func (c *Cache) StatsSnapshot() cachemodel.Stats {
 	c.accumulate()
 	return c.stats
-}
-
-// Stats implements cachemodel.LLC. The aggregate is recomputed from the
-// partitions on each call; hold the pointer only for immediate reads.
-//
-// Deprecated: use StatsSnapshot; the pointer aliases the aggregate buffer.
-func (c *Cache) Stats() *cachemodel.Stats {
-	c.accumulate()
-	return &c.stats
 }
 
 // ResetStats implements cachemodel.LLC.

@@ -34,7 +34,10 @@ func TestIsolation(t *testing.T) {
 func TestReducedEffectiveCapacity(t *testing.T) {
 	// A single domain only reaches 1/Domains of the cache: a working set
 	// that fits the full cache but not the partition must thrash.
-	full := baseline.New(baseline.Config{Sets: 512, Ways: 16, Replacement: baseline.LRU, Seed: 1})
+	full, err := baseline.NewChecked(baseline.Config{Sets: 512, Ways: 16, Replacement: baseline.LRU, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	part := New(Config{Sets: 512, Ways: 16, Domains: 8, Kind: WayPartition, Replacement: baseline.LRU, Seed: 1})
 	// Working set: 4096 lines = half the 8192-entry cache, 4x the
 	// 1024-entry partition.
@@ -44,7 +47,7 @@ func TestReducedEffectiveCapacity(t *testing.T) {
 			part.Access(cachemodel.Access{Line: l, Type: cachemodel.Read, SDID: 0})
 		}
 	}
-	if fh, ph := full.Stats().DataHits, part.Stats().DataHits; ph*2 > fh {
+	if fh, ph := full.StatsSnapshot().DataHits, part.StatsSnapshot().DataHits; ph*2 > fh {
 		t.Fatalf("partitioned cache hits (%d) not clearly below shared (%d)", ph, fh)
 	}
 }
@@ -69,7 +72,7 @@ func TestAggregateStats(t *testing.T) {
 	for d := uint8(0); d < 8; d++ {
 		c.Access(cachemodel.Access{Line: uint64(d), Type: cachemodel.Read, SDID: d})
 	}
-	if got := c.Stats().Accesses; got != 8 {
+	if got := c.StatsSnapshot().Accesses; got != 8 {
 		t.Fatalf("aggregate accesses = %d, want 8", got)
 	}
 }

@@ -1,0 +1,196 @@
+package probe
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveMatches returns the ways (in order) whose stored fingerprint
+// equals fp, by plain per-way scan — the reference the SWAR path must
+// reproduce after verification.
+func naiveMatches(fps []uint16, fp uint16) []int {
+	var out []int
+	for w, f := range fps {
+		if f == fp && f != 0 {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// swarMatches walks SWAR candidates in way order, keeping only verified
+// ones — the exact loop shape the designs use.
+func swarMatches(words []uint64, fps []uint16, fp uint16) []int {
+	var out []int
+	bfp := Broadcast(fp)
+	for wi, word := range words {
+		for m := Candidates(word, bfp); m != 0; {
+			var lane int
+			lane, m = NextLane(m)
+			way := wi*LanesPerWord + lane
+			if way < len(fps) && fps[way] == fp && fps[way] != 0 {
+				out = append(out, way)
+			}
+		}
+	}
+	return out
+}
+
+func TestFingerprintNeverZero(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 1_000_000; i++ {
+		if Fingerprint(r.Uint64()) == 0 {
+			t.Fatal("Fingerprint returned the reserved empty value 0")
+		}
+	}
+	// The all-lanes-cancel case folds to 0 and must remap.
+	if Fingerprint(0) != 0xFFFF {
+		t.Fatalf("Fingerprint(0) = %#x, want 0xFFFF", Fingerprint(0))
+	}
+	if Fingerprint(0x0001_0001_0001_0001) != 0xFFFF {
+		t.Fatal("self-cancelling fold must remap to 0xFFFF")
+	}
+}
+
+func TestSetGetRoundTrip(t *testing.T) {
+	const ways = 15
+	words := make([]uint64, WordsFor(ways))
+	r := rand.New(rand.NewSource(2))
+	ref := make([]uint16, ways)
+	for i := 0; i < 10_000; i++ {
+		w := r.Intn(ways)
+		fp := uint16(r.Uint32())
+		Set(words, w, fp)
+		ref[w] = fp
+		for j := 0; j < ways; j++ {
+			if Get(words, j) != ref[j] {
+				t.Fatalf("iter %d: way %d = %#x, want %#x", i, j, Get(words, j), ref[j])
+			}
+		}
+	}
+}
+
+// TestSWARCandidatesExact drives random fill/probe patterns at awkward
+// way counts and checks the verified SWAR walk returns exactly the naive
+// scan's matches, in the same order (first-match semantics).
+func TestSWARCandidatesExact(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, ways := range []int{1, 3, 4, 5, 8, 15, 16, 17, 64} {
+		words := make([]uint64, WordsFor(ways))
+		fps := make([]uint16, ways)
+		for iter := 0; iter < 20_000; iter++ {
+			w := r.Intn(ways)
+			// Small fingerprint space forces heavy collisions, empty
+			// ways included.
+			fp := uint16(r.Intn(4)) // 0 = empty
+			Set(words, w, fp)
+			fps[w] = fp
+
+			pr := uint16(1 + r.Intn(3))
+			got := swarMatches(words, fps, pr)
+			want := naiveMatches(fps, pr)
+			if len(got) != len(want) {
+				t.Fatalf("ways=%d probe=%d: got %v want %v", ways, pr, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("ways=%d probe=%d: order diverged: got %v want %v", ways, pr, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestZeroLanesLowestIsTrue pins the correctness argument the designs
+// rely on: the lowest flagged lane of ZeroLanes is always a true zero.
+func TestZeroLanesLowestIsTrue(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 2_000_000; i++ {
+		x := r.Uint64()
+		if i%4 == 0 {
+			// Force some zero lanes.
+			x &^= 0xFFFF << (uint(r.Intn(4)) * 16)
+		}
+		m := ZeroLanes(x)
+		if m == 0 {
+			// No flags: x must have no zero lane at all.
+			for l := 0; l < 4; l++ {
+				if uint16(x>>(uint(l)*16)) == 0 {
+					t.Fatalf("x=%#x has zero lane %d but ZeroLanes=0", x, l)
+				}
+			}
+			continue
+		}
+		lane, _ := NextLane(m)
+		if uint16(x>>(uint(lane)*16)) != 0 {
+			t.Fatalf("x=%#x: lowest flagged lane %d is not zero", x, lane)
+		}
+	}
+}
+
+func TestArenaCarvesAndFallsBack(t *testing.T) {
+	a := NewArena(Size[uint64](8) + Size[uint16](3) + Size[uint32](5))
+	u64 := Alloc[uint64](a, 8)
+	u16 := Alloc[uint16](a, 3)
+	u32 := Alloc[uint32](a, 5)
+	if a.Overflows() != 0 {
+		t.Fatalf("unexpected overflows: %d", a.Overflows())
+	}
+	for i := range u64 {
+		u64[i] = ^uint64(i)
+	}
+	for i := range u16 {
+		u16[i] = uint16(i) + 7
+	}
+	for i := range u32 {
+		u32[i] = uint32(i) * 3
+	}
+	for i := range u64 {
+		if u64[i] != ^uint64(i) {
+			t.Fatal("u64 clobbered")
+		}
+	}
+	for i := range u16 {
+		if u16[i] != uint16(i)+7 {
+			t.Fatal("u16 clobbered")
+		}
+	}
+	for i := range u32 {
+		if u32[i] != uint32(i)*3 {
+			t.Fatal("u32 clobbered")
+		}
+	}
+
+	// Exhausted arena must fall back to a standalone slice, not fail.
+	extra := Alloc[uint64](a, 1024)
+	if len(extra) != 1024 || a.Overflows() != 1 {
+		t.Fatalf("fallback failed: len=%d overflows=%d", len(extra), a.Overflows())
+	}
+	extra[1023] = 1
+
+	if got := Alloc[uint64](a, 0); got != nil {
+		t.Fatal("zero-length alloc should be nil")
+	}
+	if got := Alloc[byte](nil, 4); len(got) != 4 {
+		t.Fatal("nil arena must fall back")
+	}
+}
+
+func BenchmarkSWARProbe15(b *testing.B) {
+	const ways = 15
+	words := make([]uint64, WordsFor(ways))
+	fps := make([]uint16, ways)
+	r := rand.New(rand.NewSource(5))
+	for w := 0; w < ways; w++ {
+		fp := Fingerprint(r.Uint64())
+		Set(words, w, fp)
+		fps[w] = fp
+	}
+	probe := fps[ways-1]
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += len(swarMatches(words, fps, probe))
+	}
+	_ = sink
+}

@@ -1,0 +1,25 @@
+package rng
+
+// Clone returns an independent generator whose future draw sequence is
+// identical to r's. The entire mutable state is the four xoshiro words,
+// so a value copy suffices.
+func (r *Rand) Clone() *Rand {
+	c := *r
+	return &c
+}
+
+// CloneWith returns a copy of z drawing from r instead of the original
+// RNG. Everything else in a Zipf is immutable parameters, shared safely.
+func (z *Zipf) CloneWith(r *Rand) *Zipf {
+	c := *z
+	c.r = r
+	return &c
+}
+
+// CloneWith returns a copy of g drawing from r. The threshold, value, and
+// guide tables are immutable after construction and stay shared.
+func (g *GeometricSampler) CloneWith(r *Rand) *GeometricSampler {
+	c := *g
+	c.r = r
+	return &c
+}

@@ -47,6 +47,19 @@ func sanctionedDerivation(fn *types.Func) bool {
 	return fn.Name() == "DefaultShards" || fn.Name() == "DefaultWorkers"
 }
 
+// sanctionedSpecField reports whether a named struct type's field is a
+// documented scheduling knob whose value never influences results:
+// cachesim.RunSpec.Parallelism selects the worker count of the
+// deterministic parallel mode, which is bit-exact versus serial by
+// construction (and pinned by golden-fixture tests), so values flowing
+// into that field are not tracked. Matching the package by name keeps the
+// fixture module's cachesim shim covered like the real package.
+func sanctionedSpecField(named *types.Named, field string) bool {
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Name() == "cachesim" &&
+		obj.Name() == "RunSpec" && field == "Parallelism"
+}
+
 // taint is the lattice element: the set of source descriptions that may
 // have flowed into a value, plus the set of enclosing-function parameters
 // it may derive from.
@@ -294,6 +307,15 @@ func (st *funcState) assign(s *ast.AssignStmt, emit bool) bool {
 				changed = st.mergeVar(obj, t) || changed
 			}
 		default:
+			// Writing a sanctioned scheduling-knob field leaves the
+			// containing struct untainted: the field never reaches results.
+			if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+				if selection, ok := st.pkg.Info.Selections[sel]; ok && selection.Kind() == types.FieldVal {
+					if n := namedOf(selection.Recv()); n != nil && sanctionedSpecField(n, sel.Sel.Name) {
+						return
+					}
+				}
+			}
 			// Writing through a selector/index: taint the root variable
 			// too (the container now holds the value), then check sinks.
 			if root := rootIdent(lhs); root != nil {
@@ -460,8 +482,12 @@ func (st *funcState) eval(e ast.Expr) taint {
 	case *ast.SliceExpr:
 		t.add(st.eval(x.X))
 	case *ast.CompositeLit:
+		named := namedOf(st.pkg.Info.TypeOf(x))
 		for _, elt := range x.Elts {
 			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if key, isIdent := kv.Key.(*ast.Ident); isIdent && named != nil && sanctionedSpecField(named, key.Name) {
+					continue
+				}
 				t.add(st.eval(kv.Value))
 			} else {
 				t.add(st.eval(elt))

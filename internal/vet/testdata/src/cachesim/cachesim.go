@@ -1,0 +1,22 @@
+// Package cachesim is the fixture stand-in for the repo's simulator run
+// API. Its package name matches the real one so the seedflow
+// sanctioned-field rule (RunSpec.Parallelism is a scheduling knob whose
+// value never reaches results) applies to the fixtures exactly as it does
+// to the real package.
+package cachesim
+
+import "vetfixture/rng"
+
+// RunSpec mirrors the real run specification: Warmup is a results-
+// affecting budget, Parallelism only picks the worker count of the
+// bit-exact parallel mode.
+type RunSpec struct {
+	Warmup      uint64
+	Parallelism int
+}
+
+// Run stands in for the simulator entry point: the budget feeds seed
+// material (a sink), the parallelism knob does not.
+func Run(spec RunSpec) *rng.Rand {
+	return rng.New(spec.Warmup)
+}

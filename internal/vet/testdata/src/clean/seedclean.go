@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"time"
 
+	"vetfixture/cachesim"
 	"vetfixture/internal/mc"
 	"vetfixture/rng"
 )
@@ -60,4 +61,19 @@ func NewRunnerRand(seed uint64) *rng.Rand {
 	_ = opts.Workers
 	//mayavet:ignore seedflow -- struct-level taint imprecision: Workers carries NumCPU, Seed is caller-provided
 	return rng.New(opts.Seed)
+}
+
+// ParallelRunSpec fills the sanctioned scheduling knob from machine
+// width. Field-level sanctioning keeps the rest of the struct clean: the
+// budget that reaches seed material is caller-provided.
+func ParallelRunSpec(warmup uint64) *rng.Rand {
+	return cachesim.Run(cachesim.RunSpec{Warmup: warmup, Parallelism: runtime.GOMAXPROCS(0)})
+}
+
+// ParallelKnobWrite does the same through a field write after
+// construction; the assignment must not taint the containing struct.
+func ParallelKnobWrite(warmup uint64) *rng.Rand {
+	spec := cachesim.RunSpec{Warmup: warmup}
+	spec.Parallelism = runtime.NumCPU()
+	return cachesim.Run(spec)
 }

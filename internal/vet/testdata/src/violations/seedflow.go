@@ -4,6 +4,7 @@ import (
 	"os"
 	"runtime"
 
+	"vetfixture/cachesim"
 	"vetfixture/rng"
 	"vetfixture/snapshot"
 )
@@ -54,4 +55,12 @@ func EnvSeed(s *sampler) {
 // PidIntoSnapshot serializes process identity into a snapshot payload.
 func PidIntoSnapshot(e *snapshot.Encoder) {
 	e.U64(uint64(os.Getpid())) // want: seedflow
+}
+
+// GomaxprocsBudget puts machine width into a results-affecting budget
+// field: only RunSpec.Parallelism is a sanctioned scheduling knob, every
+// other field still carries its taint into the run.
+func GomaxprocsBudget() *rng.Rand {
+	spec := cachesim.RunSpec{Warmup: uint64(runtime.GOMAXPROCS(0)), Parallelism: 1}
+	return cachesim.Run(spec) // want: seedflow
 }

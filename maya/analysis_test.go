@@ -60,7 +60,7 @@ func TestReplayedTraceDrivesSystem(t *testing.T) {
 	// drive the cache directly here.
 	cfg := DefaultCacheConfig(1)
 	cfg.SetsPerSkew = 256
-	c := NewCache(cfg)
+	c := mustCache(t, cfg)
 	for i := 0; i < 20_000; i++ {
 		e := replay.Next()
 		typ := Read
@@ -69,15 +69,15 @@ func TestReplayedTraceDrivesSystem(t *testing.T) {
 		}
 		c.Access(Access{Line: e.Line, Type: typ})
 	}
-	if c.Stats().Accesses != 20_000 {
-		t.Fatalf("accesses %d", c.Stats().Accesses)
+	if c.StatsSnapshot().Accesses != 20_000 {
+		t.Fatalf("accesses %d", c.StatsSnapshot().Accesses)
 	}
 }
 
 func TestAttackAPIFlow(t *testing.T) {
 	cfg := DefaultCacheConfig(3)
 	cfg.SetsPerSkew = 64
-	c := NewCache(cfg)
+	c := mustCache(t, cfg)
 	res := BuildEvictionSet(c, 0x99, 2048, 10_000_000, 3)
 	if res.Found {
 		t.Fatal("eviction set found against Maya via public API")

@@ -11,7 +11,10 @@ import (
 func ExampleNewCache() {
 	cfg := maya.DefaultCacheConfig(42)
 	cfg.SetsPerSkew = 256 // scaled-down instance for the example
-	cache := maya.NewCache(cfg)
+	cache, err := maya.NewCache(cfg)
+	if err != nil {
+		panic(err)
+	}
 
 	line := uint64(0x1234)
 	r1 := cache.Access(maya.Access{Line: line, Type: maya.Read})
@@ -55,7 +58,10 @@ func ExampleStorageAccount() {
 func ExampleBuildEvictionSet() {
 	cfg := maya.DefaultCacheConfig(7)
 	cfg.SetsPerSkew = 64
-	cache := maya.NewCache(cfg)
+	cache, err := maya.NewCache(cfg)
+	if err != nil {
+		panic(err)
+	}
 	res := maya.BuildEvictionSet(cache, 0xfeed, 2048, 10_000_000, 7)
 	fmt.Println("found:", res.Found, "SAEs:", res.SAEsObserved)
 	// Output:

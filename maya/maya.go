@@ -8,23 +8,25 @@
 //
 // Quick start:
 //
-//	cache := maya.NewCache(maya.DefaultCacheConfig(1))
+//	cache, err := maya.NewCache(maya.DefaultCacheConfig(1))
 //	res := cache.Access(maya.Access{Line: 0x1234, Type: maya.Read})
 //	// res.TagHit == false: first touch installs a priority-0 tag only.
 //
 // Run a workload through a full system:
 //
-//	sys := maya.NewSystem(maya.SystemConfig{
+//	sys, err := maya.NewSystem(maya.SystemConfig{
 //	    Workloads: []string{"mcf", "mcf", "lbm", "lbm"},
 //	    Design:    maya.DesignMaya,
 //	})
-//	results := sys.Run(1_000_000, 500_000)
+//	results, err := sys.Run(1_000_000, 500_000)
 //
 // See the examples directory and the cmd tools for complete experiment
 // drivers.
 package maya
 
 import (
+	"context"
+
 	"mayacache/internal/baseline"
 	"mayacache/internal/cachemodel"
 	"mayacache/internal/cachesim"
@@ -68,14 +70,14 @@ func DefaultCacheConfig(seed uint64) CacheConfig { return core.DefaultConfig(see
 // Cache is the Maya cache.
 type Cache = core.Maya
 
-// NewCache constructs a Maya cache.
-func NewCache(cfg CacheConfig) *Cache { return core.New(cfg) }
+// NewCache constructs a Maya cache, reporting configuration errors.
+func NewCache(cfg CacheConfig) (*Cache, error) { return core.NewChecked(cfg) }
 
 // MirageConfig parameterizes the Mirage comparator.
 type MirageConfig = mirage.Config
 
-// NewMirage constructs a Mirage cache.
-func NewMirage(cfg MirageConfig) *mirage.Mirage { return mirage.New(cfg) }
+// NewMirage constructs a Mirage cache, reporting configuration errors.
+func NewMirage(cfg MirageConfig) (*mirage.Mirage, error) { return mirage.NewChecked(cfg) }
 
 // DefaultMirageConfig returns the paper's 16MB Mirage configuration.
 func DefaultMirageConfig(seed uint64) MirageConfig { return mirage.DefaultConfig(seed) }
@@ -83,8 +85,9 @@ func DefaultMirageConfig(seed uint64) MirageConfig { return mirage.DefaultConfig
 // BaselineConfig parameterizes a conventional set-associative cache.
 type BaselineConfig = baseline.Config
 
-// NewBaseline constructs a conventional set-associative cache.
-func NewBaseline(cfg BaselineConfig) *baseline.SetAssoc { return baseline.New(cfg) }
+// NewBaseline constructs a conventional set-associative cache, reporting
+// configuration errors.
+func NewBaseline(cfg BaselineConfig) (*baseline.SetAssoc, error) { return baseline.NewChecked(cfg) }
 
 // Replacement policies for BaselineConfig.
 const (
@@ -96,9 +99,10 @@ const (
 )
 
 // NewFullyAssociative constructs a true fully-associative cache with
-// random replacement (the security gold standard).
-func NewFullyAssociative(capacity int, seed uint64, matchSDID bool) *baseline.FullyAssociative {
-	return baseline.NewFullyAssociative(capacity, seed, matchSDID)
+// random replacement (the security gold standard), reporting
+// configuration errors.
+func NewFullyAssociative(capacity int, seed uint64, matchSDID bool) (*baseline.FullyAssociative, error) {
+	return baseline.NewFullyAssociativeChecked(capacity, seed, matchSDID)
 }
 
 // CeaserConfig parameterizes the CEASER-family designs.
@@ -111,8 +115,9 @@ const (
 	ScatterCache = ceaser.ScatterCache
 )
 
-// NewCeaser constructs a CEASER/CEASER-S/Scatter-Cache design.
-func NewCeaser(cfg CeaserConfig) *ceaser.Cache { return ceaser.New(cfg) }
+// NewCeaser constructs a CEASER/CEASER-S/Scatter-Cache design, reporting
+// configuration errors.
+func NewCeaser(cfg CeaserConfig) (*ceaser.Cache, error) { return ceaser.NewChecked(cfg) }
 
 // Design names a cache design for the system builder.
 type Design string
@@ -166,7 +171,10 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	}
 	llc := cfg.LLC
 	if llc == nil {
-		llc = buildLLC(cfg)
+		var err error
+		if llc, err = buildLLC(cfg); err != nil {
+			return nil, err
+		}
 	}
 	sys := cachesim.New(cachesim.Config{
 		Cores: len(cfg.Workloads),
@@ -178,7 +186,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	return &System{inner: sys}, nil
 }
 
-func buildLLC(cfg SystemConfig) LLC {
+func buildLLC(cfg SystemConfig) (LLC, error) {
 	cores := len(cfg.Workloads)
 	sets := 2048 * cores
 	var hasher IndexHasher
@@ -190,14 +198,14 @@ func buildLLC(cfg SystemConfig) LLC {
 		c := mirage.DefaultConfig(cfg.Seed)
 		c.SetsPerSkew = sets
 		c.Hasher = hasher
-		return mirage.New(c)
+		return mirage.NewChecked(c)
 	case DesignMaya:
 		c := core.DefaultConfig(cfg.Seed)
 		c.SetsPerSkew = sets
 		c.Hasher = hasher
-		return core.New(c)
+		return core.NewChecked(c)
 	default:
-		return baseline.New(baseline.Config{
+		return baseline.NewChecked(baseline.Config{
 			Sets: sets, Ways: 16, Replacement: baseline.SRRIP, Seed: cfg.Seed,
 		})
 	}
@@ -212,10 +220,21 @@ func log2(n int) uint {
 	return b
 }
 
+// RunSpec re-exports the simulator's run specification: instruction
+// budgets plus scheduling knobs (checkpoint cell, worker parallelism).
+type RunSpec = cachesim.RunSpec
+
 // Run simulates warmup then roi instructions per core and returns the
 // results.
-func (s *System) Run(warmup, roi uint64) SystemResults {
-	return s.inner.Run(warmup, roi)
+func (s *System) Run(warmup, roi uint64) (SystemResults, error) {
+	return cachesim.Run(context.Background(), s.inner, cachesim.RunSpec{Warmup: warmup, ROI: roi})
+}
+
+// RunWith executes the system under a full RunSpec: cancellation via ctx,
+// checkpoint/resume through spec.Cell, and deterministic parallel
+// simulation at spec.Parallelism (results are identical at any value).
+func (s *System) RunWith(ctx context.Context, spec RunSpec) (SystemResults, error) {
+	return cachesim.Run(ctx, s.inner, spec)
 }
 
 // LLC returns the design under test for post-run inspection.

@@ -5,10 +5,20 @@ import (
 	"testing"
 )
 
+// mustCache unwraps NewCache for tests with known-good configs.
+func mustCache(t *testing.T, cfg CacheConfig) *Cache {
+	t.Helper()
+	c, err := NewCache(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
 func TestQuickstartFlow(t *testing.T) {
 	cfg := DefaultCacheConfig(1)
 	cfg.SetsPerSkew = 64 // scale down for the test
-	c := NewCache(cfg)
+	c := mustCache(t, cfg)
 	r := c.Access(Access{Line: 0x1234, Type: Read})
 	if r.TagHit || r.DataHit {
 		t.Fatal("first access should miss entirely")
@@ -33,7 +43,10 @@ func TestSystemBuilder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := sys.Run(100_000, 100_000)
+	res, err := sys.Run(100_000, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Cores) != 2 {
 		t.Fatalf("%d core results, want 2", len(res.Cores))
 	}
@@ -64,7 +77,10 @@ func TestAllDesignsBuild(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", d, err)
 		}
-		res := sys.Run(50_000, 50_000)
+		res, err := sys.Run(50_000, 50_000)
+		if err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
 		if res.Cores[0].Instructions == 0 {
 			t.Fatalf("%s: no instructions retired", d)
 		}
