@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check race e2e bench fuzz-smoke ci clean
+.PHONY: all build test vet check race e2e bench bench-profile fuzz-smoke ci clean
 
 all: build
 
@@ -130,6 +130,16 @@ e2e:
 # bench package's init paths. Drop -quick for the full-length suite.
 bench:
 	$(GO) run ./cmd/mayabench -quick -out BENCH.json
+
+# bench-profile runs just the micro tier (the LLC access path, both the
+# fast-hash overhead rows and the real-PRINCE memoized rows) under the CPU
+# profiler and prints the ten hottest functions by flat time — the
+# shortest loop for "where did the ns/access go".
+bench-profile:
+	@TMP=$$(mktemp -d); trap 'rm -rf "$$TMP"' EXIT; \
+	$(GO) run ./cmd/mayabench -quick -micro -cpuprofile "$$TMP/micro.pprof" \
+	    -out "$$TMP/BENCH.json"; \
+	$(GO) tool pprof -top -nodecount=10 "$$TMP/micro.pprof"
 
 # fuzz-smoke gives each fuzz target a short budget — enough to catch
 # regressions in the PRINCE round-trip and trace-parser robustness without

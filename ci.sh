@@ -249,5 +249,15 @@ test -s "$TMP/BENCH.json"
 grep -q '"mc"' "$TMP/BENCH.json"
 grep -q '"serve"' "$TMP/BENCH.json"
 grep -q '"parallelism"' "$TMP/BENCH.json"
+# The real-hash micro tier must report memo telemetry: a memoized row with
+# no hit-rate field means the memo silently disabled itself.
+grep -q '"real_hash"' "$TMP/BENCH.json"
+grep -q '"memo_hit_rate"' "$TMP/BENCH.json"
+
+echo "==> bench: memo-off golden byte-match"
+# Disabling index memoization must not move a single result bit: the
+# golden end-to-end fixtures are regenerated with the memo forced off and
+# byte-compared against the committed (memo-on) encodings.
+go test ./internal/bench -run 'TestGoldenMemoOff' -count=1
 
 echo "ci: all green"

@@ -12,12 +12,19 @@
 // (trace events per second). Workloads are pinned and seed-deterministic
 // so numbers are comparable across commits on the same machine.
 //
+// The micro tier reports two rows per randomized design: the overhead
+// tier (XorHasher, memo off — simulator bookkeeping, comparable across
+// history) and the real tier (production PRINCE hasher with the
+// epoch-tagged index memo, reporting the memo hit rate). -memo=off
+// disables the memo on real-tier rows to quantify what it buys.
+//
 // -quick shrinks instruction budgets ~5x for CI smoke runs. A summary is
 // printed to stdout; the full report goes to -out as indented JSON.
 // -compare loads a previously written report and fails (exit 1) when any
-// macro row's events/sec falls more than 10% below its baseline row after
-// normalizing out the run-wide machine-speed factor — the CI perf gate
-// (see bench.CompareMacro for the exact rule).
+// micro or macro row regresses more than 10% against its baseline row
+// after normalizing out the run-wide machine-speed factor — the CI perf
+// gate (see bench.CompareMicro/CompareMacro for the exact rule;
+// cpus_limited parallel rows are excluded).
 //
 // Exit status: 0 on success, 1 when any benchmark fails, 2 on flag
 // misuse.
@@ -40,13 +47,19 @@ func run() int {
 	quick := flag.Bool("quick", false, "shrink instruction budgets ~5x (CI smoke run)")
 	out := flag.String("out", "BENCH.json", "path for the JSON report")
 	seed := flag.Uint64("seed", 1, "seed for all benchmark randomness")
-	compare := flag.String("compare", "", "baseline BENCH.json: fail when any macro row regresses more than 10% against it (machine-speed normalized)")
+	compare := flag.String("compare", "", "baseline BENCH.json: fail when any micro or macro row regresses more than 10% against it (machine-speed normalized)")
+	memo := flag.String("memo", "on", "index memoization for real-hash micro rows: on or off (off quantifies what the memo buys; results are identical either way)")
+	microOnly := flag.Bool("micro", false, "run only the micro tier (for profiling the access path)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "mayabench: unexpected arguments %v\n", flag.Args())
 		flag.Usage()
+		return 2
+	}
+	if *memo != "on" && *memo != "off" {
+		fmt.Fprintf(os.Stderr, "mayabench: -memo must be on or off, got %q\n", *memo)
 		return 2
 	}
 	stopCPU, err := pprofutil.StartCPU(*cpuprofile)
@@ -61,7 +74,12 @@ func run() int {
 		}
 	}()
 
-	r, err := bench.Run(bench.Options{Quick: *quick, Seed: *seed})
+	r, err := bench.Run(bench.Options{
+		Quick:     *quick,
+		Seed:      *seed,
+		MemoOff:   *memo == "off",
+		MicroOnly: *microOnly,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mayabench: %v\n", err)
 		return 1
@@ -71,14 +89,24 @@ func run() int {
 		return 1
 	}
 
-	fmt.Printf("%-10s %12s %14s %14s\n", "design", "ns/access", "allocs/access", "B/access")
+	fmt.Printf("%-10s %9s %12s %14s %14s %9s\n", "design", "hasher", "ns/access", "allocs/access", "B/access", "memo hit")
 	for _, m := range r.Micro {
-		fmt.Printf("%-10s %12.1f %14.4f %14.1f\n", m.Design, m.NsPerAccess, m.AllocsPerAccess, m.BytesPerAccess)
+		hasher, hit := "xor", "-"
+		if m.RealHash {
+			hasher = "real"
+			hit = fmt.Sprintf("%8.2f%%", m.MemoHitRate*100)
+		}
+		fmt.Printf("%-10s %9s %12.1f %14.4f %14.1f %9s\n",
+			m.Design, hasher, m.NsPerAccess, m.AllocsPerAccess, m.BytesPerAccess, hit)
 	}
 	fmt.Println()
 	fmt.Printf("%-10s %4s %14s %10s %8s %8s\n", "design", "par", "events/sec", "events", "IPCsum", "speedup")
 	for _, m := range r.Macro {
-		fmt.Printf("%-10s %4d %14.0f %10d %8.3f %7.2fx\n", m.Design, m.Parallelism, m.EventsPerSec, m.Events, m.IPCSum, m.Speedup)
+		limited := ""
+		if m.CpusLimited {
+			limited = "  (cpus limited)"
+		}
+		fmt.Printf("%-10s %4d %14.0f %10d %8.3f %7.2fx%s\n", m.Design, m.Parallelism, m.EventsPerSec, m.Events, m.IPCSum, m.Speedup, limited)
 	}
 	fmt.Println()
 	fmt.Printf("%-12s %7s %8s %14s %8s\n", "mc config", "shards", "workers", "iters/sec", "speedup")
@@ -99,11 +127,15 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "mayabench: %v\n", err)
 			return 1
 		}
+		if err := bench.CompareMicro(r, base, 0.10); err != nil {
+			fmt.Fprintf(os.Stderr, "mayabench: %v\n", err)
+			return 1
+		}
 		if err := bench.CompareMacro(r, base, 0.10); err != nil {
 			fmt.Fprintf(os.Stderr, "mayabench: %v\n", err)
 			return 1
 		}
-		fmt.Printf("macro throughput within 10%% of %s\n", *compare)
+		fmt.Printf("micro and macro throughput within 10%% of %s\n", *compare)
 	}
 	return 0
 }

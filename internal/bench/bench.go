@@ -24,6 +24,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -55,15 +56,37 @@ type Options struct {
 	Quick bool
 	// Seed drives all randomness; 0 means the pinned default (1).
 	Seed uint64
+	// MemoOff disables the designs' epoch-tagged index memo tables
+	// (probe.Memo), so a run pair quantifies what the memo buys. Results
+	// are identical either way; only ns/access moves.
+	MemoOff bool
+	// MicroOnly runs just the micro tier (used by `make bench-profile`,
+	// where the profile should capture the access path alone).
+	MicroOnly bool
 }
 
 // MicroResult is one design's access-path measurement.
 type MicroResult struct {
-	Design          string  `json:"design"`
-	Accesses        uint64  `json:"accesses"`
+	Design   string `json:"design"`
+	Accesses uint64 `json:"accesses"`
+	// RealHash distinguishes the two micro tiers. False is the historical
+	// overhead tier: the XorHasher stands in for PRINCE so the row
+	// measures simulator bookkeeping, comparable across all commits. True
+	// is the real tier: the design's production hasher (PRINCE for the
+	// randomized designs) with the index memo on, measuring what a
+	// paper-faithful simulation actually costs per access.
+	RealHash        bool    `json:"real_hash,omitempty"`
 	NsPerAccess     float64 `json:"ns_per_access"`
 	AllocsPerAccess float64 `json:"allocs_per_access"`
 	BytesPerAccess  float64 `json:"bytes_per_access"`
+	// Memo telemetry for the timed region: index-memo hits/misses and the
+	// hit fraction. Zero across the board when the design has no memo
+	// (Baseline), the row is overhead-tier (memoizing a three-instruction
+	// hash is a measured loss, so the xor tier runs memo-free), or the run
+	// disabled it (Options.MemoOff).
+	MemoHits    uint64  `json:"memo_hits,omitempty"`
+	MemoMisses  uint64  `json:"memo_misses,omitempty"`
+	MemoHitRate float64 `json:"memo_hit_rate,omitempty"`
 }
 
 // MacroResult is one design's full-system throughput measurement.
@@ -76,6 +99,10 @@ type MacroResult struct {
 	// (1 = the serial drive loop). Results are byte-identical either way;
 	// only throughput differs.
 	Parallelism  int     `json:"parallelism"`
+	// CpusLimited marks a parallel row recorded on a single-CPU machine:
+	// the number measures the mode's overhead, not a speedup, so
+	// CompareMacro skips the row on either side of a comparison.
+	CpusLimited  bool    `json:"cpus_limited,omitempty"`
 	Events       uint64  `json:"events"`
 	Seconds      float64 `json:"seconds"`
 	EventsPerSec float64 `json:"events_per_sec"`
@@ -123,12 +150,22 @@ type Report struct {
 // buildLLC constructs a design through the registry at the bench's pinned
 // geometry. FastHash keeps micro/macro numbers about simulator overhead
 // rather than PRINCE throughput; the golden fixtures use the real hasher.
-func buildLLC(design string, cores int, seed uint64, fastHash bool) (cachemodel.LLC, error) {
+func buildLLC(design string, cores int, seed uint64, fastHash bool, memoBits int) (cachemodel.LLC, error) {
 	return cachemodel.Build(design, cachemodel.BuildOptions{
 		Cores:    cores,
 		Seed:     seed,
 		FastHash: fastHash,
+		MemoBits: memoBits,
 	})
+}
+
+// memoBits maps Options.MemoOff onto the BuildOptions knob: 0 is the
+// design default, negative disables the memo outright.
+func memoBits(off bool) int {
+	if off {
+		return -1
+	}
+	return 0
 }
 
 // accessStream precomputes a deterministic single-core access sequence
@@ -157,8 +194,8 @@ func accessStream(n int, seed uint64) ([]cachemodel.Access, error) {
 
 // RunMicro measures one design's access path over `accesses` operations
 // after a full warmup pass, reporting wall time and allocation deltas.
-func RunMicro(design string, accesses uint64, seed uint64) (MicroResult, error) {
-	llc, err := buildLLC(design, 1, seed, true)
+func RunMicro(design string, accesses uint64, seed uint64, realHash bool, memo int) (MicroResult, error) {
+	llc, err := buildLLC(design, 1, seed, !realHash, memo)
 	if err != nil {
 		return MicroResult{}, err
 	}
@@ -172,6 +209,17 @@ func RunMicro(design string, accesses uint64, seed uint64) (MicroResult, error) 
 	for i := 0; i < 2*streamLen; i++ {
 		llc.Access(stream[i%streamLen])
 	}
+	// Reset counters so memo telemetry describes the timed region only
+	// (the warmup pass is where the memo goes from cold to warm).
+	llc.ResetStats()
+
+	// Quiesce the collector and hold it off during the timed region: the
+	// access path allocates nothing (alloc_test.go proves it), so the only
+	// thing background GC can contribute to the alloc columns is noise —
+	// historical reports showed phantom residuals like 0.000001
+	// allocs/access from exactly this.
+	runtime.GC()
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
 
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
@@ -182,12 +230,17 @@ func RunMicro(design string, accesses uint64, seed uint64) (MicroResult, error) 
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
 
+	stats := llc.StatsSnapshot()
 	return MicroResult{
 		Design:          design,
 		Accesses:        accesses,
+		RealHash:        realHash,
 		NsPerAccess:     float64(elapsed.Nanoseconds()) / float64(accesses),
 		AllocsPerAccess: float64(after.Mallocs-before.Mallocs) / float64(accesses),
 		BytesPerAccess:  float64(after.TotalAlloc-before.TotalAlloc) / float64(accesses),
+		MemoHits:        stats.MemoHits,
+		MemoMisses:      stats.MemoMisses,
+		MemoHitRate:     stats.MemoHitRate(),
 	}, nil
 }
 
@@ -207,10 +260,10 @@ func (c *countingGen) Name() string      { return c.g.Name() }
 // CompareMacro regression gate needs to hold a tight tolerance.
 const macroReps = 3
 
-func bestMacro(design string, warmup, roi, seed uint64, parallelism int) (MacroResult, error) {
+func bestMacro(design string, warmup, roi, seed uint64, parallelism, memo int) (MacroResult, error) {
 	var best MacroResult
 	for i := 0; i < macroReps; i++ {
-		m, err := RunMacro(design, DefaultMix(), warmup, roi, seed, parallelism)
+		m, err := RunMacro(design, DefaultMix(), warmup, roi, seed, parallelism, memo)
 		if err != nil {
 			return MacroResult{}, err
 		}
@@ -223,8 +276,8 @@ func bestMacro(design string, warmup, roi, seed uint64, parallelism int) (MacroR
 
 // RunMacro measures one design's full-system simulation throughput over
 // the given mix, under the given run parallelism (<= 1 serial).
-func RunMacro(design string, mix []string, warmup, roi, seed uint64, parallelism int) (MacroResult, error) {
-	llc, err := buildLLC(design, len(mix), seed, true)
+func RunMacro(design string, mix []string, warmup, roi, seed uint64, parallelism, memo int) (MacroResult, error) {
+	llc, err := buildLLC(design, len(mix), seed, true, memo)
 	if err != nil {
 		return MacroResult{}, err
 	}
@@ -347,12 +400,31 @@ func Run(opts Options) (*Report, error) {
 		Quick:     opts.Quick,
 		Seed:      seed,
 	}
+	memo := memoBits(opts.MemoOff)
+	// Overhead tier: XorHasher, memo off — bookkeeping cost, comparable
+	// with every historical baseline row.
 	for _, d := range Designs() {
-		m, err := RunMicro(d, microAccesses, seed)
+		m, err := RunMicro(d, microAccesses, seed, false, -1)
 		if err != nil {
 			return nil, fmt.Errorf("micro %s: %w", d, err)
 		}
 		r.Micro = append(r.Micro, m)
+	}
+	// Real tier: the production PRINCE hasher with the index memo, for the
+	// randomized designs the memo exists for. (Baseline is physically
+	// indexed — its real row would duplicate the overhead row.)
+	for _, d := range Designs() {
+		if d == "Baseline" {
+			continue
+		}
+		m, err := RunMicro(d, microAccesses, seed, true, memo)
+		if err != nil {
+			return nil, fmt.Errorf("micro %s (real hash): %w", d, err)
+		}
+		r.Micro = append(r.Micro, m)
+	}
+	if opts.MicroOnly {
+		return r, nil
 	}
 	// Macro rows come in serial/parallel pairs per design; the parallel
 	// row exercises the deterministic worker/merge mode at the machine's
@@ -361,17 +433,23 @@ func Run(opts Options) (*Report, error) {
 	if macroPar < 2 {
 		macroPar = 2
 	}
+	// Macro rows stay on the overhead hasher (fast, memo-free): they gauge
+	// the whole-system drive loop and transport, and must stay comparable
+	// with historical baselines.
 	for _, d := range Designs() {
-		serial, err := bestMacro(d, warmup, roi, seed, 1)
+		serial, err := bestMacro(d, warmup, roi, seed, 1, -1)
 		if err != nil {
 			return nil, fmt.Errorf("macro %s: %w", d, err)
 		}
 		serial.Speedup = 1
-		par, err := bestMacro(d, warmup, roi, seed, macroPar)
+		par, err := bestMacro(d, warmup, roi, seed, macroPar, -1)
 		if err != nil {
 			return nil, fmt.Errorf("macro %s (parallel): %w", d, err)
 		}
 		par.Speedup = par.EventsPerSec / serial.EventsPerSec
+		// A "parallel" row on one CPU measures transport overhead, not a
+		// speedup; flag it so regression gates on other machines skip it.
+		par.CpusLimited = runtime.NumCPU() == 1
 		r.Macro = append(r.Macro, serial, par)
 	}
 	mc, err := runMCSuite(mcIters, seed)
@@ -424,15 +502,22 @@ func ReadJSON(path string) (*Report, error) {
 //
 // Rows with no baseline counterpart — a new design, or a parallel row
 // recorded on a machine with a different CPU count — are skipped, so the
-// gate never breaks on legitimate suite growth.
+// gate never breaks on legitimate suite growth. Rows flagged CpusLimited
+// on either side are likewise skipped: a single-CPU "parallel" row
+// measures transport overhead, and gating it would punish any change to
+// that overhead twice.
 func CompareMacro(r, base *Report, tol float64) error {
 	type key struct {
 		design string
 		par    int
 	}
-	ref := make(map[key]float64, len(base.Macro))
+	type refRow struct {
+		eps     float64
+		limited bool
+	}
+	ref := make(map[key]refRow, len(base.Macro))
 	for _, m := range base.Macro {
-		ref[key{m.Design, m.Parallelism}] = m.EventsPerSec
+		ref[key{m.Design, m.Parallelism}] = refRow{m.EventsPerSec, m.CpusLimited}
 	}
 	type pair struct {
 		m     MacroResult
@@ -442,10 +527,10 @@ func CompareMacro(r, base *Report, tol float64) error {
 	logSum := 0.0
 	for _, m := range r.Macro {
 		b, ok := ref[key{m.Design, m.Parallelism}]
-		if !ok || b <= 0 || m.EventsPerSec <= 0 {
+		if !ok || b.eps <= 0 || m.EventsPerSec <= 0 || m.CpusLimited || b.limited {
 			continue
 		}
-		rat := m.EventsPerSec / b
+		rat := m.EventsPerSec / b.eps
 		pairs = append(pairs, pair{m, rat})
 		logSum += math.Log(rat)
 	}
@@ -458,11 +543,61 @@ func CompareMacro(r, base *Report, tol float64) error {
 		rel := p.ratio / scale
 		if rel < 1-tol {
 			bad = append(bad, fmt.Sprintf("%s (parallelism %d): %.0f events/sec vs %.0f expected at this run's speed (%.1f%% below the run-wide trend)",
-				p.m.Design, p.m.Parallelism, p.m.EventsPerSec, ref[key{p.m.Design, p.m.Parallelism}]*scale, (1-rel)*100))
+				p.m.Design, p.m.Parallelism, p.m.EventsPerSec, ref[key{p.m.Design, p.m.Parallelism}].eps*scale, (1-rel)*100))
 		}
 	}
 	if len(bad) > 0 {
 		return fmt.Errorf("macro throughput regressed beyond %.0f%% relative to the suite (machine-speed factor %.2fx):\n  %s",
+			tol*100, scale, strings.Join(bad, "\n  "))
+	}
+	return nil
+}
+
+// CompareMicro is CompareMacro's analogue for the micro tier: it flags
+// every design whose ns/access rose more than the fractional tolerance
+// above its baseline row, after dividing out the run-wide machine-speed
+// factor (geometric mean of per-row baseline/current ns ratios, so a
+// bigger ratio means faster). Rows are matched on (design, real_hash);
+// rows missing from either report — e.g. real-tier rows against a
+// baseline predating the tier — are skipped.
+func CompareMicro(r, base *Report, tol float64) error {
+	type key struct {
+		design   string
+		realHash bool
+	}
+	ref := make(map[key]float64, len(base.Micro))
+	for _, m := range base.Micro {
+		ref[key{m.Design, m.RealHash}] = m.NsPerAccess
+	}
+	type pair struct {
+		m     MicroResult
+		ratio float64 // base ns / current ns: >1 means this run is faster
+	}
+	var pairs []pair
+	logSum := 0.0
+	for _, m := range r.Micro {
+		b, ok := ref[key{m.Design, m.RealHash}]
+		if !ok || b <= 0 || m.NsPerAccess <= 0 {
+			continue
+		}
+		rat := b / m.NsPerAccess
+		pairs = append(pairs, pair{m, rat})
+		logSum += math.Log(rat)
+	}
+	if len(pairs) == 0 {
+		return nil
+	}
+	scale := math.Exp(logSum / float64(len(pairs)))
+	var bad []string
+	for _, p := range pairs {
+		rel := p.ratio / scale
+		if rel < 1-tol {
+			bad = append(bad, fmt.Sprintf("%s (real_hash=%v): %.1f ns/access vs %.1f expected at this run's speed (%.1f%% above the run-wide trend)",
+				p.m.Design, p.m.RealHash, p.m.NsPerAccess, ref[key{p.m.Design, p.m.RealHash}]/scale, (1-rel)*100))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("micro access path regressed beyond %.0f%% relative to the suite (machine-speed factor %.2fx):\n  %s",
 			tol*100, scale, strings.Join(bad, "\n  "))
 	}
 	return nil

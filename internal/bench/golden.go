@@ -16,6 +16,14 @@ import (
 // changed observable behavior — a different victim, RNG draw order, or
 // float arithmetic — not just its speed.
 func GoldenRun(design string) (cachesim.Results, error) {
+	return GoldenRunMemo(design, 0)
+}
+
+// GoldenRunMemo is GoldenRun with the index-memo knob exposed (0 default,
+// negative off). The fixture must not depend on the setting: the memo is
+// a speed lever only, and the memo-off byte-match in TestGoldenMemoOff
+// (plus the ci.sh smoke) is what proves that.
+func GoldenRunMemo(design string, memoBits int) (cachesim.Results, error) {
 	const (
 		seed   = 42
 		warmup = 20_000
@@ -23,8 +31,9 @@ func GoldenRun(design string) (cachesim.Results, error) {
 	)
 	mix := []string{"mcf", "xz"}
 	llc, err := cachemodel.Build(design, cachemodel.BuildOptions{
-		Cores: len(mix),
-		Seed:  seed,
+		Cores:    len(mix),
+		Seed:     seed,
+		MemoBits: memoBits,
 	})
 	if err != nil {
 		return cachesim.Results{}, err

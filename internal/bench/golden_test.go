@@ -57,6 +57,34 @@ func TestGolden(t *testing.T) {
 	}
 }
 
+// TestGoldenMemoOff proves the index memo is a pure speed lever: every
+// design re-runs the golden workload with the memo disabled and the
+// Results JSON must still byte-match the committed fixture (which the
+// memo-on run in TestGolden also matches). Any divergence means the memo
+// leaked into observable behavior.
+func TestGoldenMemoOff(t *testing.T) {
+	for _, design := range Designs() {
+		t.Run(design, func(t *testing.T) {
+			res, err := GoldenRunMemo(design, -1)
+			if err != nil {
+				t.Fatalf("GoldenRunMemo(%q, -1): %v", design, err)
+			}
+			got, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			got = append(got, '\n')
+			want, err := os.ReadFile(goldenPath(design))
+			if err != nil {
+				t.Fatalf("read golden: %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s: memo-off results differ from the golden fixture — the memo changed observable behavior", design)
+			}
+		})
+	}
+}
+
 // TestGoldenDeterministic guards the premise of the fixtures: two runs in
 // the same process must agree exactly.
 func TestGoldenDeterministic(t *testing.T) {

@@ -169,6 +169,30 @@ type Stats struct {
 
 	Flushes uint64 // successful Flush calls
 	Rekeys  uint64 // key refreshes triggered by SAEs
+
+	// Index-memoization telemetry (see probe.Memo). Purely observational:
+	// the counters are excluded from JSON results and from the snapshot
+	// wire format so that memo-on and memo-off runs stay byte-identical.
+	MemoHits   uint64 `json:"-"` //mayavet:ignore snapshotfields -- telemetry only, excluded from the wire format by design
+	MemoMisses uint64 `json:"-"` //mayavet:ignore snapshotfields -- telemetry only, excluded from the wire format by design
+}
+
+// WithoutMemo returns the stats with the memo telemetry zeroed. Memo
+// counters are process-local (a restored cache restarts with a cold
+// memo), so comparisons of *simulator* state must mask them.
+func (s Stats) WithoutMemo() Stats {
+	s.MemoHits, s.MemoMisses = 0, 0
+	return s
+}
+
+// MemoHitRate returns the fraction of index resolutions served by the
+// memo table (0 when the memo is disabled or the design has none).
+func (s *Stats) MemoHitRate() float64 {
+	total := s.MemoHits + s.MemoMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.MemoHits) / float64(total)
 }
 
 // MPKI returns demand misses per kilo-instruction given an instruction

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"mayacache/internal/probe"
 )
 
 // ErrBadConfig is wrapped by every construction error a design's checked
@@ -48,6 +50,12 @@ type BuildOptions struct {
 	// (scalar per-way scans instead). Layout/speed only: results are
 	// identical either way, which tests cross-check.
 	NoSWAR bool
+	// MemoBits sizes the designs' epoch-tagged index memo table
+	// (probe.Memo): 0 selects the default size, negative disables
+	// memoization. Speed only: a memo hit replays exactly the indexes a
+	// direct hasher computation would produce (cross-checked under the
+	// mayacheck build tag), so results are identical at any setting.
+	MemoBits int
 	// NoArena allocates each design's parallel arrays individually
 	// instead of carving them from one flat arena. Layout only.
 	NoArena bool
@@ -67,6 +75,25 @@ func (o BuildOptions) Sets() (int, error) {
 		return 0, BadConfigf("cachemodel: SetsPerCore must be a positive power of two, got %d", per)
 	}
 	return per * o.Cores, nil
+}
+
+// MemoBitsFor resolves a design's memo-size knob against the configured
+// hasher: a nil hasher means the design defaults to PRINCE (which is
+// epoch-pure), otherwise the hasher must expose Epoch/RestoreEpoch —
+// the signal that Index is a pure function of (skew, line, epoch), so a
+// memoized entry can never go stale between rekeys. Hashers without it
+// (e.g. ModuloHasher, test stubs) silently disable the memo. Returns
+// the table size in bits, 0 when disabled.
+func MemoBitsFor(h IndexHasher, knob int) int {
+	if h != nil {
+		if _, ok := h.(interface {
+			Epoch() uint64
+			RestoreEpoch(uint64)
+		}); !ok {
+			return 0
+		}
+	}
+	return probe.ResolveMemoBits(knob)
 }
 
 // Hasher returns the index hasher the options select: an XorHasher when

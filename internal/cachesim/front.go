@@ -19,14 +19,14 @@ package cachesim
 //
 // Workers stream per-step records — the event gap, how deep the access
 // went (L1 hit / L2 hit / LLC demand), and the ordered list of shared-LLC
-// operations the step performs — through bounded channels. The merge
-// consumes records in the serial drive loop's laggard order, so every
-// shared access, DRAM transaction, clock advance, and snapshot poll
-// happens with byte-identical state to the serial run.
+// operations the step performs — through per-core SPSC ring buffers in
+// batches of batchSteps records (see ring.go). The merge consumes records
+// in the serial drive loop's laggard order, so every shared access, DRAM
+// transaction, clock advance, and snapshot poll happens with
+// byte-identical state to the serial run.
 
 import (
 	"fmt"
-	"sync"
 
 	"mayacache/internal/baseline"
 	"mayacache/internal/cachemodel"
@@ -53,37 +53,6 @@ type sharedOp struct {
 	line uint64
 	kind uint8
 	sdid uint8
-}
-
-// chunkSteps is the worker→merge transfer granularity. Large enough to
-// amortize channel operations, small enough to bound run-ahead (and with
-// it the replay distance snapshot replicas cover).
-const chunkSteps = 512
-
-// chunkBuffer is the per-core channel depth in chunks.
-const chunkBuffer = 4
-
-// chunk carries a batch of consecutive step records for one core, struct-
-// of-arrays so the common no-shared-ops steps cost six bytes. Step i's
-// shared ops are the next nOps[i] entries of ops, in replay order.
-type chunk struct {
-	gaps  []int32
-	kinds []uint8
-	nOps  []uint16
-	ops   []sharedOp
-}
-
-func newChunk() *chunk {
-	return &chunk{
-		gaps:  make([]int32, 0, chunkSteps),
-		kinds: make([]uint8, 0, chunkSteps),
-		nOps:  make([]uint16, 0, chunkSteps),
-		ops:   make([]sharedOp, 0, chunkSteps/4),
-	}
-}
-
-func (c *chunk) reset() {
-	c.gaps, c.kinds, c.nOps, c.ops = c.gaps[:0], c.kinds[:0], c.nOps[:0], c.ops[:0]
 }
 
 // front is the timing-independent half of one core. In a parallel run it
@@ -116,13 +85,13 @@ func (s *System) frontOf(c *core) *front {
 }
 
 // privateStep advances the front by one trace event and appends its
-// record to ck. The access walk mirrors System.memAccess/prefetchAfter
+// record to b. The access walk mirrors System.memAccess/prefetchAfter
 // exactly, with every LLC-touching call recorded instead of performed:
 // the op order here is the order the serial code would call the LLC.
-func (f *front) privateStep(ck *chunk) {
+func (f *front) privateStep(b *batch) {
 	ev := f.gen.Next()
 	f.retired += uint64(ev.Gap) + 1
-	opStart := len(ck.ops)
+	opStart := len(b.ops)
 	id := uint8(f.id)
 
 	kind := stepL1Hit
@@ -132,7 +101,7 @@ func (f *front) privateStep(ck *chunk) {
 	}
 	r1 := f.l1d.Access(cachemodel.Access{Line: ev.Line, Type: l1Type, SDID: id, Core: id})
 	for _, wb := range r1.Writebacks {
-		f.l2WB(ck, wb)
+		f.l2WB(b, wb)
 	}
 	if !r1.DataHit {
 		acc := cachemodel.Access{Line: ev.Line, Type: cachemodel.Read, SDID: id, Core: id}
@@ -141,10 +110,10 @@ func (f *front) privateStep(ck *chunk) {
 			kind = stepL2Hit
 		} else {
 			for _, wb := range r2.Writebacks {
-				ck.ops = append(ck.ops, sharedOp{line: wb.Line, kind: opWB, sdid: wb.SDID})
+				b.ops = append(b.ops, sharedOp{line: wb.Line, kind: opWB, sdid: wb.SDID})
 			}
 			kind = stepLLC
-			ck.ops = append(ck.ops, sharedOp{line: ev.Line, kind: opDemand, sdid: id})
+			b.ops = append(b.ops, sharedOp{line: ev.Line, kind: opDemand, sdid: id})
 		}
 	}
 
@@ -155,31 +124,32 @@ func (f *front) privateStep(ck *chunk) {
 				continue
 			} else {
 				for _, wb := range r1.Writebacks {
-					f.l2WB(ck, wb)
+					f.l2WB(b, wb)
 				}
 			}
 			if r2 := f.l2.Access(acc); r2.DataHit {
 				continue
 			} else {
 				for _, wb := range r2.Writebacks {
-					ck.ops = append(ck.ops, sharedOp{line: wb.Line, kind: opWB, sdid: wb.SDID})
+					b.ops = append(b.ops, sharedOp{line: wb.Line, kind: opWB, sdid: wb.SDID})
 				}
 			}
-			ck.ops = append(ck.ops, sharedOp{line: pl, kind: opPrefetch, sdid: id})
+			b.ops = append(b.ops, sharedOp{line: pl, kind: opPrefetch, sdid: id})
 		}
 	}
 
-	ck.gaps = append(ck.gaps, ev.Gap)
-	ck.kinds = append(ck.kinds, kind)
-	ck.nOps = append(ck.nOps, uint16(len(ck.ops)-opStart))
+	b.gaps[b.n] = ev.Gap
+	b.kinds[b.n] = kind
+	b.nOps[b.n] = uint16(len(b.ops) - opStart)
+	b.n++
 }
 
 // l2WB is the front half of System.l2WB: the L1 victim enters the L2 and
 // any L2 victims it displaces are recorded for the merge's LLC.
-func (f *front) l2WB(ck *chunk, wb cachemodel.WritebackOut) {
+func (f *front) l2WB(b *batch, wb cachemodel.WritebackOut) {
 	r := f.l2.Access(cachemodel.Access{Line: wb.Line, Type: cachemodel.Writeback, SDID: wb.SDID, Core: uint8(f.id)})
 	for _, w := range r.Writebacks {
-		ck.ops = append(ck.ops, sharedOp{line: w.Line, kind: opWB, sdid: w.SDID})
+		b.ops = append(b.ops, sharedOp{line: w.Line, kind: opWB, sdid: w.SDID})
 	}
 }
 
@@ -203,31 +173,25 @@ func (f *front) localBeginROI() {
 // warmup steps while retired < target (a restored not-yet-done core always
 // has retired < target), then — matching beginROI's unconditional
 // done=false — at least one ROI step even when the ROI budget is zero.
-// The error slot is written before the deferred close, so a merge that
-// observes the closed channel also observes the error.
-func workerRun(f *front, ch chan<- *chunk, stop <-chan struct{}, pool *sync.Pool, errp *error) {
-	defer close(ch)
+// The deferred ring close runs after the recover handler (LIFO), so the
+// error slot is written before the merge can observe the closed stream.
+func workerRun(f *front, r *ring, stop <-chan struct{}, errp *error) {
+	defer r.close()
 	defer func() {
-		if r := recover(); r != nil {
-			*errp = fmt.Errorf("cachesim: core %d worker: %v", f.id, r)
+		if rec := recover(); rec != nil {
+			*errp = fmt.Errorf("cachesim: core %d worker: %v", f.id, rec)
 		}
 	}()
-	ck := pool.Get().(*chunk)
-	ck.reset()
-	flush := func() bool {
-		select {
-		case ch <- ck:
-		case <-stop:
-			return false
-		}
-		ck = pool.Get().(*chunk)
-		ck.reset()
-		return true
+	b := r.acquire(stop)
+	if b == nil {
+		return
 	}
 	step := func() bool {
-		f.privateStep(ck)
-		if len(ck.gaps) >= chunkSteps {
-			return flush()
+		f.privateStep(b)
+		if b.n >= batchSteps {
+			r.publish()
+			b = r.acquire(stop)
+			return b != nil
 		}
 		return true
 	}
@@ -256,7 +220,7 @@ func workerRun(f *front, ch chan<- *chunk, stop <-chan struct{}, pool *sync.Pool
 			}
 		}
 	}
-	if len(ck.gaps) > 0 {
-		flush()
+	if b.n > 0 {
+		r.publish()
 	}
 }

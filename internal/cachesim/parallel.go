@@ -20,44 +20,41 @@ import (
 )
 
 // recordSource hands the merge one core's next step record, blocking on
-// that core's channel when the worker is behind. Blocking is what keeps
+// that core's ring when the worker is behind. Blocking is what keeps
 // the replay order exact: the merge never skips ahead to another core just
 // because the laggard's records aren't ready yet.
 type recordSource struct {
-	chans    []chan *chunk
-	errs     []error // one slot per worker, written before its channel closes
-	cur      []*chunk
+	rings    []*ring
+	errs     []error // one slot per worker, written before its ring closes
+	cur      []*batch
 	pos      []int
 	opPos    []int
 	consumed []uint64 // records applied per core; drives replica sync
-	pool     *sync.Pool
 }
 
-func newRecordSource(cores int, pool *sync.Pool) *recordSource {
+func newRecordSource(cores int) *recordSource {
 	rs := &recordSource{
-		chans:    make([]chan *chunk, cores),
+		rings:    make([]*ring, cores),
 		errs:     make([]error, cores),
-		cur:      make([]*chunk, cores),
+		cur:      make([]*batch, cores),
 		pos:      make([]int, cores),
 		opPos:    make([]int, cores),
 		consumed: make([]uint64, cores),
-		pool:     pool,
 	}
-	for i := range rs.chans {
-		rs.chans[i] = make(chan *chunk, chunkBuffer)
+	for i := range rs.rings {
+		rs.rings[i] = newRing()
 	}
 	return rs
 }
 
 func (rs *recordSource) next(i int) (gap int32, kind uint8, ops []sharedOp, err error) {
-	ck := rs.cur[i]
-	if ck == nil || rs.pos[i] >= len(ck.gaps) {
-		if ck != nil {
-			ck.reset()
-			rs.pool.Put(ck)
+	b := rs.cur[i]
+	if b == nil || rs.pos[i] >= b.n {
+		if b != nil {
+			rs.rings[i].release()
 		}
-		nk, ok := <-rs.chans[i]
-		if !ok {
+		b = rs.rings[i].consume()
+		if b == nil {
 			rs.cur[i] = nil
 			if rs.errs[i] != nil {
 				return 0, 0, nil, rs.errs[i]
@@ -66,14 +63,13 @@ func (rs *recordSource) next(i int) (gap int32, kind uint8, ops []sharedOp, err 
 			// phase budgets — a bug, not a runtime condition.
 			return 0, 0, nil, fmt.Errorf("cachesim: core %d record stream ended early", i)
 		}
-		rs.cur[i] = nk
+		rs.cur[i] = b
 		rs.pos[i], rs.opPos[i] = 0, 0
-		ck = nk
 	}
 	p := rs.pos[i]
-	n := int(ck.nOps[p])
-	gap, kind = ck.gaps[p], ck.kinds[p]
-	ops = ck.ops[rs.opPos[i] : rs.opPos[i]+n]
+	n := int(b.nOps[p])
+	gap, kind = b.gaps[p], b.kinds[p]
+	ops = b.ops[rs.opPos[i] : rs.opPos[i]+n]
 	rs.pos[i]++
 	rs.opPos[i] += n
 	rs.consumed[i]++
@@ -150,7 +146,7 @@ func (s *System) applyStep(c *core, gap int32, kind uint8, ops []sharedOp) {
 type replica struct {
 	f       *front
 	pos     uint64 // private steps replayed so far
-	scratch *chunk // discard sink for the replayed records
+	scratch *batch // discard sink for the replayed records
 }
 
 // advanceTo replays private steps until the replica has executed n, then
@@ -224,7 +220,7 @@ func (s *System) buildReplicas() ([]*replica, error) {
 		}
 		f := s.frontOf(c)
 		f.gen, f.l1d, f.l2, f.pf = cg.Clone(), l1d, l2, c.pf.clone()
-		reps[i] = &replica{f: f, scratch: newChunk()}
+		reps[i] = &replica{f: f, scratch: new(batch)}
 	}
 	return reps, nil
 }
@@ -263,8 +259,7 @@ func (s *System) runPhasesParallel(ctx context.Context) (Results, error) {
 		defer func() { s.snapHook = nil }()
 	}
 
-	pool := &sync.Pool{New: func() any { return newChunk() }}
-	rs := newRecordSource(len(s.cores), pool)
+	rs := newRecordSource(len(s.cores))
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	for i, c := range s.cores {
@@ -272,7 +267,7 @@ func (s *System) runPhasesParallel(ctx context.Context) (Results, error) {
 		wg.Add(1)
 		go func(i int, f *front) {
 			defer wg.Done()
-			workerRun(f, rs.chans[i], stop, pool, &rs.errs[i])
+			workerRun(f, rs.rings[i], stop, &rs.errs[i])
 		}(i, f)
 	}
 	var stopOnce sync.Once

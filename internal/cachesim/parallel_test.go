@@ -67,6 +67,34 @@ func TestParallelAtGOMAXPROCS(t *testing.T) {
 	}
 }
 
+// TestParallelBatchBoundaries pins bit-exactness at the ring transport's
+// edge cases: budgets of 1, batchSteps-1, batchSteps, and batchSteps+1
+// instructions (1, 63, 64, 65) force runs whose record streams end just
+// below, exactly at, and just past a batch boundary, exercising the
+// partial final publish, the exactly-full publish, and the
+// one-record-into-a-fresh-batch paths on both the warmup and ROI legs.
+func TestParallelBatchBoundaries(t *testing.T) {
+	d := snapDesigns[0]
+	for _, budget := range []uint64{1, batchSteps - 1, batchSteps, batchSteps + 1} {
+		for _, par := range []int{2, 4} {
+			serial, err := Run(context.Background(), snapSystem(d.mk()),
+				RunSpec{Warmup: budget, ROI: budget})
+			if err != nil {
+				t.Fatalf("budget %d serial: %v", budget, err)
+			}
+			p, err := Run(context.Background(), snapSystem(d.mk()),
+				RunSpec{Warmup: budget, ROI: budget, Parallelism: par})
+			if err != nil {
+				t.Fatalf("budget %d parallelism %d: %v", budget, par, err)
+			}
+			if s, pj := resultsJSON(t, serial), resultsJSON(t, p); !bytes.Equal(s, pj) {
+				t.Fatalf("budget %d parallelism %d diverged from serial:\nserial   %s\nparallel %s",
+					budget, par, s, pj)
+			}
+		}
+	}
+}
+
 // runCapturing runs sys to completion while collecting every auto-snapshot
 // blob the drive loop emits.
 func runCapturing(t *testing.T, sys *System, par int) (Results, [][]byte) {

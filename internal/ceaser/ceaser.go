@@ -11,7 +11,9 @@ import (
 	"fmt"
 
 	"mayacache/internal/cachemodel"
+	"mayacache/internal/invariant"
 	"mayacache/internal/prince"
+	"mayacache/internal/probe"
 	"mayacache/internal/rng"
 )
 
@@ -61,6 +63,11 @@ type Config struct {
 	// UsePrince selects the PRINCE randomizer (default true when nil
 	// Hasher); tests may inject a faster hasher.
 	Hasher cachemodel.IndexHasher
+	// MemoBits sizes the epoch-tagged index memo table (probe.Memo):
+	// 0 selects probe.DefaultMemoBits, negative disables memoization.
+	// Speed only; results are identical at any setting, and the memo is
+	// silently disabled when Hasher lacks the Epoch purity signal.
+	MemoBits int
 }
 
 type entry struct {
@@ -82,7 +89,11 @@ type Cache struct {
 	waysPerSk int
 	entries   []entry
 	hasher    cachemodel.IndexHasher
-	r         *rng.Rand
+	// memo caches each line's all-skew set indexes keyed by the rekey
+	// epoch (see core.Maya.memo; nil when disabled). CEASER has no probe
+	// fingerprints, so the memo's fp lane is unused here.
+	memo *probe.Memo //mayavet:ignore snapshotfields -- derived: pure function of (line, rekey epoch); wiped on restore
+	r    *rng.Rand
 	clock     uint64
 	fills     uint64
 	stats     cachemodel.Stats
@@ -120,11 +131,37 @@ func NewChecked(cfg Config) (*Cache, error) {
 	}
 	c.entries = make([]entry, cfg.Sets*cfg.Ways)
 	c.skewIdx = make([]int32, c.skews)
+	c.memo = probe.NewMemo(nil, c.skews, cachemodel.MemoBitsFor(cfg.Hasher, cfg.MemoBits))
 	c.hasher = cfg.Hasher
 	if c.hasher == nil {
 		c.hasher = prince.NewRandomizer(c.skews, log2(cfg.Sets), cfg.Seed)
 	}
 	return c, nil
+}
+
+// resolveIndexes fills skewIdx with every skew's set index for line,
+// consulting the epoch-tagged memo first (see core.Maya.resolveIndexes;
+// CEASER stores no fingerprints, so the memo's fp lane carries zero).
+func (c *Cache) resolveIndexes(line uint64) {
+	if c.memo != nil {
+		if _, ok := c.memo.Lookup(line, c.skewIdx); ok {
+			if invariant.Enabled {
+				for skew := 0; skew < c.skews; skew++ {
+					invariant.Check(int(c.skewIdx[skew]) == c.hasher.Index(skew, line),
+						"ceaser: memo index diverged at skew %d for line %#x", skew, line)
+				}
+			}
+			return
+		}
+		for skew := 0; skew < c.skews; skew++ {
+			c.skewIdx[skew] = int32(c.hasher.Index(skew, line))
+		}
+		c.memo.Insert(line, c.skewIdx, 0)
+		return
+	}
+	for skew := 0; skew < c.skews; skew++ {
+		c.skewIdx[skew] = int32(c.hasher.Index(skew, line))
+	}
 }
 
 func log2(n int) uint {
@@ -140,10 +177,9 @@ func log2(n int) uint {
 // each skew's set index in skewIdx so the install path that immediately
 // follows a miss can skip re-running the randomizer.
 func (c *Cache) lookup(line uint64, sdid uint8) int {
+	c.resolveIndexes(line)
 	for skew := 0; skew < c.skews; skew++ {
-		set := c.hasher.Index(skew, line)
-		c.skewIdx[skew] = int32(set)
-		base := set*c.ways + skew*c.waysPerSk
+		base := int(c.skewIdx[skew])*c.ways + skew*c.waysPerSk
 		row := c.entries[base : base+c.waysPerSk]
 		for w := range row {
 			e := &row[w]
@@ -258,6 +294,11 @@ func (c *Cache) remap() {
 		*e = entry{}
 	}
 	c.hasher.Rekey()
+	if c.memo != nil {
+		// Cached index vectors belong to the old keys; one epoch bump
+		// retires them all.
+		c.memo.Invalidate()
+	}
 	c.stats.Rekeys++
 }
 
@@ -285,10 +326,21 @@ func (c *Cache) Probe(line uint64, sdid uint8) (bool, bool) {
 func (c *Cache) LookupPenalty() int { return prince.LatencyCycles }
 
 // StatsSnapshot implements cachemodel.LLC.
-func (c *Cache) StatsSnapshot() cachemodel.Stats { return c.stats }
+func (c *Cache) StatsSnapshot() cachemodel.Stats {
+	s := c.stats
+	if c.memo != nil {
+		s.MemoHits, s.MemoMisses = c.memo.Counters()
+	}
+	return s
+}
 
 // ResetStats implements cachemodel.LLC.
-func (c *Cache) ResetStats() { c.stats.Reset() }
+func (c *Cache) ResetStats() {
+	c.stats.Reset()
+	if c.memo != nil {
+		c.memo.ResetCounters()
+	}
+}
 
 // Name implements cachemodel.LLC.
 func (c *Cache) Name() string { return c.cfg.Variant.String() }

@@ -75,6 +75,14 @@ type Config struct {
 	// NoArena allocates the design's arrays individually instead of
 	// carving them from one flat arena. Layout only; results identical.
 	NoArena bool
+	// MemoBits sizes the epoch-tagged index memo table (probe.Memo):
+	// 0 selects probe.DefaultMemoBits, negative disables memoization.
+	// Speed only: a memo hit replays exactly the indexes and fingerprint
+	// a direct computation would produce, so results are identical at
+	// any setting (cross-checked under the mayacheck build tag). The
+	// memo is silently disabled when Hasher lacks Epoch/RestoreEpoch —
+	// without that purity signal cached entries could go stale.
+	MemoBits int
 }
 
 // DefaultConfig returns the paper's 12MB Maya configuration: 2 skews x 16K
@@ -149,8 +157,14 @@ type Maya struct {
 	// p1Cap equals len(data); the data store bounds the P1 population.
 
 	hasher cachemodel.IndexHasher
-	r      *rng.Rand
-	stats  cachemodel.Stats
+	// memo caches each line's all-skew indexes and probe fingerprint,
+	// keyed by the rekey epoch (nil when disabled or when the hasher
+	// gives no Epoch purity signal). Every entry is a pure function of
+	// (line, epoch): rekeyAndFlush invalidates by epoch bump, restore
+	// wipes the table.
+	memo  *probe.Memo //mayavet:ignore snapshotfields -- derived: pure function of (line, rekey epoch); wiped on restore
+	r     *rng.Rand
+	stats cachemodel.Stats
 	wbBuf  []cachemodel.WritebackOut //mayavet:ignore snapshotfields -- per-call output buffer; dead between accesses
 
 	// Per-access scratch, reused to keep the steady-state access path
@@ -193,14 +207,17 @@ func NewChecked(cfg Config) (*Maya, error) {
 	// enforceP0Cap that follows it; give it headroom so append never
 	// reallocates away from the arena.
 	p0ListCap := cfg.Skews*cfg.SetsPerSkew*maxInt(cfg.ReuseWays, 1) + ways
+	memoBits := cachemodel.MemoBitsFor(cfg.Hasher, cfg.MemoBits)
 	// One flat arena for all parallel arrays, ordered probe-hottest
-	// first so lookup and install touch adjacent cache lines. Alloc
-	// falls back to standalone allocations on a nil arena (NoArena) or
-	// if the sizing below ever goes stale.
+	// first so lookup and install touch adjacent cache lines (the memo
+	// is consulted before any probe word, so it leads). Alloc falls
+	// back to standalone allocations on a nil arena (NoArena) or if the
+	// sizing below ever goes stale.
 	var ar *probe.Arena
 	if !cfg.NoArena {
 		ar = probe.NewArena(
-			probe.Size[uint64](nFP) +
+			probe.MemoBytes(cfg.Skews, memoBits) +
+				probe.Size[uint64](nFP) +
 				probe.Size[uint64](nTags) + // tagLine
 				probe.Size[uint16](nTags) + // tagMeta
 				probe.Size[uint64](nSets) + // invMask
@@ -209,7 +226,9 @@ func NewChecked(cfg Config) (*Maya, error) {
 				probe.Size[dataEntry](nData) +
 				probe.Size[int32](2*nData+p0ListCap))
 	}
+	memo := probe.NewMemo(ar, cfg.Skews, memoBits)
 	m := &Maya{
+		memo: memo,
 		cfg:      cfg,
 		ways:     ways,
 		sets:     cfg.SetsPerSkew,
@@ -274,6 +293,43 @@ func (m *Maya) setBase(skew, set int) int32 {
 	return int32((skew*m.sets + set) * m.ways)
 }
 
+// resolveIndexes fills skewIdx with every skew's set index for line and
+// returns the line's packed probe fingerprint (zero on the scalar path,
+// which never consults fingerprints). The epoch-tagged memo is consulted
+// first: a hit replays the cached vector without touching the hasher; a
+// miss computes directly and caches the result. Under mayacheck every
+// memo hit is cross-checked against the direct computation.
+func (m *Maya) resolveIndexes(line uint64) uint16 {
+	if m.memo != nil {
+		if fp, ok := m.memo.Lookup(line, m.skewIdx); ok {
+			if invariant.Enabled {
+				for skew := 0; skew < m.skews; skew++ {
+					invariant.Check(int(m.skewIdx[skew]) == m.hasher.Index(skew, line),
+						"core: memo index diverged at skew %d for line %#x", skew, line)
+				}
+				invariant.Check(m.tagFP == nil || fp == probe.Fingerprint(line),
+					"core: memo fingerprint diverged for line %#x", line)
+			}
+			return fp
+		}
+		fp := m.computeIndexes(line)
+		m.memo.Insert(line, m.skewIdx, fp)
+		return fp
+	}
+	return m.computeIndexes(line)
+}
+
+// computeIndexes is the direct (memo-less) index resolution.
+func (m *Maya) computeIndexes(line uint64) uint16 {
+	for skew := 0; skew < m.skews; skew++ {
+		m.skewIdx[skew] = int32(m.hasher.Index(skew, line))
+	}
+	if m.tagFP == nil {
+		return 0
+	}
+	return probe.Fingerprint(line)
+}
+
 // lookup finds the tag index of (line, sdid) or -1, searching all skews.
 // As a side effect it records each skew's set index in skewIdx, so the
 // install path that follows a miss (chooseSkew) never recomputes the hash —
@@ -284,14 +340,14 @@ func (m *Maya) setBase(skew, set int) int32 {
 // mirrors, and lanes are visited lowest-first, so the first verified hit
 // is exactly the way the scalar scan would return.
 func (m *Maya) lookup(line uint64, sdid uint8) int32 {
+	fp := m.resolveIndexes(line)
 	if m.tagFP == nil {
 		return m.lookupScalar(line, sdid)
 	}
 	want := tagMetaOf(sdid)
-	bfp := probe.Broadcast(probe.Fingerprint(line))
+	bfp := probe.Broadcast(fp)
 	for skew := 0; skew < m.skews; skew++ {
-		idx := m.hasher.Index(skew, line)
-		m.skewIdx[skew] = int32(idx)
+		idx := int(m.skewIdx[skew])
 		base := m.setBase(skew, idx)
 		fpBase := (skew*m.sets + idx) * m.fpWords
 		words := m.tagFP[fpBase : fpBase+m.fpWords]
@@ -317,13 +373,12 @@ func (m *Maya) lookup(line uint64, sdid uint8) int32 {
 }
 
 // lookupScalar is the per-way scan the SWAR path must agree with
-// (cfg.NoSWAR selects it; tests cross-check the two).
+// (cfg.NoSWAR selects it; tests cross-check the two). It reads the set
+// indexes resolveIndexes cached in skewIdx.
 func (m *Maya) lookupScalar(line uint64, sdid uint8) int32 {
 	want := tagMetaOf(sdid)
 	for skew := 0; skew < m.skews; skew++ {
-		idx := m.hasher.Index(skew, line)
-		m.skewIdx[skew] = int32(idx)
-		base := m.setBase(skew, idx)
+		base := m.setBase(skew, int(m.skewIdx[skew]))
 		lines := m.tagLine[base : int(base)+m.ways]
 		for w := range lines {
 			if lines[w] == line {
@@ -758,6 +813,11 @@ func (m *Maya) rekeyAndFlush() {
 		m.invMask[i] = fullInvMask(m.ways)
 	}
 	m.hasher.Rekey()
+	if m.memo != nil {
+		// Every cached index vector belongs to the old keys; one epoch
+		// bump retires them all.
+		m.memo.Invalidate()
+	}
 	m.stats.Rekeys++
 }
 
@@ -799,10 +859,21 @@ func (m *Maya) LookupPenalty() int {
 }
 
 // StatsSnapshot implements cachemodel.LLC.
-func (m *Maya) StatsSnapshot() cachemodel.Stats { return m.stats }
+func (m *Maya) StatsSnapshot() cachemodel.Stats {
+	s := m.stats
+	if m.memo != nil {
+		s.MemoHits, s.MemoMisses = m.memo.Counters()
+	}
+	return s
+}
 
 // ResetStats implements cachemodel.LLC.
-func (m *Maya) ResetStats() { m.stats.Reset() }
+func (m *Maya) ResetStats() {
+	m.stats.Reset()
+	if m.memo != nil {
+		m.memo.ResetCounters()
+	}
+}
 
 // Name implements cachemodel.LLC.
 func (m *Maya) Name() string {

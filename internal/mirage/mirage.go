@@ -53,6 +53,11 @@ type Config struct {
 	// NoArena allocates the design's arrays individually instead of
 	// carving them from one flat arena. Layout only; results identical.
 	NoArena bool
+	// MemoBits sizes the epoch-tagged index memo table (probe.Memo):
+	// 0 selects probe.DefaultMemoBits, negative disables memoization.
+	// Speed only; results are identical at any setting, and the memo is
+	// silently disabled when Hasher lacks the Epoch purity signal.
+	MemoBits int
 }
 
 // DefaultConfig is the paper's Mirage configuration for a 16MB LLC:
@@ -130,8 +135,11 @@ type Mirage struct {
 	dataFree []int32
 
 	hasher cachemodel.IndexHasher
-	r      *rng.Rand
-	stats  cachemodel.Stats
+	// memo caches each line's all-skew indexes and probe fingerprint,
+	// keyed by the rekey epoch (see core.Maya.memo; nil when disabled).
+	memo  *probe.Memo //mayavet:ignore snapshotfields -- derived: pure function of (line, rekey epoch); wiped on restore
+	r     *rng.Rand
+	stats cachemodel.Stats
 	wbBuf  []cachemodel.WritebackOut //mayavet:ignore snapshotfields -- per-call output buffer; dead between accesses
 
 	// skewIdx caches the per-skew set indices computed by lookup so the
@@ -167,13 +175,16 @@ func NewChecked(cfg Config) (*Mirage, error) {
 	if cfg.NoSWAR {
 		nFP = 0
 	}
+	memoBits := cachemodel.MemoBitsFor(cfg.Hasher, cfg.MemoBits)
 	// One flat arena for the parallel arrays, probe-hottest first (see
-	// core.NewChecked). Alloc falls back to standalone allocations on a
-	// nil arena or stale sizing.
+	// core.NewChecked; the memo leads since it is consulted before any
+	// probe word). Alloc falls back to standalone allocations on a nil
+	// arena or stale sizing.
 	var ar *probe.Arena
 	if !cfg.NoArena {
 		ar = probe.NewArena(
-			probe.Size[uint64](nFP) +
+			probe.MemoBytes(cfg.Skews, memoBits) +
+				probe.Size[uint64](nFP) +
 				probe.Size[uint64](nTags) + // tagLine
 				probe.Size[uint16](nTags) + // tagMeta
 				probe.Size[uint64](nSets) + // invMask
@@ -182,7 +193,9 @@ func NewChecked(cfg Config) (*Mirage, error) {
 				probe.Size[dataEntry](nData) +
 				probe.Size[int32](2*nData))
 	}
+	memo := probe.NewMemo(ar, cfg.Skews, memoBits)
 	c := &Mirage{
+		memo: memo,
 		cfg:      cfg,
 		ways:     ways,
 		sets:     cfg.SetsPerSkew,
@@ -231,6 +244,40 @@ func (c *Mirage) setBase(skew, set int) int32 {
 	return int32((skew*c.sets + set) * c.ways)
 }
 
+// resolveIndexes fills skewIdx with every skew's set index for line and
+// returns the line's packed probe fingerprint (zero on the scalar path),
+// consulting the epoch-tagged memo first (see core.Maya.resolveIndexes).
+func (c *Mirage) resolveIndexes(line uint64) uint16 {
+	if c.memo != nil {
+		if fp, ok := c.memo.Lookup(line, c.skewIdx); ok {
+			if invariant.Enabled {
+				for skew := 0; skew < c.skews; skew++ {
+					invariant.Check(int(c.skewIdx[skew]) == c.hasher.Index(skew, line),
+						"mirage: memo index diverged at skew %d for line %#x", skew, line)
+				}
+				invariant.Check(c.tagFP == nil || fp == probe.Fingerprint(line),
+					"mirage: memo fingerprint diverged for line %#x", line)
+			}
+			return fp
+		}
+		fp := c.computeIndexes(line)
+		c.memo.Insert(line, c.skewIdx, fp)
+		return fp
+	}
+	return c.computeIndexes(line)
+}
+
+// computeIndexes is the direct (memo-less) index resolution.
+func (c *Mirage) computeIndexes(line uint64) uint16 {
+	for skew := 0; skew < c.skews; skew++ {
+		c.skewIdx[skew] = int32(c.hasher.Index(skew, line))
+	}
+	if c.tagFP == nil {
+		return 0
+	}
+	return probe.Fingerprint(line)
+}
+
 // lookup finds the tag index of (line, sdid) or -1. As a side effect it
 // records each skew's set index in skewIdx for the install path (see
 // chooseSkew), halving hash computations per miss.
@@ -239,14 +286,14 @@ func (c *Mirage) setBase(skew, set int) int32 {
 // flagged lanes (lowest first) against tagLine/tagMeta, so the first
 // verified hit is exactly the way the scalar scan would return.
 func (c *Mirage) lookup(line uint64, sdid uint8) int32 {
+	fp := c.resolveIndexes(line)
 	if c.tagFP == nil {
 		return c.lookupScalar(line, sdid)
 	}
 	want := tagMetaOf(sdid)
-	bfp := probe.Broadcast(probe.Fingerprint(line))
+	bfp := probe.Broadcast(fp)
 	for skew := 0; skew < c.skews; skew++ {
-		idx := c.hasher.Index(skew, line)
-		c.skewIdx[skew] = int32(idx)
+		idx := int(c.skewIdx[skew])
 		base := c.setBase(skew, idx)
 		fpBase := (skew*c.sets + idx) * c.fpWords
 		words := c.tagFP[fpBase : fpBase+c.fpWords]
@@ -271,13 +318,12 @@ func (c *Mirage) lookup(line uint64, sdid uint8) int32 {
 }
 
 // lookupScalar is the per-way scan the SWAR path must agree with
-// (cfg.NoSWAR selects it; tests cross-check the two).
+// (cfg.NoSWAR selects it; tests cross-check the two). It reads the set
+// indexes resolveIndexes cached in skewIdx.
 func (c *Mirage) lookupScalar(line uint64, sdid uint8) int32 {
 	want := tagMetaOf(sdid)
 	for skew := 0; skew < c.skews; skew++ {
-		idx := c.hasher.Index(skew, line)
-		c.skewIdx[skew] = int32(idx)
-		base := c.setBase(skew, idx)
+		base := c.setBase(skew, int(c.skewIdx[skew]))
 		lines := c.tagLine[base : int(base)+c.ways]
 		for w := range lines {
 			if lines[w] == line {
@@ -538,6 +584,11 @@ func (c *Mirage) rekeyAndFlush() {
 		c.invMask[i] = fullInvMask(c.ways)
 	}
 	c.hasher.Rekey()
+	if c.memo != nil {
+		// Every cached index vector belongs to the old keys; one epoch
+		// bump retires them all.
+		c.memo.Invalidate()
+	}
 	c.stats.Rekeys++
 }
 
@@ -563,10 +614,21 @@ func (c *Mirage) Probe(line uint64, sdid uint8) (bool, bool) {
 func (c *Mirage) LookupPenalty() int { return prince.LatencyCycles + 1 }
 
 // StatsSnapshot implements cachemodel.LLC.
-func (c *Mirage) StatsSnapshot() cachemodel.Stats { return c.stats }
+func (c *Mirage) StatsSnapshot() cachemodel.Stats {
+	s := c.stats
+	if c.memo != nil {
+		s.MemoHits, s.MemoMisses = c.memo.Counters()
+	}
+	return s
+}
 
 // ResetStats implements cachemodel.LLC.
-func (c *Mirage) ResetStats() { c.stats.Reset() }
+func (c *Mirage) ResetStats() {
+	c.stats.Reset()
+	if c.memo != nil {
+		c.memo.ResetCounters()
+	}
+}
 
 // Name implements cachemodel.LLC.
 func (c *Mirage) Name() string {

@@ -1,0 +1,157 @@
+package probe
+
+// Memo is a small direct-mapped, epoch-tagged memoization table over
+// IndexHasher.Index — a software TLB for the cipher-indexed designs.
+// Each slot caches the full per-skew index vector and the packed probe
+// fingerprint for one line address. Entries are a pure function of
+// (line, rekey epoch): the owning design bumps the epoch on every
+// hasher.Rekey(), which invalidates the whole table in O(1) without
+// touching memory; a restore from snapshot calls Reset, which wipes the
+// slots outright (the restored hasher epoch need not line up with the
+// memo's local counter).
+//
+// Correctness contract: the memo may only front hashers whose Index is
+// a pure function of (skew, line, epoch) — i.e. hashers implementing
+// Epoch()/RestoreEpoch() (prince.Randomizer, cachemodel.XorHasher).
+// Designs enforce that at construction and keep the memo private, so
+// every Rekey of the backing hasher flows through the design's rekey
+// path and lands on Invalidate. Under the mayacheck build tag the
+// designs additionally cross-check every memo hit against a direct
+// hasher.Index/Fingerprint recomputation.
+const (
+	// DefaultMemoBits sizes the table when the config knob is zero.
+	// 2^15 slots covers the pinned bench working sets with high hit
+	// rates while staying well under the simulated cache's own tag
+	// store footprint.
+	DefaultMemoBits = 15
+	minMemoBits     = 6
+	maxMemoBits     = 22
+
+	// memoNoEpoch marks an empty slot. The live epoch counter starts
+	// at zero and only increments, so it can never collide.
+	memoNoEpoch = ^uint64(0)
+
+	// memoHashMul is the 64-bit Fibonacci multiplier; the high bits of
+	// line*memoHashMul spread clustered line addresses across slots.
+	memoHashMul = 0x9E3779B97F4A7C15
+)
+
+// ResolveMemoBits maps a config knob to a table size: negative
+// disables the memo (returns 0), zero selects DefaultMemoBits, and a
+// positive value is clamped to [minMemoBits, maxMemoBits].
+func ResolveMemoBits(knob int) int {
+	switch {
+	case knob < 0:
+		return 0
+	case knob == 0:
+		return DefaultMemoBits
+	case knob < minMemoBits:
+		return minMemoBits
+	case knob > maxMemoBits:
+		return maxMemoBits
+	}
+	return knob
+}
+
+// Memo is not safe for concurrent use; each design owns exactly one.
+type Memo struct {
+	lines  []uint64 // slot tag: cached line address
+	epochs []uint64 // epoch the slot was filled in; memoNoEpoch = empty
+	idx    []int32  // per-skew set indexes, stride = skews
+	fps    []uint16 // packed probe fingerprint per slot
+	skews  int
+	shift  uint
+	epoch  uint64
+	hits   uint64
+	misses uint64
+}
+
+// MemoBytes reports the arena bytes NewMemo will carve for a table of
+// 2^bits slots covering skews skews (zero when bits is zero).
+func MemoBytes(skews, bits int) int {
+	if bits <= 0 {
+		return 0
+	}
+	n := 1 << bits
+	return Size[uint64](n) + Size[uint64](n) + Size[int32](n*skews) + Size[uint16](n)
+}
+
+// NewMemo builds a table of 2^bits slots backed by the arena (nil
+// arena or zero bits are fine: zero bits returns nil, nil arena falls
+// back to the heap via Alloc's overflow path).
+func NewMemo(a *Arena, skews, bits int) *Memo {
+	if bits <= 0 {
+		return nil
+	}
+	n := 1 << bits
+	m := &Memo{
+		lines:  Alloc[uint64](a, n),
+		epochs: Alloc[uint64](a, n),
+		idx:    Alloc[int32](a, n*skews),
+		fps:    Alloc[uint16](a, n),
+		skews:  skews,
+		shift:  uint(64 - bits),
+	}
+	for i := range m.epochs {
+		m.epochs[i] = memoNoEpoch
+	}
+	return m
+}
+
+func (m *Memo) slot(line uint64) int {
+	return int((line * memoHashMul) >> m.shift)
+}
+
+// Lookup copies the cached per-skew indexes for line into dst and
+// returns the cached fingerprint when the slot holds line at the
+// current epoch. dst must have length >= skews.
+func (m *Memo) Lookup(line uint64, dst []int32) (uint16, bool) {
+	s := m.slot(line)
+	if m.lines[s] == line && m.epochs[s] == m.epoch {
+		base := s * m.skews
+		copy(dst[:m.skews], m.idx[base:base+m.skews])
+		m.hits++
+		return m.fps[s], true
+	}
+	m.misses++
+	return 0, false
+}
+
+// Insert caches the per-skew indexes and fingerprint for line at the
+// current epoch, displacing whatever occupied the slot.
+func (m *Memo) Insert(line uint64, src []int32, fp uint16) {
+	s := m.slot(line)
+	m.lines[s] = line
+	m.epochs[s] = m.epoch
+	base := s * m.skews
+	copy(m.idx[base:base+m.skews], src[:m.skews])
+	m.fps[s] = fp
+}
+
+// Invalidate drops every entry by bumping the epoch — O(1), no memory
+// traffic. Call sites: every design rekey (hasher.Rekey()).
+func (m *Memo) Invalidate() {
+	m.epoch++
+}
+
+// Reset wipes the table and rewinds the epoch counter; used after a
+// snapshot restore, where the restored hasher epoch has no relation to
+// the memo's local counter.
+func (m *Memo) Reset() {
+	for i := range m.epochs {
+		m.epochs[i] = memoNoEpoch
+	}
+	m.epoch = 0
+}
+
+// Counters reports lifetime hit/miss counts since the last
+// ResetCounters.
+func (m *Memo) Counters() (hits, misses uint64) {
+	return m.hits, m.misses
+}
+
+// ResetCounters zeroes the hit/miss counters (table contents are
+// untouched); designs call it from ResetStats.
+func (m *Memo) ResetCounters() {
+	m.hits, m.misses = 0, 0
+}

@@ -145,6 +145,12 @@ type SystemConfig struct {
 	// FastHash uses the non-cryptographic index hasher in randomized
 	// designs (recommended for bulk sweeps; PRINCE otherwise).
 	FastHash bool
+	// MemoBits sizes the randomized designs' epoch-tagged index memo
+	// (0: default size, negative: disabled). Speed only — results are
+	// bit-identical at any setting. The memo pays off under PRINCE and
+	// is a small loss under FastHash, so size it only when FastHash is
+	// false.
+	MemoBits int
 }
 
 // System is a runnable multi-core simulation.
@@ -198,11 +204,13 @@ func buildLLC(cfg SystemConfig) (LLC, error) {
 		c := mirage.DefaultConfig(cfg.Seed)
 		c.SetsPerSkew = sets
 		c.Hasher = hasher
+		c.MemoBits = cfg.MemoBits
 		return mirage.NewChecked(c)
 	case DesignMaya:
 		c := core.DefaultConfig(cfg.Seed)
 		c.SetsPerSkew = sets
 		c.Hasher = hasher
+		c.MemoBits = cfg.MemoBits
 		return core.NewChecked(c)
 	default:
 		return baseline.NewChecked(baseline.Config{
